@@ -1,0 +1,315 @@
+// Package aegaeon is a Go reproduction of "Aegaeon: Effective GPU Pooling
+// for Concurrent LLM Serving on the Market" (SOSP '25): a multi-model LLM
+// serving system that auto-scales models at token granularity, running on a
+// deterministic discrete-event simulation of the GPU substrate.
+//
+// The public API builds serving systems, generates market-style workloads,
+// serves them in virtual time, and reports per-token SLO attainment:
+//
+//	sys, _ := aegaeon.New(aegaeon.Config{
+//	    GPU: "H800", PrefillGPUs: 2, DecodeGPUs: 6, NumModels: 20,
+//	})
+//	trace := sys.GenerateTrace(aegaeon.TraceSpec{RatePerModel: 0.1, Horizon: 5 * time.Minute})
+//	report, _ := sys.Serve(trace)
+//	fmt.Printf("attainment: %.1f%%\n", 100*report.Attainment)
+//
+// The internal packages implement the paper's full stack: the token-level
+// scheduler (Algorithms 1–2), preemptive auto-scaling with component reuse,
+// explicit memory management and fine-grained KV-cache synchronization
+// (§5), the ServerlessLLM/MuxServe baselines, and one experiment runner per
+// table and figure in §7.
+package aegaeon
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"aegaeon/internal/baselines"
+	"aegaeon/internal/core"
+	"aegaeon/internal/engine"
+	"aegaeon/internal/latency"
+	"aegaeon/internal/metrics"
+	"aegaeon/internal/model"
+	"aegaeon/internal/sim"
+	"aegaeon/internal/slo"
+	"aegaeon/internal/workload"
+)
+
+// Model re-exports the model descriptor type.
+type Model = model.Model
+
+// SLO re-exports the (TTFT, TBT) target pair.
+type SLO = slo.SLO
+
+// Request re-exports the workload request type.
+type Request = workload.Request
+
+// Dataset re-exports the length-distribution interface.
+type Dataset = workload.Dataset
+
+// DefaultSLO returns the paper's production targets: TTFT 10 s, TBT 100 ms.
+func DefaultSLO() SLO { return slo.Default() }
+
+// ShareGPT and variants re-export the synthetic datasets of §7.1.
+func ShareGPT() Dataset    { return workload.ShareGPT() }
+func ShareGPTIx2() Dataset { return workload.ShareGPTIx2() }
+func ShareGPTOx2() Dataset { return workload.ShareGPTOx2() }
+
+// Catalog returns the built-in model catalog (Table 1 models and friends).
+func Catalog() []*Model { return model.Catalog() }
+
+// WriteTrace encodes a trace as JSON Lines (one request per line).
+func WriteTrace(w io.Writer, trace []Request) error { return workload.WriteTrace(w, trace) }
+
+// ReadTrace decodes and validates a JSON-Lines trace, sorted by arrival.
+func ReadTrace(r io.Reader) ([]Request, error) { return workload.ReadTrace(r) }
+
+// MarketModels returns n market models in the paper's primary 6–14B range.
+func MarketModels(n int) []*Model { return model.MarketMix(n) }
+
+// Config configures an Aegaeon serving system.
+type Config struct {
+	// GPU selects the hardware profile: "H800" (default), "A10", or "H20".
+	GPU string
+	// TP is the tensor-parallel degree per instance (default 1).
+	TP int
+	// PrefillGPUs and DecodeGPUs partition the pool (§4.1). Defaults: 6+10.
+	PrefillGPUs int
+	DecodeGPUs  int
+	// Models to serve. If empty, NumModels market models are generated.
+	Models    []*Model
+	NumModels int
+	// SLO targets; zero value uses DefaultSLO.
+	SLO SLO
+	// Seed fixes the simulation's randomness (default 1).
+	Seed int64
+	// DisableOptimizations turns off the §5 auto-scaling optimizations
+	// (useful for ablation; production config leaves this false).
+	DisableOptimizations bool
+	// Colocate enables the §8 extension: keep several models' weights
+	// resident and switch between them with ~1ms activations (weights
+	// residency trades against KV capacity; see the §8 ablation).
+	Colocate bool
+}
+
+// System is a ready-to-serve Aegaeon deployment in virtual time.
+type System struct {
+	cfg    Config
+	eng    *sim.Engine
+	sys    *core.System
+	models []*Model
+	served bool
+}
+
+// New builds a system.
+func New(cfg Config) (*System, error) {
+	if cfg.GPU == "" {
+		cfg.GPU = "H800"
+	}
+	prof, err := latency.ProfileByName(cfg.GPU)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TP < 1 {
+		cfg.TP = 1
+	}
+	if cfg.PrefillGPUs == 0 {
+		cfg.PrefillGPUs = 6
+	}
+	if cfg.DecodeGPUs == 0 {
+		cfg.DecodeGPUs = 10
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	models := cfg.Models
+	if len(models) == 0 {
+		n := cfg.NumModels
+		if n <= 0 {
+			n = 8
+		}
+		models = model.MarketMix(n)
+	}
+	if (cfg.SLO == SLO{}) {
+		cfg.SLO = slo.Default()
+	}
+	opts := engine.AllOptimizations()
+	if cfg.DisableOptimizations {
+		opts = engine.Unoptimized()
+	}
+	opts.Colocate = cfg.Colocate
+	se := sim.NewEngine(cfg.Seed)
+	sys := core.NewSystem(se, core.Config{
+		Prof:       prof,
+		TP:         cfg.TP,
+		Opts:       opts,
+		NumPrefill: cfg.PrefillGPUs,
+		NumDecode:  cfg.DecodeGPUs,
+		Models:     models,
+		SLO:        cfg.SLO,
+	})
+	return &System{cfg: cfg, eng: se, sys: sys, models: models}, nil
+}
+
+// Models returns the models the system serves.
+func (s *System) Models() []*Model { return s.models }
+
+// TraceSpec describes a synthetic workload.
+type TraceSpec struct {
+	// RatePerModel is the Poisson arrival rate per model in req/s.
+	RatePerModel float64
+	// Horizon is the trace length.
+	Horizon time.Duration
+	// Dataset defaults to ShareGPT.
+	Dataset Dataset
+}
+
+// GenerateTrace synthesizes a workload for the system's models.
+func (s *System) GenerateTrace(spec TraceSpec) []Request {
+	ds := spec.Dataset
+	if ds == nil {
+		ds = workload.ShareGPT()
+	}
+	names := make([]string, len(s.models))
+	for i, m := range s.models {
+		names[i] = m.Name
+	}
+	return workload.PoissonTrace(s.eng.Rand(), names, spec.RatePerModel, spec.Horizon, ds)
+}
+
+// Report summarizes a serving run.
+type Report struct {
+	// Attainment is the token-level SLO attainment in [0,1] (§2.1).
+	Attainment float64
+	// TTFTAttainment is the fraction of first tokens within the TTFT target.
+	TTFTAttainment float64
+	// MeanTTFT is the average time to first token; TTFTP50/P99 its
+	// percentiles.
+	MeanTTFT time.Duration
+	TTFTP50  time.Duration
+	TTFTP99  time.Duration
+	// Completed is the number of fully served requests.
+	Completed int
+	// Requests is the number submitted.
+	Requests int
+	// VirtualDuration is the simulated time the run covered.
+	VirtualDuration time.Duration
+	// SwitchP50/P99 are exposed preemptive auto-scaling latencies.
+	SwitchP50, SwitchP99 time.Duration
+	// Switches counts preemptive model scale-ups across instances.
+	Switches uint64
+}
+
+// Serve runs the trace to completion in virtual time and reports. A System
+// is single-use: build a fresh one per run.
+func (s *System) Serve(trace []Request) (Report, error) {
+	if s.served {
+		return Report{}, fmt.Errorf("aegaeon: system already served a trace; build a new one")
+	}
+	s.served = true
+	if err := s.sys.Submit(trace); err != nil {
+		return Report{}, err
+	}
+	s.eng.Run()
+	s.sys.Finalize(s.eng.Now())
+	var switches uint64
+	for _, e := range s.sys.Engines() {
+		switches += e.Stats().Switches
+	}
+	cdf := s.sys.SwitchLatencyCDF()
+	rep := Report{
+		Attainment:      s.sys.Attainment(),
+		TTFTAttainment:  s.sys.Tracker().TTFTAttainment(),
+		MeanTTFT:        s.sys.Tracker().MeanTTFT(),
+		TTFTP50:         s.sys.Tracker().TTFTQuantile(0.5),
+		TTFTP99:         s.sys.Tracker().TTFTQuantile(0.99),
+		Completed:       s.sys.Completed(),
+		Requests:        len(trace),
+		VirtualDuration: s.eng.Now(),
+		Switches:        switches,
+	}
+	if cdf.N() > 0 {
+		rep.SwitchP50 = time.Duration(cdf.Quantile(0.5) * float64(time.Second))
+		rep.SwitchP99 = time.Duration(cdf.Quantile(0.99) * float64(time.Second))
+	}
+	return rep, nil
+}
+
+// Breakdown returns the request latency breakdown after Serve (Fig. 14).
+func (s *System) Breakdown() *metrics.Breakdown { return s.sys.Breakdown() }
+
+// InjectDecodeFailure schedules a crash of decoding instance idx at the
+// given virtual time (before calling Serve). The instance's requests are
+// recovered onto survivors: sequences whose KV lives in the unified CPU
+// cache resume; the rest recompute via prefill. Fig. 5's fault tolerance.
+func (s *System) InjectDecodeFailure(at time.Duration, idx int) {
+	s.eng.At(at, func() {
+		if _, _, err := s.sys.FailDecodeInstance(idx); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// InjectPrefillFailure schedules a crash of prefill instance idx at the
+// given virtual time (before calling Serve).
+func (s *System) InjectPrefillFailure(at time.Duration, idx int) {
+	s.eng.At(at, func() {
+		if _, err := s.sys.FailPrefillInstance(idx); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// Baseline identifies a comparison system.
+type Baseline string
+
+// Comparison baselines (§7.1).
+const (
+	ServerlessLLM     Baseline = "ServerlessLLM"
+	ServerlessLLMPlus Baseline = "ServerlessLLM+"
+	MuxServe          Baseline = "MuxServe"
+)
+
+// ServeBaseline serves the trace on a baseline system over the same GPU
+// count (prefill+decode, undivided) and returns its report.
+func (s *System) ServeBaseline(b Baseline, trace []Request) (Report, error) {
+	prof, err := latency.ProfileByName(s.cfg.GPU)
+	if err != nil {
+		return Report{}, err
+	}
+	se := sim.NewEngine(s.cfg.Seed)
+	gpus := s.cfg.PrefillGPUs + s.cfg.DecodeGPUs
+	var srv baselines.Server
+	var trk *slo.Tracker
+	switch b {
+	case ServerlessLLM, ServerlessLLMPlus:
+		sys := baselines.NewSLLM(se, baselines.SLLMConfig{
+			Prof: prof, TP: s.cfg.TP, GPUs: gpus, Models: s.models,
+			SLO: s.cfg.SLO, SJF: b == ServerlessLLMPlus,
+		})
+		srv, trk = sys, sys.Tracker()
+	case MuxServe:
+		sys := baselines.NewMux(se, baselines.MuxConfig{
+			Prof: prof, TP: s.cfg.TP, GPUs: gpus, Models: s.models, SLO: s.cfg.SLO,
+		})
+		srv, trk = sys, sys.Tracker()
+	default:
+		return Report{}, fmt.Errorf("aegaeon: unknown baseline %q", b)
+	}
+	if err := srv.Submit(trace); err != nil {
+		return Report{}, err
+	}
+	se.Run()
+	srv.Finalize(se.Now())
+	return Report{
+		Attainment:      srv.Attainment(),
+		TTFTAttainment:  trk.TTFTAttainment(),
+		MeanTTFT:        trk.MeanTTFT(),
+		TTFTP50:         trk.TTFTQuantile(0.5),
+		TTFTP99:         trk.TTFTQuantile(0.99),
+		Completed:       srv.Completed(),
+		Requests:        len(trace),
+		VirtualDuration: se.Now(),
+	}, nil
+}

@@ -1,0 +1,110 @@
+package aegaeon
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys, err := New(Config{PrefillGPUs: 1, DecodeGPUs: 2, NumModels: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := sys.GenerateTrace(TraceSpec{RatePerModel: 0.1, Horizon: 2 * time.Minute})
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	rep, err := sys.Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != rep.Requests {
+		t.Fatalf("completed %d/%d", rep.Completed, rep.Requests)
+	}
+	if rep.Attainment < 0.9 {
+		t.Fatalf("attainment = %.3f", rep.Attainment)
+	}
+	if rep.Switches == 0 {
+		t.Fatal("no auto-scaling happened with 4 models on 2 decode GPUs")
+	}
+}
+
+func TestSystemIsSingleUse(t *testing.T) {
+	sys, err := New(Config{PrefillGPUs: 1, DecodeGPUs: 1, NumModels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := sys.GenerateTrace(TraceSpec{RatePerModel: 0.05, Horizon: 30 * time.Second})
+	if _, err := sys.Serve(trace); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Serve(trace); err == nil {
+		t.Fatal("second Serve accepted")
+	}
+}
+
+func TestUnknownGPURejected(t *testing.T) {
+	if _, err := New(Config{GPU: "V100"}); err == nil {
+		t.Fatal("unknown GPU accepted")
+	}
+}
+
+func TestBaselineComparison(t *testing.T) {
+	sys, err := New(Config{PrefillGPUs: 1, DecodeGPUs: 2, NumModels: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := sys.GenerateTrace(TraceSpec{RatePerModel: 0.1, Horizon: 2 * time.Minute})
+	for _, b := range []Baseline{ServerlessLLM, ServerlessLLMPlus, MuxServe} {
+		rep, err := sys.ServeBaseline(b, trace)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if rep.Attainment < 0 || rep.Attainment > 1 {
+			t.Fatalf("%s attainment = %.3f", b, rep.Attainment)
+		}
+	}
+	if _, err := sys.ServeBaseline("vLLM", trace); err == nil {
+		t.Fatal("unknown baseline accepted")
+	}
+	// The headline direction: Aegaeon >= MuxServe on 6 models / 3 GPUs
+	// (MuxServe cannot place them all).
+	aeg, err := sys.Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux, _ := sys.ServeBaseline(MuxServe, trace)
+	if aeg.Attainment < mux.Attainment {
+		t.Fatalf("Aegaeon %.3f < MuxServe %.3f on an over-committed pool",
+			aeg.Attainment, mux.Attainment)
+	}
+}
+
+func TestCustomModelsAndSLO(t *testing.T) {
+	models := MarketModels(2)
+	sys, err := New(Config{
+		PrefillGPUs: 1, DecodeGPUs: 1,
+		Models: models,
+		SLO:    DefaultSLO().Scale(0.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Models()) != 2 {
+		t.Fatalf("models = %d", len(sys.Models()))
+	}
+	trace := sys.GenerateTrace(TraceSpec{RatePerModel: 0.05, Horizon: time.Minute, Dataset: ShareGPTOx2()})
+	rep, err := sys.Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != rep.Requests {
+		t.Fatalf("completed %d/%d", rep.Completed, rep.Requests)
+	}
+}
+
+func TestCatalogExposed(t *testing.T) {
+	if len(Catalog()) < 8 {
+		t.Fatalf("catalog has %d models", len(Catalog()))
+	}
+}

@@ -1,0 +1,51 @@
+// Command aegaeon-bench regenerates the paper's tables and figures from the
+// simulated substrate and prints them as text tables, optionally also
+// writing CSV files for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"aegaeon/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run shortened horizons")
+	only := flag.String("only", "", "run only experiments whose ID has this prefix (e.g. 'Figure 11')")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "csv dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	o := experiments.Defaults()
+	if *quick {
+		o = experiments.Quick()
+	}
+	start := time.Now()
+	n := 0
+	experiments.Run(o, *only, func(t experiments.Table) {
+		n++
+		fmt.Println(t.String())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, t.FileStem()+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%6.1fs] finished %s\n", time.Since(start).Seconds(), t.ID)
+	})
+	if n == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; known IDs:\n", *only)
+		for _, id := range experiments.IDs() {
+			fmt.Fprintf(os.Stderr, "  %s\n", id)
+		}
+		os.Exit(1)
+	}
+}

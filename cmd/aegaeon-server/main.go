@@ -1,0 +1,34 @@
+// Command aegaeon-server exposes the simulator over HTTP:
+//
+//	POST /v1/simulate         run a simulation, get the SLO report
+//	GET  /v1/models           the built-in model catalog
+//	POST /v1/trace/summarize  characterize a JSON-Lines trace
+//	GET  /healthz             liveness
+//
+// Example:
+//
+//	aegaeon-server -addr :8080 &
+//	curl -s localhost:8080/v1/simulate -d '{"num_models":20,"rps":0.1,"horizon_sec":120}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"aegaeon/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      httpapi.Handler(),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 10 * time.Minute, // simulations can take a while
+	}
+	log.Printf("aegaeon-server listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

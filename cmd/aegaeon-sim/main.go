@@ -1,0 +1,100 @@
+// Command aegaeon-sim runs one Aegaeon (or baseline) serving simulation
+// from flags and prints the SLO report.
+//
+// Examples:
+//
+//	aegaeon-sim -models 40 -rps 0.1 -horizon 5m
+//	aegaeon-sim -models 40 -rps 0.1 -system serverlessllm
+//	aegaeon-sim -gpu A10 -models 8 -prefill 2 -decode 2 -tbt-scale 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"aegaeon"
+)
+
+func main() {
+	var (
+		gpu       = flag.String("gpu", "H800", "GPU profile: H800, A10, H20")
+		tp        = flag.Int("tp", 1, "tensor parallel degree")
+		prefill   = flag.Int("prefill", 6, "prefill instances")
+		decode    = flag.Int("decode", 10, "decoding instances")
+		nModels   = flag.Int("models", 40, "number of market models")
+		rps       = flag.Float64("rps", 0.1, "per-model arrival rate (req/s)")
+		horizon   = flag.Duration("horizon", 5*time.Minute, "trace length")
+		dataset   = flag.String("dataset", "sharegpt", "sharegpt, sharegpt-ix2, sharegpt-ox2")
+		system    = flag.String("system", "aegaeon", "aegaeon, serverlessllm, serverlessllm+, muxserve")
+		seed      = flag.Int64("seed", 1, "random seed")
+		sloScale  = flag.Float64("slo-scale", 1, "scale both TTFT and TBT targets")
+		ttftScale = flag.Float64("ttft-scale", 1, "scale the TTFT target")
+		tbtScale  = flag.Float64("tbt-scale", 1, "scale the TBT target")
+		unopt     = flag.Bool("unoptimized", false, "disable the §5 auto-scaling optimizations")
+	)
+	flag.Parse()
+
+	var ds aegaeon.Dataset
+	switch *dataset {
+	case "sharegpt":
+		ds = aegaeon.ShareGPT()
+	case "sharegpt-ix2":
+		ds = aegaeon.ShareGPTIx2()
+	case "sharegpt-ox2":
+		ds = aegaeon.ShareGPTOx2()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+
+	slo := aegaeon.DefaultSLO().Scale(*sloScale).ScaleTTFT(*ttftScale).ScaleTBT(*tbtScale)
+	sys, err := aegaeon.New(aegaeon.Config{
+		GPU:                  *gpu,
+		TP:                   *tp,
+		PrefillGPUs:          *prefill,
+		DecodeGPUs:           *decode,
+		NumModels:            *nModels,
+		SLO:                  slo,
+		Seed:                 *seed,
+		DisableOptimizations: *unopt,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := sys.GenerateTrace(aegaeon.TraceSpec{RatePerModel: *rps, Horizon: *horizon, Dataset: ds})
+
+	var rep aegaeon.Report
+	switch *system {
+	case "aegaeon":
+		rep, err = sys.Serve(trace)
+	case "serverlessllm":
+		rep, err = sys.ServeBaseline(aegaeon.ServerlessLLM, trace)
+	case "serverlessllm+":
+		rep, err = sys.ServeBaseline(aegaeon.ServerlessLLMPlus, trace)
+	case "muxserve":
+		rep, err = sys.ServeBaseline(aegaeon.MuxServe, trace)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("system            %s on %d+%d %s GPUs (TP=%d)\n", *system, *prefill, *decode, *gpu, *tp)
+	fmt.Printf("workload          %d models x %.2f req/s, %s, %v (%d requests)\n",
+		*nModels, *rps, *dataset, *horizon, rep.Requests)
+	fmt.Printf("SLO               %v (x%.2f overall)\n", slo, *sloScale)
+	fmt.Printf("completed         %d/%d\n", rep.Completed, rep.Requests)
+	fmt.Printf("token attainment  %.2f%%\n", 100*rep.Attainment)
+	fmt.Printf("TTFT attainment   %.2f%% (mean %v)\n", 100*rep.TTFTAttainment, rep.MeanTTFT.Round(time.Millisecond))
+	if *system == "aegaeon" {
+		fmt.Printf("model switches    %d (p50 %v, p99 %v)\n",
+			rep.Switches, rep.SwitchP50.Round(time.Millisecond), rep.SwitchP99.Round(time.Millisecond))
+		fmt.Printf("latency breakdown %v\n", sys.Breakdown())
+	}
+	fmt.Printf("virtual duration  %v\n", rep.VirtualDuration.Round(time.Second))
+}

@@ -1,0 +1,89 @@
+// Command aegaeon-trace generates and characterizes market workload traces:
+// the Fig. 1(a) popularity CDF, the Fig. 1(b) burst timeline, and summary
+// statistics of synthesized Poisson traces, optionally emitting the trace
+// as CSV for external tools.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"aegaeon/internal/theory"
+	"aegaeon/internal/workload"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "market", "market, burst, poisson")
+		nModels = flag.Int("models", 779, "number of models")
+		zipfS   = flag.Float64("zipf", 2.0, "Zipf exponent for market popularity")
+		rps     = flag.Float64("rps", 0.1, "per-model rate for poisson mode")
+		horizon = flag.Duration("horizon", 10*time.Minute, "trace length")
+		seed    = flag.Int64("seed", 1, "random seed")
+		csv     = flag.Bool("csv", false, "emit the trace as CSV on stdout")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	switch *mode {
+	case "market":
+		w := workload.ZipfWeights(*nModels, *zipfS)
+		cdf := workload.MarketCDF(w)
+		fmt.Printf("marketplace popularity, %d models, Zipf s=%.2f\n", *nModels, *zipfS)
+		fmt.Printf("%-12s %s\n", "top models", "request share")
+		for _, f := range []float64{0.01, 0.02, 0.059, 0.10, 0.25, 0.50, 1.0} {
+			fmt.Printf("%-12s %.2f%%\n", fmt.Sprintf("%.1f%%", 100*f), 100*cdf(f))
+		}
+		fmt.Printf("\ntail %.1f%% of models receive %.2f%% of requests (paper: 94.1%% -> 1.35%%)\n",
+			94.1, 100*(1-cdf(1-0.941)))
+		em := theory.ExpectedActiveModels(100, 0.037, 16790*time.Millisecond)
+		fmt.Printf("Theorem 3.1 reference point: E[m] = %.2f for M=100, λ=0.037, T=16.79s\n", em)
+
+	case "burst":
+		trace, rates := workload.BurstTrace(rng, "hot", 620, 860,
+			90*time.Second, 25*time.Second, *horizon, workload.ShareGPT())
+		var peak, sum, over float64
+		for _, r := range rates {
+			sum += r
+			if r > peak {
+				peak = r
+			}
+			if r > 700 {
+				over++
+			}
+		}
+		fmt.Printf("burst trace: %d requests over %v\n", len(trace), *horizon)
+		fmt.Printf("mean %.0f req/s, peak %.0f req/s, %.1f%% of seconds above a 700 req/s reservation\n",
+			sum/float64(len(rates)), peak, 100*over/float64(len(rates)))
+		if *csv {
+			fmt.Println("second,rate")
+			for i, r := range rates {
+				fmt.Printf("%d,%.0f\n", i, r)
+			}
+		}
+
+	case "poisson":
+		names := make([]string, *nModels)
+		for i := range names {
+			names[i] = fmt.Sprintf("model-%03d", i)
+		}
+		trace := workload.PoissonTrace(rng, names, *rps, *horizon, workload.ShareGPT())
+		st := workload.Summarize(trace)
+		fmt.Printf("poisson trace: %d requests, %d models, %.2f req/s total\n",
+			st.Requests, st.Models, st.TotalRate)
+		fmt.Printf("mean input %.0f tokens, mean output %.0f tokens\n", st.MeanIn, st.MeanOut)
+		if *csv {
+			fmt.Println("id,model,arrival_s,input_tokens,output_tokens")
+			for _, r := range trace {
+				fmt.Printf("%s,%s,%.3f,%d,%d\n", r.ID, r.Model, r.Arrival.Seconds(), r.InputTokens, r.OutputTokens)
+			}
+		}
+
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: build an Aegaeon pool, generate a multi-model market
+// workload, serve it in virtual time, and print the SLO report — the
+// minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"aegaeon"
+)
+
+func main() {
+	// A small pool: 1 prefill + 3 decoding H800 GPUs serving 12 models —
+	// already far beyond the two-models-per-GPU multiplexing limit (§2.3).
+	sys, err := aegaeon.New(aegaeon.Config{
+		GPU:         "H800",
+		PrefillGPUs: 1,
+		DecodeGPUs:  3,
+		NumModels:   12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("serving models:")
+	for _, m := range sys.Models() {
+		fmt.Printf("  %-28s %5.1f GB weights, KV %s\n",
+			m.Name, float64(m.WeightBytes())/1e9, m.KVShape())
+	}
+
+	trace := sys.GenerateTrace(aegaeon.TraceSpec{
+		RatePerModel: 0.1, // sporadic market traffic (§2.2)
+		Horizon:      5 * time.Minute,
+	})
+	fmt.Printf("\ngenerated %d requests over 5 virtual minutes\n", len(trace))
+
+	rep, err := sys.Serve(trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ncompleted          %d/%d requests\n", rep.Completed, rep.Requests)
+	fmt.Printf("SLO attainment     %.1f%% of tokens on time (TTFT 10s, TBT 100ms)\n", 100*rep.Attainment)
+	fmt.Printf("TTFT attainment    %.1f%% (mean %v)\n", 100*rep.TTFTAttainment, rep.MeanTTFT.Round(time.Millisecond))
+	fmt.Printf("model switches     %d preemptive scale-ups (p50 %v, p99 %v)\n",
+		rep.Switches, rep.SwitchP50.Round(time.Millisecond), rep.SwitchP99.Round(time.Millisecond))
+	fmt.Printf("models per GPU     %.1f (12 models on 4 GPUs)\n", 12.0/4)
+	fmt.Printf("latency breakdown  %v\n", sys.Breakdown())
+}

@@ -1,0 +1,55 @@
+// Strictslo: the Fig. 13 / Fig. 17 exploration — how far GPU pooling can be
+// pushed as the SLO tightens, and where static multiplexing takes over.
+// Sweeps the TTFT/TBT targets from loose (2x) to the paper's strictest
+// setting (0.2x: 2 s TTFT, 20 ms TBT) at a fixed pooling degree.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"aegaeon"
+)
+
+func main() {
+	const (
+		nModels = 24
+		horizon = 4 * time.Minute
+	)
+	fmt.Printf("%d models on 6 GPUs (2 prefill + 4 decode), RPS 0.1, ShareGPT\n\n", nModels)
+	fmt.Printf("%-10s %-22s %10s %12s\n", "SLO scale", "targets", "Aegaeon", "MuxServe")
+
+	for _, scale := range []float64{2.0, 1.0, 0.5, 0.3, 0.2} {
+		slo := aegaeon.DefaultSLO().Scale(scale)
+
+		newSys := func() *aegaeon.System {
+			s, err := aegaeon.New(aegaeon.Config{
+				NumModels:   nModels,
+				PrefillGPUs: 2,
+				DecodeGPUs:  4,
+				SLO:         slo,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return s
+		}
+		trace := newSys().GenerateTrace(aegaeon.TraceSpec{RatePerModel: 0.1, Horizon: horizon})
+
+		aeg, err := newSys().Serve(trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mux, err := newSys().ServeBaseline(aegaeon.MuxServe, trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10.1f TTFT %-6v TBT %-6v %9.1f%% %11.1f%%\n",
+			scale, slo.TTFT, slo.TBT, 100*aeg.Attainment, 100*mux.Attainment)
+	}
+
+	fmt.Printf("\npaper (Fig. 13): Aegaeon leads down to 0.3x; at 0.2x the per-token slack\n")
+	fmt.Printf("vanishes and zero-switch-cost multiplexing has a place — but it can only\n")
+	fmt.Printf("place ~2 models per GPU, so it serves a fraction of the market here.\n")
+}

@@ -1,0 +1,3 @@
+module aegaeon
+
+go 1.22

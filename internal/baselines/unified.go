@@ -1,0 +1,280 @@
+package baselines
+
+import (
+	"fmt"
+	"time"
+
+	"aegaeon/internal/engine"
+	"aegaeon/internal/latency"
+	"aegaeon/internal/memory"
+	"aegaeon/internal/model"
+	"aegaeon/internal/sim"
+	"aegaeon/internal/slo"
+	"aegaeon/internal/workload"
+)
+
+// UnifiedMode selects the priority heuristic of a unified (non-
+// disaggregated) token-level scheduler (Fig. 6).
+type UnifiedMode int
+
+const (
+	// PrefillFirst always serves queued prefill jobs before decoding —
+	// harming TBT under arrival bursts (Fig. 6a).
+	PrefillFirst UnifiedMode = iota
+	// DecodeFirst always advances decoding batches before prefills —
+	// harming TTFT under long inputs (Fig. 6b).
+	DecodeFirst
+)
+
+func (m UnifiedMode) String() string {
+	if m == PrefillFirst {
+		return "prefill-first"
+	}
+	return "decoding-first"
+}
+
+// UnifiedConfig parameterizes the unified scheduler.
+type UnifiedConfig struct {
+	Prof   *latency.Profile
+	TP     int
+	GPUs   int
+	Models []*model.Model
+	SLO    slo.SLO
+	Mode   UnifiedMode
+
+	// DecodeSlice is how long a decode batch runs before the scheduler
+	// re-evaluates priorities (token-level granularity).
+	DecodeSlice time.Duration
+}
+
+// Unified is the token-level but non-disaggregated scheduler used in §4.1
+// to motivate prefill/decoding disaggregation: every GPU serves both
+// phases, with a fixed priority between them. It shares Aegaeon's optimized
+// auto-scaling (so the comparison isolates the scheduling policy) but not
+// its KV-transfer machinery — switches charge the Eq. 4 weight load only,
+// which favors the unified schedulers if anything.
+type Unified struct {
+	eng *sim.Engine
+	cfg UnifiedConfig
+
+	instances []*uInstance
+	requests  []*request
+	models    map[string]*model.Model
+	tracker   *slo.Tracker
+	completed int
+}
+
+type uInstance struct {
+	sys *Unified
+	eng *engine.Engine
+
+	prefillQ []*request
+	batches  map[string][]*request // decoding sets per model
+	rotation []string              // round-robin order of models with decode work
+	running  bool
+}
+
+// NewUnified builds the system.
+func NewUnified(se *sim.Engine, cfg UnifiedConfig) *Unified {
+	if cfg.TP < 1 {
+		cfg.TP = 1
+	}
+	if cfg.GPUs < 1 {
+		panic("baselines: Unified needs at least one GPU")
+	}
+	if cfg.DecodeSlice <= 0 {
+		cfg.DecodeSlice = 500 * time.Millisecond
+	}
+	s := &Unified{eng: se, cfg: cfg, models: map[string]*model.Model{}, tracker: slo.NewTracker()}
+	modelCache := memory.NewModelCache(1 << 40)
+	cpuKV := newNodeCPUKV()
+	var maxShard int64
+	for _, m := range cfg.Models {
+		s.models[m.Name] = m
+		_ = modelCache.Insert(m.Name, m.WeightBytes())
+		if sh := m.ShardWeightBytes(cfg.TP); sh > maxShard {
+			maxShard = sh
+		}
+	}
+	usable := int64(float64(cfg.Prof.VRAMBytes) * 0.9)
+	weights := maxShard + maxShard/16
+	for i := 0; i < cfg.GPUs; i++ {
+		e := engine.New(se, fmt.Sprintf("unified%d", i), engine.Config{
+			Prof:               cfg.Prof,
+			TP:                 cfg.TP,
+			Opts:               engine.Options{ComponentReuse: true, ExplicitMemory: true},
+			WeightsRegionBytes: weights,
+			KVRegionBytes:      usable - weights,
+			ModelCache:         modelCache,
+			CPUKV:              cpuKV,
+		})
+		e.WarmBoot()
+		s.instances = append(s.instances, &uInstance{
+			sys: s, eng: e, batches: map[string][]*request{},
+		})
+	}
+	return s
+}
+
+// Submit schedules the trace.
+func (s *Unified) Submit(trace []workload.Request) error {
+	for _, wr := range trace {
+		m, ok := s.models[wr.Model]
+		if !ok {
+			return fmt.Errorf("baselines: unknown model %q", wr.Model)
+		}
+		r := &request{
+			id: wr.ID, model: m, arrival: wr.Arrival,
+			inputTokens: wr.InputTokens, outputTokens: wr.OutputTokens,
+		}
+		s.requests = append(s.requests, r)
+		s.eng.At(wr.Arrival, func() { s.dispatch(r) })
+	}
+	return nil
+}
+
+func (s *Unified) dispatch(r *request) {
+	best := s.instances[0]
+	bestLoad := best.load()
+	for _, in := range s.instances[1:] {
+		if l := in.load(); l < bestLoad {
+			best, bestLoad = in, l
+		}
+	}
+	best.prefillQ = append(best.prefillQ, r)
+	best.wake()
+}
+
+func (in *uInstance) load() int {
+	n := len(in.prefillQ)
+	for _, b := range in.batches {
+		n += len(b)
+	}
+	return n
+}
+
+func (in *uInstance) wake() {
+	if in.running {
+		return
+	}
+	in.running = true
+	in.step()
+}
+
+// step picks the next token-generation work per the priority mode.
+func (in *uInstance) step() {
+	hasPrefill := len(in.prefillQ) > 0
+	hasDecode := in.nextDecodeModel() != ""
+	switch {
+	case !hasPrefill && !hasDecode:
+		in.running = false
+	case in.sys.cfg.Mode == PrefillFirst && hasPrefill, !hasDecode:
+		in.runPrefill()
+	default:
+		in.runDecodeSlice()
+	}
+}
+
+func (in *uInstance) nextDecodeModel() string {
+	for len(in.rotation) > 0 {
+		m := in.rotation[0]
+		if len(in.batches[m]) > 0 {
+			return m
+		}
+		in.rotation = in.rotation[1:]
+	}
+	return ""
+}
+
+func (in *uInstance) runPrefill() {
+	r := in.prefillQ[0]
+	in.prefillQ = in.prefillQ[1:]
+	exec := func() {
+		in.eng.Prefill(r.inputTokens, func() {
+			r.tokenTimes = append(r.tokenTimes, in.sys.eng.Now())
+			if r.outputTokens <= 1 {
+				r.done = true
+				in.sys.completed++
+			} else {
+				if len(in.batches[r.model.Name]) == 0 {
+					in.rotation = append(in.rotation, r.model.Name)
+				}
+				in.batches[r.model.Name] = append(in.batches[r.model.Name], r)
+			}
+			in.step()
+		})
+	}
+	if cur := in.eng.Current(); cur == nil || cur.Name != r.model.Name {
+		in.eng.SwitchTo(r.model, exec)
+		return
+	}
+	exec()
+}
+
+// runDecodeSlice advances the head decode batch for one scheduler slice.
+func (in *uInstance) runDecodeSlice() {
+	mName := in.nextDecodeModel()
+	m := in.sys.models[mName]
+	run := func() {
+		end := in.sys.eng.Now() + in.sys.cfg.DecodeSlice
+		in.decodeUntil(mName, end)
+	}
+	if cur := in.eng.Current(); cur == nil || cur.Name != mName {
+		in.eng.SwitchTo(m, run)
+		return
+	}
+	run()
+}
+
+func (in *uInstance) decodeUntil(mName string, end sim.Time) {
+	batch := in.batches[mName]
+	if len(batch) == 0 || in.sys.eng.Now() >= end {
+		// Rotate the model to the back and re-evaluate priorities.
+		if len(in.rotation) > 0 && in.rotation[0] == mName {
+			in.rotation = append(in.rotation[1:], mName)
+		}
+		in.step()
+		return
+	}
+	// In prefill-first mode, a queued prefill preempts mid-slice — the
+	// token-level granularity that causes TBT interference under bursts.
+	if in.sys.cfg.Mode == PrefillFirst && len(in.prefillQ) > 0 {
+		in.step()
+		return
+	}
+	var ctx int64
+	for _, r := range batch {
+		ctx += r.contextTokens()
+	}
+	in.eng.DecodeStep(ctx, func() {
+		now := in.sys.eng.Now()
+		kept := batch[:0]
+		for _, r := range batch {
+			r.tokenTimes = append(r.tokenTimes, now)
+			if len(r.tokenTimes) >= r.outputTokens {
+				r.done = true
+				in.sys.completed++
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		in.batches[mName] = kept
+		in.decodeUntil(mName, end)
+	})
+}
+
+// Finalize computes attainment.
+func (s *Unified) Finalize(end sim.Time) {
+	observeAll(s.tracker, s.cfg.SLO, s.requests, end)
+}
+
+// Attainment returns token-level SLO attainment.
+func (s *Unified) Attainment() float64 { return s.tracker.Attainment() }
+
+// Completed returns fully served requests.
+func (s *Unified) Completed() int { return s.completed }
+
+// Tracker exposes the SLO tracker.
+func (s *Unified) Tracker() *slo.Tracker { return s.tracker }
+
+var _ Server = (*Unified)(nil)

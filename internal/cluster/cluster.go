@@ -1,0 +1,159 @@
+// Package cluster implements the proxy layer of Fig. 5: a load-balancing
+// front end that dispatches multi-model requests to Aegaeon deployments
+// (one per parallelism configuration, as in the §7.5 production setup) and
+// synchronizes request metadata through the shared metadata store.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"aegaeon/internal/core"
+	"aegaeon/internal/engine"
+	"aegaeon/internal/latency"
+	"aegaeon/internal/metastore"
+	"aegaeon/internal/model"
+	"aegaeon/internal/sim"
+	"aegaeon/internal/slo"
+	"aegaeon/internal/workload"
+)
+
+// DeploymentConfig describes one Aegaeon deployment inside the cluster.
+type DeploymentConfig struct {
+	Name       string
+	TP         int
+	NumPrefill int
+	NumDecode  int
+	Models     []*model.Model
+}
+
+// Deployment is a running Aegaeon system plus its routing table entry.
+type Deployment struct {
+	Name   string
+	TP     int
+	System *core.System
+	models map[string]bool
+}
+
+// GPUs returns the GPU count the deployment occupies.
+func (d *Deployment) GPUs(cfg DeploymentConfig) int {
+	return (cfg.NumPrefill + cfg.NumDecode) * cfg.TP
+}
+
+// Config parameterizes the whole cluster.
+type Config struct {
+	Prof        *latency.Profile
+	SLO         slo.SLO
+	Deployments []DeploymentConfig
+	StoreRTT    time.Duration // metadata store round trip (default 1ms)
+}
+
+// Cluster is the proxy plus its deployments.
+type Cluster struct {
+	eng   *sim.Engine
+	cfg   Config
+	store *metastore.Store
+	deps  []*Deployment
+	route map[string]*Deployment // model name -> deployment
+}
+
+// New builds the cluster and its deployments.
+func New(se *sim.Engine, cfg Config) (*Cluster, error) {
+	if len(cfg.Deployments) == 0 {
+		return nil, fmt.Errorf("cluster: no deployments configured")
+	}
+	rtt := cfg.StoreRTT
+	if rtt == 0 {
+		rtt = time.Millisecond
+	}
+	c := &Cluster{
+		eng:   se,
+		cfg:   cfg,
+		store: metastore.New(se, rtt),
+		route: map[string]*Deployment{},
+	}
+	for _, dc := range cfg.Deployments {
+		sys := core.NewSystem(se, core.Config{
+			Prof:       cfg.Prof,
+			TP:         dc.TP,
+			Opts:       engine.AllOptimizations(),
+			NumPrefill: dc.NumPrefill,
+			NumDecode:  dc.NumDecode,
+			Models:     dc.Models,
+			SLO:        cfg.SLO,
+		})
+		dep := &Deployment{Name: dc.Name, TP: dc.TP, System: sys, models: map[string]bool{}}
+		for _, m := range dc.Models {
+			if prev, dup := c.route[m.Name]; dup {
+				return nil, fmt.Errorf("cluster: model %q in deployments %q and %q",
+					m.Name, prev.Name, dc.Name)
+			}
+			dep.models[m.Name] = true
+			c.route[m.Name] = dep
+			c.store.Set("route/"+m.Name, dc.Name)
+		}
+		c.deps = append(c.deps, dep)
+	}
+	return c, nil
+}
+
+// Store exposes the metadata store.
+func (c *Cluster) Store() *metastore.Store { return c.store }
+
+// Deployments returns the running deployments.
+func (c *Cluster) Deployments() []*Deployment { return c.deps }
+
+// Submit routes the trace through the proxy: each request's assignment is
+// recorded in the metadata store (status sync, Fig. 5 ①②⑥) and forwarded
+// to the owning deployment.
+func (c *Cluster) Submit(trace []workload.Request) error {
+	perDep := map[*Deployment][]workload.Request{}
+	for _, r := range trace {
+		dep, ok := c.route[r.Model]
+		if !ok {
+			return fmt.Errorf("cluster: no deployment serves model %q", r.Model)
+		}
+		perDep[dep] = append(perDep[dep], r)
+		r, dep := r, dep
+		c.eng.At(r.Arrival, func() {
+			c.store.Set("req/"+r.ID, dep.Name)
+		})
+	}
+	for dep, reqs := range perDep {
+		if err := dep.System.Submit(reqs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finalize finalizes all deployments at end.
+func (c *Cluster) Finalize(end sim.Time) {
+	for _, d := range c.deps {
+		d.System.Finalize(end)
+	}
+}
+
+// Attainment returns the request-weighted token attainment across
+// deployments.
+func (c *Cluster) Attainment() float64 {
+	var met, missed float64
+	for _, d := range c.deps {
+		m, x := d.System.Tracker().Tokens()
+		met += float64(m)
+		missed += float64(x)
+	}
+	if met+missed == 0 {
+		return 1
+	}
+	return met / (met + missed)
+}
+
+// Completed sums completions.
+func (c *Cluster) Completed() int {
+	n := 0
+	for _, d := range c.deps {
+		n += d.System.Completed()
+	}
+	return n
+}

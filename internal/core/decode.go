@@ -1,0 +1,686 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"aegaeon/internal/engine"
+	"aegaeon/internal/gpu"
+	"aegaeon/internal/kvcache"
+	"aegaeon/internal/memory"
+	"aegaeon/internal/model"
+	"aegaeon/internal/sim"
+	"aegaeon/internal/trace"
+)
+
+// dbatch is one decoding batch: same-model requests decoded together under
+// a per-round time quota (Algorithm 2).
+type dbatch struct {
+	model   string
+	reqs    []*Request
+	quota   time.Duration
+	lastRun sim.Time // most recent turn start (KV eviction LRU)
+}
+
+// hasGPUResidentKV reports whether any of the batch's sequences hold GPU KV.
+func (b *dbatch) hasGPUResidentKV() bool {
+	for _, r := range b.reqs {
+		if r.Seq != nil {
+			switch r.Seq.State() {
+			case kvcache.StateGPU, kvcache.StateSwappingIn:
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (b *dbatch) contextTokens() int64 {
+	var t int64
+	for _, r := range b.reqs {
+		t += r.ContextTokens()
+	}
+	return t
+}
+
+func (b *dbatch) projectedTokens() int64 {
+	var t int64
+	for _, r := range b.reqs {
+		t += r.ProjectedTokens()
+	}
+	return t
+}
+
+// decodeInstance implements the batched weighted round-robin decoding
+// scheduler of §4.3: a rotating work list of batches, rounds that assign
+// Eq. 2 quotas, and turns that decode each batch for its quota, preemptively
+// auto-scaling between models and exploiting the slack earned by early
+// tokens (buffered output, Fig. 3).
+type decodeInstance struct {
+	sys *System
+	eng *engine.Engine
+
+	workList []*dbatch
+	pending  []*Request
+	running  bool
+	dead     bool
+
+	resident *dbatch // batch whose sequences are (partially) GPU-resident
+	turnIdx  int
+	current  *dbatch // batch executing the current turn (nil between turns)
+
+	// Round parameters (Eqs. 2–3), kept so batches admitted mid-round can
+	// receive consistent quotas.
+	roundC      float64
+	roundAlpha  float64
+	roundSumInv float64
+
+	batchLimits map[string]int64
+}
+
+// dbgTurn is a test hook for turn-event tracing.
+var dbgTurn = func(*decodeInstance, string, *dbatch) {}
+
+func newDecodeInstance(s *System, e *engine.Engine) *decodeInstance {
+	return &decodeInstance{sys: s, eng: e, batchLimits: map[string]int64{}}
+}
+
+// load is the Algorithm 2 dispatch load: work-list size (plus not-yet-
+// admitted requests).
+func (d *decodeInstance) load() int { return len(d.workList) + len(d.pending) }
+
+// batchLimit returns the KV-capacity-derived maximum projected tokens for a
+// batch of the model (Algorithm 2 line 2).
+func (d *decodeInstance) batchLimit(modelName string) int64 {
+	if v, ok := d.batchLimits[modelName]; ok {
+		return v
+	}
+	m := d.sys.models[modelName]
+	shape := m.ShardKVShape(d.sys.cfg.TP)
+	class, err := d.eng.KV().GPUCache.RegisterShape(shape)
+	if err != nil {
+		panic("core: register shape: " + err.Error())
+	}
+	limit := int64(float64(d.eng.KV().GPUCache.MaxTokens(class)) * d.sys.cfg.KVHeadroom)
+	d.batchLimits[modelName] = limit
+	return limit
+}
+
+// hasRoomInModelBatch reports whether an open batch of r's model with KV
+// room exists on this instance (used to prefer co-locating same-model
+// requests across the pool).
+func (d *decodeInstance) hasRoomInModelBatch(r *Request) bool {
+	limit := d.batchLimit(r.Model.Name)
+	for _, b := range d.workList {
+		if b.model == r.Model.Name && b.projectedTokens()+r.ProjectedTokens() <= limit {
+			return true
+		}
+	}
+	for _, p := range d.pending {
+		if p.Model.Name == r.Model.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// enqueue admits a freshly prefilled request. If the currently executing
+// batch serves the same model and has room, the request joins it
+// immediately (continuous batching within the turn); otherwise it waits for
+// the next round's admission.
+func (d *decodeInstance) enqueue(r *Request) {
+	if d.dead {
+		// Crash recovery window: route elsewhere.
+		d.sys.dispatchDecode(r)
+		return
+	}
+	if d.current != nil && d.current.model == r.Model.Name &&
+		d.current.projectedTokens()+r.ProjectedTokens() <= d.batchLimit(r.Model.Name) {
+		d.current.reqs = append(d.current.reqs, r)
+		d.startSwapIn(r)
+		return
+	}
+	d.pending = append(d.pending, r)
+	d.wake()
+}
+
+func (d *decodeInstance) wake() {
+	if d.running || d.dead {
+		return
+	}
+	d.running = true
+	d.startRound()
+}
+
+// admitPending folds pending requests into the work list: join an existing
+// same-model batch with room, else open a new batch (FCFS).
+func (d *decodeInstance) admitPending() {
+	for _, r := range d.pending {
+		limit := d.batchLimit(r.Model.Name)
+		placed := false
+		for _, b := range d.workList {
+			if b.model == r.Model.Name && b.projectedTokens()+r.ProjectedTokens() <= limit {
+				b.reqs = append(b.reqs, r)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			d.workList = append(d.workList, &dbatch{model: r.Model.Name, reqs: []*Request{r}})
+		}
+	}
+	d.pending = d.pending[:0]
+}
+
+// reorder groups same-model batches adjacently, preserving first-occurrence
+// order (Algorithm 2 line 6).
+func (d *decodeInstance) reorder() {
+	var out []*dbatch
+	seen := map[string]bool{}
+	for i, b := range d.workList {
+		if seen[b.model] {
+			continue
+		}
+		seen[b.model] = true
+		out = append(out, b)
+		for _, b2 := range d.workList[i+1:] {
+			if b2.model == b.model {
+				out = append(out, b2)
+			}
+		}
+	}
+	d.workList = out
+}
+
+// computeQuotas assigns Eq. 2 quotas with the Eq. 3 attainment bound.
+func (d *decodeInstance) computeQuotas() {
+	if d.sys.cfg.FixedQuota {
+		d.roundC, d.roundAlpha, d.roundSumInv = 0, 0.5, 0
+		for _, b := range d.workList {
+			b.quota = d.sys.cfg.QMax
+		}
+		return
+	}
+	distinct := map[string]bool{}
+	for _, b := range d.workList {
+		distinct[b.model] = true
+	}
+	if len(distinct) <= 1 {
+		// No switching inside the round: decode each batch up to QMAX, then
+		// re-round to admit arrivals.
+		d.roundC, d.roundAlpha, d.roundSumInv = 0, 0.5, 0
+		for _, b := range d.workList {
+			b.quota = d.sys.cfg.QMax
+		}
+		return
+	}
+	// c is the round's total auto-scaling overhead (Eq. 2): the effective
+	// weight-switch cost per distinct model plus each batch's KV cache
+	// swap-out + swap-in transfer time — a turn must amortize bringing its
+	// batch's KV across PCIe in both directions.
+	var c float64
+	for m := range distinct {
+		c += d.eng.EffectiveSwitchCost(d.sys.models[m]).Seconds()
+	}
+	for _, b := range d.workList {
+		c += d.kvSwapCost(b).Seconds()
+	}
+	steps := make([]float64, len(d.workList))
+	tbts := make([]float64, len(d.workList))
+	for i, b := range d.workList {
+		steps[i] = d.eng.DecodeStepEstimate(d.sys.models[b.model], b.contextTokens()).Seconds()
+		tbts[i] = d.sys.sloFor(b.model).TBT.Seconds()
+	}
+	qmax := d.sys.cfg.QMax.Seconds()
+	_, alpha := eq2Quotas(c, qmax, tbts, steps)
+	sumInv := 0.0
+	for i, ti := range steps {
+		ni := tbts[i] / ti
+		if ni < 1.01 {
+			ni = 1.01
+		}
+		sumInv += 1 / ni
+	}
+	d.roundC, d.roundAlpha, d.roundSumInv = c, alpha, sumInv
+	for i, b := range d.workList {
+		ni := tbts[i] / steps[i]
+		if ni < 1.01 {
+			ni = 1.01
+		}
+		b.quota = d.quotaFor(ni, d.sys.models[b.model], b)
+	}
+}
+
+// prefetchHideFloor returns the minimum turn length that lets the rotation
+// hide the next model's prefetch: the largest Eq. 4 weight-load time among
+// the round's other models. Shorter turns would stall every switch on the
+// still-streaming prefetch, defeating the cheap effective switch cost the
+// quota formula assumes (§5.2: "the time slice for each turn often
+// completely hides the prefetching overhead").
+func (d *decodeInstance) prefetchHideFloor(cur string) float64 {
+	var worst time.Duration
+	seen := map[string]bool{cur: true}
+	for _, b := range d.workList {
+		if seen[b.model] {
+			continue
+		}
+		seen[b.model] = true
+		m := d.sys.models[b.model]
+		if d.eng.Options().Colocate && d.eng.IsResident(m) {
+			continue // resident: nothing to hide
+		}
+		if l := d.eng.CostFor(m).Switch(); l > worst {
+			worst = l
+		}
+	}
+	return worst.Seconds() * 1.05
+}
+
+// kvSwapCost estimates the PCIe time to move a batch's KV cache out and
+// back in across a preemption cycle.
+func (d *decodeInstance) kvSwapCost(b *dbatch) time.Duration {
+	m := d.sys.models[b.model]
+	bytes := m.ShardKVShape(d.sys.cfg.TP).BytesPerToken() * b.contextTokens()
+	return 2 * d.sys.cfg.Prof.PCIeCopy(bytes)
+}
+
+// quotaFor evaluates Eq. 2 for one batch given the round parameters. Two
+// clamps keep turns productive: a turn always fits at least one decoding
+// step, and it must amortize its own preemption cost (KV swap both ways
+// plus the model switch) at a healthy duty ratio — Eq. 2 alone can produce
+// arbitrarily small quotas when the α = 0.5 floor binds with small c,
+// which would let transfer overhead dominate the round.
+func (d *decodeInstance) quotaFor(ni float64, m *model.Model, b *dbatch) time.Duration {
+	q := d.roundC / (ni * (d.roundAlpha - d.roundSumInv))
+	step := d.eng.DecodeStepEstimate(m, b.contextTokens()).Seconds()
+	if q < step {
+		q = step
+	}
+	overhead := d.kvSwapCost(b).Seconds() + d.eng.EffectiveSwitchCost(m).Seconds()
+	if floor := 5 * overhead; q < floor {
+		q = floor
+	}
+	if floor := d.prefetchHideFloor(b.model); q < floor {
+		q = floor
+	}
+	if max := d.sys.cfg.QMax.Seconds(); q > max {
+		q = max
+	}
+	return time.Duration(q * float64(time.Second))
+}
+
+// startRound begins a new round (Algorithm 2 lines 5–8).
+func (d *decodeInstance) startRound() {
+	if d.dead {
+		d.running = false
+		return
+	}
+	// Drop exhausted batches.
+	kept := d.workList[:0]
+	for _, b := range d.workList {
+		if len(b.reqs) > 0 {
+			kept = append(kept, b)
+		}
+	}
+	d.workList = kept
+	d.admitPending()
+	if len(d.workList) == 0 {
+		d.running = false
+		return
+	}
+	d.reorder()
+	d.computeQuotas()
+	d.turnIdx = 0
+	d.runTurn()
+}
+
+// admitMidRound folds pending requests in at a turn boundary: same-model
+// requests join an existing batch with room; new models open batches
+// appended after the current turn index so they are served this round,
+// with Eq. 2 quotas from the round's parameters.
+func (d *decodeInstance) admitMidRound() {
+	if len(d.pending) == 0 {
+		return
+	}
+	for _, r := range d.pending {
+		limit := d.batchLimit(r.Model.Name)
+		placed := false
+		for _, b := range d.workList {
+			if b.model == r.Model.Name && b.projectedTokens()+r.ProjectedTokens() <= limit {
+				b.reqs = append(b.reqs, r)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			m := d.sys.models[r.Model.Name]
+			nb := &dbatch{model: r.Model.Name, reqs: []*Request{r}}
+			dTBT := d.sys.sloFor(r.Model.Name).TBT.Seconds()
+			ni := dTBT / d.eng.DecodeStepEstimate(m, nb.contextTokens()).Seconds()
+			if ni < 1.01 {
+				ni = 1.01
+			}
+			if d.roundAlpha <= d.roundSumInv {
+				nb.quota = d.sys.cfg.QMax
+			} else {
+				nb.quota = d.quotaFor(ni, m, nb)
+			}
+			d.workList = append(d.workList, nb)
+		}
+	}
+	d.pending = d.pending[:0]
+}
+
+// runTurn prepares and executes the turn for workList[turnIdx].
+func (d *decodeInstance) runTurn() {
+	if d.dead {
+		d.running = false
+		return
+	}
+	d.admitMidRound()
+	if d.turnIdx >= len(d.workList) {
+		d.startRound()
+		return
+	}
+	b := d.workList[d.turnIdx]
+	if len(b.reqs) == 0 {
+		d.turnIdx++
+		d.runTurn()
+		return
+	}
+
+	var outgoing []*gpu.Event
+	if d.resident != nil && d.resident != b {
+		outgoing = d.swapOutBatch(d.resident)
+		d.resident = nil
+	}
+
+	dbgTurn(d, "turn-prep", b)
+	proceed := func() {
+		d.resident = b
+		b.lastRun = d.eng.Sim().Now()
+		d.sys.tracer.Emitf(b.lastRun, trace.KindTurnStart, d.eng.Name, b.model,
+			"%d reqs, quota %.2fs", len(b.reqs), b.quota.Seconds())
+		m := d.sys.models[b.model]
+		if cur := d.eng.Current(); cur == nil || cur.Name != m.Name {
+			d.eng.SwitchTo(m, func() {
+				// Prefetch the rotation's next model once the DMA engine is
+				// clear; the turn's time slice hides it (§5.2).
+				d.prefetchUpcoming()
+				d.beginDecoding(b)
+			})
+			return
+		}
+		d.prefetchUpcoming()
+		d.beginDecoding(b)
+	}
+
+	if !d.eng.Options().FineGrainedSync && len(outgoing) > 0 {
+		// Blocking path: drain all outgoing transfers before touching the
+		// engine (the naive synchronization of §3.2).
+		start := d.eng.Sim().Now()
+		gpu.AfterAll(d.eng.Sim(), outgoing...).OnComplete(func() {
+			d.chargeWait(b, d.eng.Sim().Now()-start)
+			proceed()
+		})
+		return
+	}
+	proceed()
+}
+
+// swapOutBatch offloads every GPU-resident sequence of the batch, returning
+// the transfer events. If the unified CPU cache itself is exhausted (deep
+// overload: a large backlog of prefilled-but-undecoded requests pins host
+// memory), the sequence simply stays GPU-resident — it decodes on its
+// batch's next turn and host capacity recycles as requests complete.
+func (d *decodeInstance) swapOutBatch(b *dbatch) []*gpu.Event {
+	var evs []*gpu.Event
+	for _, r := range b.reqs {
+		if r.Seq != nil && r.Seq.State() == kvcache.StateGPU {
+			ev, err := d.eng.KV().SwapOut(r.Seq)
+			if err != nil {
+				if errors.Is(err, memory.ErrOutOfMemory) {
+					continue // backpressure: keep resident
+				}
+				panic("core: decode swap-out failed: " + err.Error())
+			}
+			evs = append(evs, ev)
+		}
+	}
+	return evs
+}
+
+// prefetchUpcoming prefetches the next different model in the rotation
+// (§5.2: the time slice of a turn often completely hides it).
+func (d *decodeInstance) prefetchUpcoming() {
+	cur := d.workList[d.turnIdx].model
+	for i := d.turnIdx + 1; i < len(d.workList); i++ {
+		if d.workList[i].model != cur {
+			d.eng.StartPrefetch(d.sys.models[d.workList[i].model])
+			return
+		}
+	}
+	// Wrap around to the round's start.
+	for i := 0; i < d.turnIdx; i++ {
+		if d.workList[i].model != cur {
+			d.eng.StartPrefetch(d.sys.models[d.workList[i].model])
+			return
+		}
+	}
+}
+
+// beginDecoding swaps the batch's sequences in and enters the step loop.
+func (d *decodeInstance) beginDecoding(b *dbatch) {
+	dbgTurn(d, "begin-decode", b)
+	d.current = b
+	var incoming []*gpu.Event
+	for _, r := range b.reqs {
+		if ev := d.swapInIfNeeded(r, b); ev != nil {
+			incoming = append(incoming, ev)
+		}
+	}
+	turnEnd := d.eng.Sim().Now() + b.quota
+	if !d.eng.Options().FineGrainedSync && len(incoming) > 0 {
+		start := d.eng.Sim().Now()
+		gpu.AfterAll(d.eng.Sim(), incoming...).OnComplete(func() {
+			d.chargeWait(b, d.eng.Sim().Now()-start)
+			d.stepLoop(b, turnEnd+d.eng.Sim().Now()-start, false)
+		})
+		return
+	}
+	d.stepLoop(b, turnEnd, false)
+}
+
+// startSwapIn issues a swap-in for a request joining the current batch
+// mid-turn.
+func (d *decodeInstance) startSwapIn(r *Request) { d.swapInIfNeeded(r, d.current) }
+
+// swapInIfNeeded brings r's KV toward the GPU for a turn of batch b. An
+// OOM first evicts the KV of the least-recently-run other batch (lazy
+// eviction), then retries — but only while b remains the executing batch:
+// unscoped retries would keep swapping in sequences for batches that
+// already rotated out, stealing KV from the running batch and collapsing
+// it into tiny decode subsets.
+func (d *decodeInstance) swapInIfNeeded(r *Request, b *dbatch) *gpu.Event {
+	if r.Seq == nil {
+		return nil
+	}
+	switch r.Seq.State() {
+	case kvcache.StateCPU, kvcache.StateSwappingOut:
+		ev, err := d.eng.KV().SwapIn(r.Seq)
+		if err != nil {
+			if errors.Is(err, memory.ErrOutOfMemory) {
+				d.evictKVFor(b)
+				d.eng.Sim().After(10*time.Millisecond, func() {
+					if !r.Done && b != nil && d.current == b {
+						d.swapInIfNeeded(r, b)
+					}
+				})
+				return nil
+			}
+			panic("core: decode swap-in failed: " + err.Error())
+		}
+		return ev
+	default:
+		return nil
+	}
+}
+
+// evictKVFor offloads the GPU KV of the least-recently-run batch other than
+// cur, freeing space for cur's swap-ins (blocks release as the offload
+// copies complete).
+func (d *decodeInstance) evictKVFor(cur *dbatch) {
+	var victim *dbatch
+	for _, b := range d.workList {
+		if b == cur || !b.hasGPUResidentKV() {
+			continue
+		}
+		if victim == nil || b.lastRun < victim.lastRun {
+			victim = b
+		}
+	}
+	if victim != nil {
+		d.sys.tracer.Emit(trace.Event{At: d.eng.Sim().Now(), Kind: trace.KindEvict,
+			Instance: d.eng.Name, Subject: victim.model})
+		d.swapOutBatch(victim)
+	}
+}
+
+// chargeWait attributes exposed transfer-wait time to every sequence in the
+// batch (data overhead, Fig. 14).
+func (d *decodeInstance) chargeWait(b *dbatch, w time.Duration) {
+	for _, r := range b.reqs {
+		if r.Seq != nil {
+			r.Seq.AddTransferWait(w)
+		}
+	}
+}
+
+// stepLoop runs decoding steps for the batch until its quota expires or the
+// batch drains. Only GPU-resident sequences decode (rule ❶); if none are
+// ready, the loop waits for the earliest swap-in to complete, accruing data
+// overhead (§5.3 step ⑥: cudaEventQuery per request, start as soon as one
+// is loaded).
+// stepped reports whether the turn has completed at least one decoding
+// step; a turn never ends before making progress (otherwise small quotas
+// combined with swap-in latency could rotate batches forever without
+// generating tokens).
+func (d *decodeInstance) stepLoop(b *dbatch, turnEnd sim.Time, stepped bool) {
+	if d.dead {
+		d.running = false
+		return
+	}
+	now := d.eng.Sim().Now()
+	if len(b.reqs) == 0 || (now >= turnEnd && stepped) {
+		d.endTurn()
+		return
+	}
+	var ready []*Request
+	var inflight []*gpu.Event
+	var waiting []*Request
+	for _, r := range b.reqs {
+		switch r.Seq.State() {
+		case kvcache.StateGPU:
+			ready = append(ready, r)
+		case kvcache.StateSwappingIn, kvcache.StateSwappingOut:
+			if ev := r.Seq.LastTransfer(); ev != nil && !ev.Query() {
+				inflight = append(inflight, ev)
+				waiting = append(waiting, r)
+			}
+		case kvcache.StateCPU:
+			// Swap-in previously deferred by OOM; try again.
+			if ev := d.swapInIfNeeded(r, b); ev != nil {
+				inflight = append(inflight, ev)
+				waiting = append(waiting, r)
+			}
+		}
+	}
+	if len(ready) == 0 {
+		if len(inflight) == 0 {
+			// Everything deferred by OOM retries; poll.
+			d.eng.Sim().After(10*time.Millisecond, func() {
+				d.stepLoop(b, turnEnd+10*time.Millisecond, stepped)
+			})
+			return
+		}
+		waitStart := now
+		earliestOnComplete(d.eng, inflight, func() {
+			w := d.eng.Sim().Now() - waitStart
+			for _, r := range waiting {
+				r.Seq.AddTransferWait(w)
+			}
+			// The readiness wait does not consume quota.
+			d.stepLoop(b, turnEnd+w, stepped)
+		})
+		return
+	}
+	// Grow each ready sequence by the token this step will produce.
+	var ctx int64
+	stepReqs := make([]*Request, 0, len(ready))
+	for _, r := range ready {
+		if err := d.eng.KV().AppendTokens(r.Seq, 1); err != nil {
+			if errors.Is(err, memory.ErrOutOfMemory) {
+				continue // skip this step; capacity frees as others finish
+			}
+			panic("core: append token: " + err.Error())
+		}
+		stepReqs = append(stepReqs, r)
+		ctx += r.ContextTokens()
+	}
+	if len(stepReqs) == 0 {
+		// KV full: end the turn so the batch rotates out and frees space.
+		d.endTurn()
+		return
+	}
+	stepStart := d.eng.Sim().Now()
+	d.eng.DecodeStep(ctx, func() {
+		stepDur := d.eng.Sim().Now() - stepStart
+		finishedAny := false
+		for _, r := range stepReqs {
+			r.TokenTimes = append(r.TokenTimes, d.eng.Sim().Now())
+			r.decodeExec += stepDur
+			if len(r.TokenTimes) >= r.OutputTokens {
+				if err := d.eng.KV().Free(r.Seq); err != nil {
+					panic("core: free finished sequence: " + err.Error())
+				}
+				d.sys.finishRequest(r)
+				finishedAny = true
+			}
+		}
+		if finishedAny {
+			kept := b.reqs[:0]
+			for _, r := range b.reqs {
+				if !r.Done {
+					kept = append(kept, r)
+				}
+			}
+			b.reqs = kept
+		}
+		d.stepLoop(b, turnEnd, true)
+	})
+}
+
+func (d *decodeInstance) endTurn() {
+	dbgTurn(d, "end-turn", d.current)
+	if d.current != nil {
+		d.sys.tracer.Emit(trace.Event{At: d.eng.Sim().Now(), Kind: trace.KindTurnEnd,
+			Instance: d.eng.Name, Subject: d.current.model})
+	}
+	d.current = nil
+	d.turnIdx++
+	d.runTurn()
+}
+
+// earliestOnComplete fires fn when the first of the events completes.
+func earliestOnComplete(e *engine.Engine, evs []*gpu.Event, fn func()) {
+	fired := false
+	once := func() {
+		if !fired {
+			fired = true
+			fn()
+		}
+	}
+	for _, ev := range evs {
+		ev.OnComplete(once)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"aegaeon/internal/trace"
+)
+
+// Fault tolerance (Fig. 5: the proxy layer's metadata sync exists "to
+// ensure load balancing and fault tolerance"). An instance crash loses its
+// VRAM contents — resident model weights and GPU KV cache — but not the
+// unified CPU KV cache, which lives in host memory. Recovery re-dispatches
+// the instance's requests:
+//
+//   - a sequence resident in (or swapping out to) the CPU tier resumes
+//     decoding on a surviving instance;
+//   - a sequence whose only copy was in the dead instance's VRAM is
+//     recomputed: the request re-enters the prefill phase with its full
+//     context (prompt plus already-delivered tokens) and continues decoding
+//     where it left off. Already-delivered tokens are never re-emitted.
+
+// FailDecodeInstance simulates a crash of decoding instance idx at the
+// current virtual time and re-dispatches its requests. Returns the number
+// of requests recovered via CPU KV and via recompute, respectively.
+func (s *System) FailDecodeInstance(idx int) (resumed, recomputed int, err error) {
+	if idx < 0 || idx >= len(s.decodes) {
+		return 0, 0, fmt.Errorf("core: no decode instance %d", idx)
+	}
+	d := s.decodes[idx]
+	if d.dead {
+		return 0, 0, fmt.Errorf("core: decode instance %d already failed", idx)
+	}
+	d.dead = true
+	s.tracer.Emit(trace.Event{At: s.eng.Now(), Kind: trace.KindFailure, Instance: d.eng.Name})
+
+	// Collect every request owned by the instance.
+	var owned []*Request
+	seen := map[*Request]bool{}
+	for _, b := range d.workList {
+		for _, r := range b.reqs {
+			if !r.Done && !seen[r] {
+				seen[r] = true
+				owned = append(owned, r)
+			}
+		}
+	}
+	for _, r := range d.pending {
+		if !r.Done && !seen[r] {
+			seen[r] = true
+			owned = append(owned, r)
+		}
+	}
+	d.workList = nil
+	d.pending = nil
+	d.current = nil
+	d.resident = nil
+	d.running = false
+
+	for _, r := range owned {
+		if s.recoverRequest(r) {
+			resumed++
+		} else {
+			recomputed++
+		}
+	}
+	return resumed, recomputed, nil
+}
+
+// FailPrefillInstance simulates a crash of prefill instance idx: queued
+// jobs are re-dispatched; the in-flight prefill (if any) is recomputed
+// elsewhere. Returns the number of re-dispatched requests.
+func (s *System) FailPrefillInstance(idx int) (int, error) {
+	if idx < 0 || idx >= len(s.prefills) {
+		return 0, fmt.Errorf("core: no prefill instance %d", idx)
+	}
+	p := s.prefills[idx]
+	if p.dead {
+		return 0, fmt.Errorf("core: prefill instance %d already failed", idx)
+	}
+	p.dead = true
+	s.tracer.Emit(trace.Event{At: s.eng.Now(), Kind: trace.KindFailure, Instance: p.eng.Name})
+	var owned []*Request
+	for _, g := range p.queue {
+		owned = append(owned, g.reqs...)
+	}
+	if p.inflight != nil && !p.inflight.Done {
+		owned = append(owned, p.inflight)
+	}
+	p.queue = nil
+	p.running = false
+	for _, r := range owned {
+		if r.Seq != nil {
+			// Whatever KV the dead instance built is gone; recovery-time
+			// bookkeeping only.
+			r.Seq.Abandon()
+			r.Seq = nil
+		}
+		s.dispatchPrefill(r)
+	}
+	return len(owned), nil
+}
+
+// recoverRequest routes a request from a dead decoding instance. Returns
+// true if its KV survived in the CPU tier (resume), false if it must be
+// recomputed via prefill.
+func (s *System) recoverRequest(r *Request) bool {
+	if r.Seq != nil && r.Seq.SurvivesHostOnly() {
+		s.dispatchDecode(r)
+		return true
+	}
+	if r.Seq != nil {
+		r.Seq.Abandon()
+		r.Seq = nil
+	}
+	s.dispatchPrefill(r)
+	return false
+}
+
+// AliveDecodeInstances returns the number of non-failed decoding instances.
+func (s *System) AliveDecodeInstances() int {
+	n := 0
+	for _, d := range s.decodes {
+		if !d.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// AlivePrefillInstances returns the number of non-failed prefill instances.
+func (s *System) AlivePrefillInstances() int {
+	n := 0
+	for _, p := range s.prefills {
+		if !p.dead {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"aegaeon/internal/engine"
+	"aegaeon/internal/model"
+	"aegaeon/internal/sim"
+	"aegaeon/internal/workload"
+)
+
+func failoverFixture(t *testing.T, nPrefill, nDecode int) (*System, *sim.Engine, []workload.Request) {
+	t.Helper()
+	models := model.MarketMix(6)
+	var names []string
+	for _, m := range models {
+		names = append(names, m.Name)
+	}
+	rng := rand.New(rand.NewSource(9))
+	trace := workload.PoissonTrace(rng, names, 0.1, 120*time.Second, workload.ShareGPT())
+	se := sim.NewEngine(1)
+	sys := NewSystem(se, testConfig(models, engine.AllOptimizations(), nPrefill, nDecode))
+	if err := sys.Submit(trace); err != nil {
+		t.Fatal(err)
+	}
+	return sys, se, trace
+}
+
+func TestDecodeInstanceCrashRecovery(t *testing.T) {
+	sys, se, trace := failoverFixture(t, 1, 3)
+	var resumed, recomputed int
+	se.At(45*time.Second, func() {
+		var err error
+		resumed, recomputed, err = sys.FailDecodeInstance(1)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	se.Run()
+	sys.Finalize(se.Now())
+	if sys.AliveDecodeInstances() != 2 {
+		t.Fatalf("alive decode instances = %d", sys.AliveDecodeInstances())
+	}
+	if sys.Completed() != len(trace) {
+		t.Fatalf("completed %d/%d after crash", sys.Completed(), len(trace))
+	}
+	if resumed+recomputed == 0 {
+		t.Fatal("crash at t=45s recovered zero requests — instance was idle?")
+	}
+	// Every request still has exactly its OutputTokens tokens, no more
+	// (no double emission through recompute).
+	for _, r := range sys.Requests() {
+		if len(r.TokenTimes) != r.OutputTokens {
+			t.Fatalf("request %s has %d tokens, want %d", r.ID, len(r.TokenTimes), r.OutputTokens)
+		}
+	}
+	// Attainment takes a hit but the system survives.
+	if att := sys.Attainment(); att < 0.5 {
+		t.Fatalf("post-crash attainment = %.3f", att)
+	}
+}
+
+func TestPrefillInstanceCrashRecovery(t *testing.T) {
+	sys, se, trace := failoverFixture(t, 2, 2)
+	se.At(30*time.Second, func() {
+		if _, err := sys.FailPrefillInstance(0); err != nil {
+			t.Error(err)
+		}
+	})
+	se.Run()
+	sys.Finalize(se.Now())
+	if sys.AlivePrefillInstances() != 1 {
+		t.Fatalf("alive prefill instances = %d", sys.AlivePrefillInstances())
+	}
+	if sys.Completed() != len(trace) {
+		t.Fatalf("completed %d/%d after prefill crash", sys.Completed(), len(trace))
+	}
+	for _, r := range sys.Requests() {
+		if len(r.TokenTimes) != r.OutputTokens {
+			t.Fatalf("request %s has %d tokens, want %d", r.ID, len(r.TokenTimes), r.OutputTokens)
+		}
+		for i := 1; i < len(r.TokenTimes); i++ {
+			if r.TokenTimes[i] < r.TokenTimes[i-1] {
+				t.Fatalf("request %s token times not monotone after recovery", r.ID)
+			}
+		}
+	}
+}
+
+func TestDoubleFailureRejected(t *testing.T) {
+	sys, se, _ := failoverFixture(t, 1, 2)
+	se.At(10*time.Second, func() {
+		if _, _, err := sys.FailDecodeInstance(0); err != nil {
+			t.Error(err)
+		}
+		if _, _, err := sys.FailDecodeInstance(0); err == nil {
+			t.Error("double failure accepted")
+		}
+		if _, _, err := sys.FailDecodeInstance(99); err == nil {
+			t.Error("out-of-range failure accepted")
+		}
+	})
+	se.Run()
+}
+
+func TestCascadingDecodeFailures(t *testing.T) {
+	// Fail 2 of 3 decode instances at different times; the last one must
+	// finish everything.
+	sys, se, trace := failoverFixture(t, 1, 3)
+	se.At(30*time.Second, func() { _, _, _ = sys.FailDecodeInstance(0) })
+	se.At(60*time.Second, func() { _, _, _ = sys.FailDecodeInstance(2) })
+	se.Run()
+	sys.Finalize(se.Now())
+	if sys.Completed() != len(trace) {
+		t.Fatalf("completed %d/%d after cascading failures", sys.Completed(), len(trace))
+	}
+	if sys.AliveDecodeInstances() != 1 {
+		t.Fatalf("alive = %d", sys.AliveDecodeInstances())
+	}
+}

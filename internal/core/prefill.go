@@ -1,0 +1,227 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"aegaeon/internal/engine"
+	"aegaeon/internal/kvcache"
+	"aegaeon/internal/memory"
+	"aegaeon/internal/sim"
+	"aegaeon/internal/trace"
+)
+
+// group is one prefill scheduling unit of Algorithm 1: up to MAX_GPSIZE
+// same-model jobs served back to back to amortize a model switch.
+type group struct {
+	model string
+	reqs  []*Request
+	size  int // cumulative admissions — never decremented (Algorithm 1 note)
+}
+
+// prefillInstance runs Algorithm 1's execution event: one request at a time
+// (batch size 1, §4.2) from the front group of its job queue, preemptively
+// auto-scaling when the front group's model differs from the resident one.
+type prefillInstance struct {
+	sys *System
+	eng *engine.Engine
+
+	queue    []*group
+	running  bool
+	dead     bool
+	inflight *Request // job currently prefilling (crash recovery)
+}
+
+func newPrefillInstance(s *System, e *engine.Engine) *prefillInstance {
+	return &prefillInstance{sys: s, eng: e}
+}
+
+// tryJoinGroup implements Algorithm 1 lines 4–8: admit r into an existing
+// group of its model that has not reached MAX_GPSIZE (cumulative size, so
+// FCFS order is not violated by endless joins).
+func (p *prefillInstance) tryJoinGroup(r *Request) bool {
+	for _, g := range p.queue {
+		if g.model == r.Model.Name && g.size < p.sys.cfg.MaxGroupSize {
+			g.reqs = append(g.reqs, r)
+			g.size++
+			p.wake()
+			return true
+		}
+	}
+	return false
+}
+
+// newGroup appends a fresh group for r (Algorithm 1 line 13).
+func (p *prefillInstance) newGroup(r *Request) {
+	p.queue = append(p.queue, &group{model: r.Model.Name, reqs: []*Request{r}, size: 1})
+	p.wake()
+}
+
+// load estimates the total time to finish all pending groups: model
+// switches plus per-request prefill execution (Appendix A.2).
+func (p *prefillInstance) load() time.Duration {
+	var total time.Duration
+	prev := ""
+	if cur := p.eng.Current(); cur != nil {
+		prev = cur.Name
+	}
+	for _, g := range p.queue {
+		m := p.sys.models[g.model]
+		if g.model != prev {
+			total += p.eng.CostFor(m).Switch()
+			prev = g.model
+		}
+		for _, r := range g.reqs {
+			total += p.eng.PrefillEstimate(m, r.InputTokens)
+		}
+	}
+	return total
+}
+
+func (p *prefillInstance) wake() {
+	if p.running || p.dead {
+		return
+	}
+	p.running = true
+	p.step()
+}
+
+// step serves the next job from the front group (Algorithm 1 line 15).
+func (p *prefillInstance) step() {
+	if p.dead {
+		p.running = false
+		return
+	}
+	p.inflight = nil
+	for len(p.queue) > 0 && len(p.queue[0].reqs) == 0 {
+		p.queue = p.queue[1:]
+	}
+	if len(p.queue) == 0 {
+		p.running = false
+		return
+	}
+	g := p.queue[0]
+	m := p.sys.models[g.model]
+	if cur := p.eng.Current(); cur == nil || cur.Name != m.Name {
+		// Preemptive scale-up for the front group. The next group's model is
+		// prefetched only after the on-demand load completes, so the
+		// prefetch overlaps this group's execution instead of delaying the
+		// load on the DMA engine.
+		p.sys.tracer.Emit(trace.Event{At: p.eng.Sim().Now(), Kind: trace.KindSwitchStart,
+			Instance: p.eng.Name, Subject: m.Name})
+		p.eng.SwitchTo(m, func() {
+			p.sys.tracer.Emit(trace.Event{At: p.eng.Sim().Now(), Kind: trace.KindSwitchDone,
+				Instance: p.eng.Name, Subject: m.Name})
+			p.prefetchNext(1)
+			p.step()
+		})
+		return
+	}
+	r := g.reqs[0]
+	g.reqs = g.reqs[1:]
+	p.inflight = r // owned by this instance until completion (crash recovery)
+	p.runPrefill(r, 0)
+}
+
+// prefetchNext prefetches the model of queue[idx] if it differs from the
+// front group's model.
+func (p *prefillInstance) prefetchNext(idx int) {
+	if idx >= len(p.queue) {
+		return
+	}
+	next := p.queue[idx].model
+	if next != p.queue[0].model {
+		p.eng.StartPrefetch(p.sys.models[next])
+	}
+}
+
+// runPrefill executes one prefill job: allocate the sequence's GPU KV, run
+// the forward pass, emit the first token, start the KV swap-out to the
+// unified CPU cache, and hand the request to the decoding partition.
+func (p *prefillInstance) runPrefill(r *Request, attempt int) {
+	if p.dead {
+		return
+	}
+	p.inflight = r
+	// Recovered requests recompute their whole context (prompt plus tokens
+	// already delivered before the crash).
+	ctx := r.InputTokens + r.Generated()
+	seq, err := p.eng.KV().NewSequence(r.ID, r.Model.ShardKVShape(p.sys.cfg.TP), ctx+1)
+	if err != nil {
+		if errors.Is(err, memory.ErrOutOfMemory) && attempt < 1000 {
+			// GPU KV is transiently full of still-offloading sequences;
+			// retry shortly.
+			p.eng.Sim().After(10*time.Millisecond, func() { p.runPrefill(r, attempt+1) })
+			return
+		}
+		panic("core: prefill KV allocation failed: " + err.Error())
+	}
+	r.Seq = seq
+	r.prefillStart = p.eng.Sim().Now()
+	p.sys.tracer.Emit(trace.Event{At: r.prefillStart, Kind: trace.KindPrefillStart,
+		Instance: p.eng.Name, Subject: r.ID})
+	p.prefetchNextIfGroupEnding()
+	p.eng.Prefill(ctx, func() {
+		if p.dead {
+			return // the request was re-dispatched by crash recovery
+		}
+		p.inflight = nil
+		now := p.eng.Sim().Now()
+		p.sys.tracer.Emit(trace.Event{At: now, Kind: trace.KindPrefillDone,
+			Instance: p.eng.Name, Subject: r.ID})
+		r.prefillEnd = now
+		if r.Generated() == 0 {
+			r.TokenTimes = append(r.TokenTimes, now) // token 0
+		}
+		if r.RemainingTokens() <= 0 {
+			// Nothing to decode: the request is complete.
+			if err := p.eng.KV().Free(seq); err != nil {
+				panic("core: free after single-token request: " + err.Error())
+			}
+			p.sys.finishRequest(r)
+			p.step()
+			return
+		}
+		// Offload the prefilled KV (P→C in Fig. 10) and disaggregate.
+		p.handoff(r, seq, now)
+	})
+}
+
+// handoff offloads the prefilled sequence to the unified CPU cache and
+// dispatches the request to the decoding partition. A full CPU cache (deep
+// overload backpressure) retries: the prefill instance stalls rather than
+// dropping KV, and host capacity recycles as decoding completes requests.
+func (p *prefillInstance) handoff(r *Request, seq *kvcache.Sequence, prefillEnd sim.Time) {
+	if p.dead {
+		return
+	}
+	if _, err := p.eng.KV().SwapOut(seq); err != nil {
+		if errors.Is(err, memory.ErrOutOfMemory) {
+			p.eng.Sim().After(50*time.Millisecond, func() { p.handoff(r, seq, prefillEnd) })
+			return
+		}
+		panic("core: prefill swap-out failed: " + err.Error())
+	}
+	if p.eng.Options().FineGrainedSync {
+		p.sys.dispatchDecode(r)
+		p.step()
+		return
+	}
+	// Blocking path: the handoff waits for the full transfer.
+	seq.LastTransfer().OnComplete(func() {
+		seq.AddTransferWait(p.eng.Sim().Now() - prefillEnd)
+		p.sys.dispatchDecode(r)
+	})
+	seq.LastTransfer().OnComplete(p.step)
+}
+
+// prefetchNextIfGroupEnding overlaps the next group's weight load with the
+// tail of the current group's execution.
+func (p *prefillInstance) prefetchNextIfGroupEnding() {
+	if len(p.queue) > 0 && len(p.queue[0].reqs) == 0 {
+		p.prefetchNext(1)
+	}
+}
+
+// queueLen returns the number of pending groups (diagnostics).
+func (p *prefillInstance) queueLen() int { return len(p.queue) }

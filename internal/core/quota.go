@@ -1,0 +1,57 @@
+package core
+
+import "math"
+
+// eq2Quotas evaluates the decoding-phase quota formulas of §4.3 in their
+// pure form:
+//
+//	n_k = d_k / t_k
+//	α   = max( c / (min_k(n_k)·QMAX) + Σ_k 1/n_k , 0.5 )            (Eq. 3)
+//	q_i = c / ( n_i · (α − Σ_k 1/n_k) )                             (Eq. 2)
+//
+// where d_k is batch k's TBT target, t_k its decode-step estimate, c the
+// round's total auto-scaling overhead, and QMAX the quota ceiling. The
+// paper states the formulas for a uniform TBT d; passing per-batch d_k
+// generalizes them to heterogeneous per-model SLOs (each batch's buffered
+// window scales with its own deadline). The returned alpha's reciprocal is
+// the round's estimated SLO attainment.
+//
+// Degenerate inputs are clamped: t_k > d_k (the SLO is unmeetable for that
+// batch) clamps n_k slightly above 1 so the round still schedules it.
+func eq2Quotas(c, qmax float64, d, t []float64) (q []float64, alpha float64) {
+	if len(d) != len(t) {
+		panic("core: eq2Quotas deadline/step length mismatch")
+	}
+	n := make([]float64, len(t))
+	sumInv := 0.0
+	minN := math.Inf(1)
+	for i, ti := range t {
+		ni := d[i] / ti
+		if ni < 1.01 {
+			ni = 1.01
+		}
+		n[i] = ni
+		sumInv += 1 / ni
+		if ni < minN {
+			minN = ni
+		}
+	}
+	alpha = c/(minN*qmax) + sumInv
+	if alpha < 0.5 {
+		alpha = 0.5
+	}
+	q = make([]float64, len(t))
+	for i := range t {
+		q[i] = c / (n[i] * (alpha - sumInv))
+	}
+	return q, alpha
+}
+
+// uniform returns a slice of n copies of v (the paper's single-SLO case).
+func uniform(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+// Package core implements Aegaeon's contribution: the token-level scheduler
+// of §4 — grouped-FCFS prefill scheduling (Algorithm 1), weighted
+// round-robin decoding scheduling with analytic time quotas (Algorithm 2,
+// Eqs. 2–3), prefill/decoding disaggregation, and the dispatch policies that
+// tie them to preemptive auto-scaling.
+package core
+
+import (
+	"time"
+
+	"aegaeon/internal/kvcache"
+	"aegaeon/internal/model"
+	"aegaeon/internal/sim"
+	"aegaeon/internal/workload"
+)
+
+// Request is the runtime state of one inference request inside the system.
+type Request struct {
+	ID    string
+	Model *model.Model
+
+	Arrival      sim.Time
+	InputTokens  int
+	OutputTokens int // total tokens to produce, including the first
+
+	// TokenTimes[i] is the completion time of token i. Token 0 is produced
+	// by prefill; tokens 1..OutputTokens-1 by decoding steps.
+	TokenTimes []sim.Time
+
+	Seq  *kvcache.Sequence
+	Done bool
+
+	// Latency breakdown bookkeeping (Fig. 14).
+	prefillStart sim.Time
+	prefillEnd   sim.Time
+	decodeExec   time.Duration
+	finished     sim.Time
+}
+
+func newRequest(wr workload.Request, m *model.Model) *Request {
+	return &Request{
+		ID:           wr.ID,
+		Model:        m,
+		Arrival:      wr.Arrival,
+		InputTokens:  wr.InputTokens,
+		OutputTokens: wr.OutputTokens,
+	}
+}
+
+// Generated returns the number of tokens produced so far.
+func (r *Request) Generated() int { return len(r.TokenTimes) }
+
+// RemainingTokens returns how many tokens are still to be produced.
+func (r *Request) RemainingTokens() int { return r.OutputTokens - len(r.TokenTimes) }
+
+// ContextTokens returns the current attention context length (prompt plus
+// generated tokens), which drives the Eq. 6 decode cost.
+func (r *Request) ContextTokens() int64 {
+	return int64(r.InputTokens + len(r.TokenTimes))
+}
+
+// ProjectedTokens returns the KV footprint in tokens the request will reach
+// by completion — used for capacity-derived batch limits (Algorithm 2).
+func (r *Request) ProjectedTokens() int64 {
+	return int64(r.InputTokens + r.OutputTokens)
+}

@@ -1,0 +1,426 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"aegaeon/internal/engine"
+	"aegaeon/internal/kvcache"
+	"aegaeon/internal/latency"
+	"aegaeon/internal/memory"
+	"aegaeon/internal/metrics"
+	"aegaeon/internal/model"
+	"aegaeon/internal/sim"
+	"aegaeon/internal/slo"
+	"aegaeon/internal/trace"
+	"aegaeon/internal/workload"
+)
+
+// Config parameterizes a full Aegaeon serving system.
+type Config struct {
+	Prof *latency.Profile
+	TP   int
+	Opts engine.Options
+
+	NumPrefill int
+	NumDecode  int
+
+	Models []*model.Model // the market; host cache is pre-warmed with them
+	SLO    slo.SLO
+	// ModelSLOs optionally overrides the SLO per model name (an extension
+	// beyond the paper, which gives all requests to one model identical
+	// SLOs and all models the same targets in evaluation).
+	ModelSLOs map[string]slo.SLO
+
+	// Scheduler constants (§4.2, §4.3).
+	MaxGroupSize int           // MAX_GPSIZE, default 8
+	QMax         time.Duration // QMAX, default 4s
+
+	// Memory geometry. Zero values are auto-derived from the profile and
+	// model set.
+	WeightsRegionBytes int64
+	KVRegionBytes      int64
+	KVSlabBytes        int64
+	BlockTokens        int
+	HostDRAMBytes      int64
+
+	// KVHeadroom is the fraction of the GPU KV region the batch-size
+	// derivation may plan to fill (default 0.9).
+	KVHeadroom float64
+
+	// NodeGPUs is the number of GPUs per physical node (default 8, §7.1);
+	// host-memory capacity scales with the node count the pool spans.
+	NodeGPUs int
+
+	// Tracer, when non-nil, records structured scheduler events (arrivals,
+	// switches, turns, swaps, completions) into a ring buffer.
+	Tracer *trace.Tracer
+
+	// FixedQuota disables the Eq. 2 quota formula and gives every decoding
+	// batch a flat QMax turn — the ablation for §4.3's weighted scheme.
+	FixedQuota bool
+
+	DaemonPoll time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.TP < 1 {
+		c.TP = 1
+	}
+	if c.MaxGroupSize <= 0 {
+		c.MaxGroupSize = 8
+	}
+	if c.QMax <= 0 {
+		c.QMax = 4 * time.Second
+	}
+	if c.BlockTokens <= 0 {
+		c.BlockTokens = 16
+	}
+	if c.KVSlabBytes <= 0 {
+		c.KVSlabBytes = 64 << 20
+	}
+	if c.KVHeadroom <= 0 || c.KVHeadroom > 1 {
+		c.KVHeadroom = 0.9
+	}
+	if c.HostDRAMBytes <= 0 {
+		c.HostDRAMBytes = 2 << 40 // §7.1: 2 TB per node
+	}
+	if c.NodeGPUs <= 0 {
+		c.NodeGPUs = 8 // §7.1: eight GPUs per node
+	}
+	if c.WeightsRegionBytes == 0 || c.KVRegionBytes == 0 {
+		usable := int64(float64(c.Prof.VRAMBytes) * 0.9) // §5.2: ~10% left to the tensor library
+		var maxShard int64
+		for _, m := range c.Models {
+			if s := m.ShardWeightBytes(c.TP); s > maxShard {
+				maxShard = s
+			}
+		}
+		weights := maxShard + maxShard/16 // headroom for alignment
+		if c.Opts.Colocate {
+			// Colocation sizes the weights region for about three resident
+			// models — enough to amortize switches between the hot set
+			// without starving the KV cache (more residents would trade KV
+			// capacity for little extra switch savings; see the §8
+			// ablation).
+			w := 3*maxShard + maxShard/8
+			if max := usable - usable*15/100; w > max {
+				w = max
+			}
+			if w < weights {
+				w = weights // at least one model must fit
+			}
+			if c.WeightsRegionBytes == 0 {
+				c.WeightsRegionBytes = w
+			}
+			if c.KVRegionBytes == 0 {
+				c.KVRegionBytes = usable - c.WeightsRegionBytes
+				if c.KVRegionBytes < c.KVSlabBytes {
+					panic(fmt.Sprintf("core: no VRAM left for KV cache under colocation (weights %d, usable %d)",
+						c.WeightsRegionBytes, usable))
+				}
+			}
+			return
+		}
+		// Prefetch needs room for a second resident model, but never at the
+		// cost of starving the KV cache: require at least max(4 GiB, 8% of
+		// usable VRAM) left for KV afterwards (§7.4 disables prefetching on
+		// A10s for the same reason).
+		minKV := int64(float64(usable) * 0.08)
+		if minKV < 4<<30 {
+			minKV = 4 << 30
+		}
+		if c.Opts.Prefetch && usable-(2*weights+weights/8) >= minKV {
+			weights = 2*weights + weights/8 // room for a prefetched second model
+		} else {
+			c.Opts.Prefetch = false
+		}
+		if c.WeightsRegionBytes == 0 {
+			c.WeightsRegionBytes = weights
+		}
+		if c.KVRegionBytes == 0 {
+			c.KVRegionBytes = usable - c.WeightsRegionBytes
+			if c.KVRegionBytes < c.KVSlabBytes {
+				panic(fmt.Sprintf("core: no VRAM left for KV cache (weights %d, usable %d)",
+					c.WeightsRegionBytes, usable))
+			}
+		}
+	}
+}
+
+// System is one Aegaeon deployment: a pool of prefill and decoding
+// instances sharing a host model cache and unified CPU KV cache.
+type System struct {
+	eng *sim.Engine
+	cfg Config
+
+	modelCache *memory.ModelCache
+	cpuKV      *kvcache.Cache
+	models     map[string]*model.Model
+
+	prefills []*prefillInstance
+	decodes  []*decodeInstance
+
+	tracker   *slo.Tracker
+	tracer    *trace.Tracer
+	breakdown *metrics.Breakdown
+	requests  []*Request
+	completed int
+
+	// Per-request decode waiting is derived at finish time.
+	kvSyncPerReq metrics.CDF // Fig. 15 right
+}
+
+// NewSystem builds a system on the simulation engine.
+func NewSystem(se *sim.Engine, cfg Config) *System {
+	cfg.applyDefaults()
+	if cfg.NumPrefill < 1 || cfg.NumDecode < 1 {
+		panic("core: need at least one prefill and one decode instance")
+	}
+	// The pool spans ceil(totalGPUs / NodeGPUs) physical nodes; the model
+	// cache and unified CPU KV cache aggregate their DRAM (Fig. 5 shows one
+	// per node; we model the union, with KV transfers treated as intra-node).
+	totalGPUs := (cfg.NumPrefill + cfg.NumDecode) * cfg.TP
+	nodes := (totalGPUs + cfg.NodeGPUs - 1) / cfg.NodeGPUs
+	if nodes < 1 {
+		nodes = 1
+	}
+	dram := cfg.HostDRAMBytes * int64(nodes)
+	s := &System{
+		eng:        se,
+		cfg:        cfg,
+		modelCache: memory.NewModelCache(int64(float64(dram) * 0.6)),
+		cpuKV: kvcache.NewCache("cpu-kv", int64(float64(dram)*0.3),
+			cfg.KVSlabBytes, cfg.BlockTokens),
+		models:    map[string]*model.Model{},
+		tracker:   slo.NewTracker(),
+		tracer:    cfg.Tracer,
+		breakdown: &metrics.Breakdown{},
+	}
+	for _, m := range cfg.Models {
+		s.models[m.Name] = m
+		// Pre-warm the host model cache (best effort; misses fall back to
+		// the remote registry path).
+		_ = s.modelCache.Insert(m.Name, m.WeightBytes())
+	}
+	mkEngine := func(name string) *engine.Engine {
+		return engine.New(se, name, engine.Config{
+			Prof:               cfg.Prof,
+			TP:                 cfg.TP,
+			Opts:               cfg.Opts,
+			WeightsRegionBytes: cfg.WeightsRegionBytes,
+			KVRegionBytes:      cfg.KVRegionBytes,
+			KVSlabBytes:        cfg.KVSlabBytes,
+			BlockTokens:        cfg.BlockTokens,
+			ModelCache:         s.modelCache,
+			CPUKV:              s.cpuKV,
+			DaemonPoll:         cfg.DaemonPoll,
+		})
+	}
+	for i := 0; i < cfg.NumPrefill; i++ {
+		e := mkEngine(fmt.Sprintf("prefill%d", i))
+		e.WarmBoot() // instances are long-running; experiments start warm
+		s.prefills = append(s.prefills, newPrefillInstance(s, e))
+	}
+	for i := 0; i < cfg.NumDecode; i++ {
+		e := mkEngine(fmt.Sprintf("decode%d", i))
+		e.WarmBoot()
+		s.decodes = append(s.decodes, newDecodeInstance(s, e))
+	}
+	return s
+}
+
+// Submit schedules the trace's arrivals into the simulation. Must be called
+// before running the simulation.
+func (s *System) Submit(trace []workload.Request) error {
+	for _, wr := range trace {
+		m, ok := s.models[wr.Model]
+		if !ok {
+			return fmt.Errorf("core: request %s targets unknown model %q", wr.ID, wr.Model)
+		}
+		wr := wr
+		r := newRequest(wr, m)
+		s.requests = append(s.requests, r)
+		s.eng.At(wr.Arrival, func() { s.dispatchPrefill(r) })
+	}
+	return nil
+}
+
+// dispatchPrefill implements Algorithm 1's arrival event: join an existing
+// same-model group anywhere in the pool if one has room; otherwise open a
+// new group on the least-loaded prefill instance.
+func (s *System) dispatchPrefill(r *Request) {
+	s.tracer.Emit(trace.Event{At: s.eng.Now(), Kind: trace.KindArrival,
+		Subject: r.ID, Detail: r.Model.Name})
+	for _, p := range s.prefills {
+		if !p.dead && p.tryJoinGroup(r) {
+			return
+		}
+	}
+	var best *prefillInstance
+	var bestLoad time.Duration
+	for _, p := range s.prefills {
+		if p.dead {
+			continue
+		}
+		if l := p.load(); best == nil || l < bestLoad {
+			best, bestLoad = p, l
+		}
+	}
+	if best == nil {
+		panic("core: all prefill instances have failed")
+	}
+	best.newGroup(r)
+}
+
+// dispatchDecode routes a freshly prefilled request to a decoding instance:
+// prefer an instance already holding an open batch of the same model with
+// KV room, else the least-loaded instance by work-list size (Algorithm 2
+// line 2).
+func (s *System) dispatchDecode(r *Request) {
+	for _, d := range s.decodes {
+		if !d.dead && d.hasRoomInModelBatch(r) {
+			d.enqueue(r)
+			return
+		}
+	}
+	var best *decodeInstance
+	bestLoad := 0
+	for _, d := range s.decodes {
+		if d.dead {
+			continue
+		}
+		if l := d.load(); best == nil || l < bestLoad {
+			best, bestLoad = d, l
+		}
+	}
+	if best == nil {
+		panic("core: all decoding instances have failed")
+	}
+	best.enqueue(r)
+}
+
+// sloFor returns the SLO governing requests to the named model.
+func (s *System) sloFor(modelName string) slo.SLO {
+	if v, ok := s.cfg.ModelSLOs[modelName]; ok {
+		return v
+	}
+	return s.cfg.SLO
+}
+
+// finishRequest records completion.
+func (s *System) finishRequest(r *Request) {
+	s.tracer.Emit(trace.Event{At: s.eng.Now(), Kind: trace.KindRequestDone, Subject: r.ID})
+	r.Done = true
+	r.finished = s.eng.Now()
+	s.completed++
+}
+
+// Completed returns the number of fully served requests.
+func (s *System) Completed() int { return s.completed }
+
+// Requests returns all submitted requests (live view).
+func (s *System) Requests() []*Request { return s.requests }
+
+// Finalize computes SLO attainment and the latency breakdown after the
+// simulation has run. endTime bounds the judgement of never-generated
+// tokens: a token whose deadline passed before endTime without being
+// generated counts as missed, so overload cannot launder violations.
+func (s *System) Finalize(endTime sim.Time) {
+	for _, r := range s.requests {
+		rslo := s.sloFor(r.Model.Name)
+		times := make([]time.Duration, len(r.TokenTimes))
+		copy(times, r.TokenTimes)
+		s.tracker.ObserveRequest(rslo, r.Arrival, times)
+		if !r.Done {
+			for i := len(r.TokenTimes); i < r.OutputTokens; i++ {
+				if rslo.Deadline(r.Arrival, i) <= endTime {
+					s.tracker.ObserveDropped() // one missed token each
+				}
+			}
+		}
+		// Breakdown (Fig. 14).
+		if len(r.TokenTimes) == 0 {
+			s.breakdown.Add(metrics.PrefillWaiting, endTime-r.Arrival)
+			continue
+		}
+		s.breakdown.Add(metrics.PrefillWaiting, r.prefillStart-r.Arrival)
+		s.breakdown.Add(metrics.PrefillExecution, r.prefillEnd-r.prefillStart)
+		end := r.finished
+		if !r.Done {
+			end = endTime
+		}
+		var dataWait time.Duration
+		if r.Seq != nil {
+			dataWait = r.Seq.TransferWait()
+		}
+		decodeSpan := end - r.prefillEnd
+		wait := decodeSpan - r.decodeExec - dataWait
+		if wait < 0 {
+			wait = 0
+		}
+		s.breakdown.Add(metrics.DecodingWaiting, wait)
+		s.breakdown.Add(metrics.DecodingExecution, r.decodeExec)
+		s.breakdown.Add(metrics.DataOverhead, dataWait)
+		s.kvSyncPerReq.AddDuration(dataWait)
+	}
+	var ctrl time.Duration
+	for _, p := range s.prefills {
+		ctrl += p.eng.KV().Stats().ControlTime
+	}
+	for _, d := range s.decodes {
+		ctrl += d.eng.KV().Stats().ControlTime
+	}
+	s.breakdown.Add(metrics.ControlOverhead, ctrl)
+}
+
+// Attainment returns the token-level SLO attainment (call Finalize first).
+func (s *System) Attainment() float64 { return s.tracker.Attainment() }
+
+// Tracker exposes the SLO tracker.
+func (s *System) Tracker() *slo.Tracker { return s.tracker }
+
+// Breakdown exposes the latency breakdown (call Finalize first).
+func (s *System) Breakdown() *metrics.Breakdown { return s.breakdown }
+
+// KVSyncCDF returns per-request KV synchronization overhead samples
+// (Fig. 15 right; call Finalize first).
+func (s *System) KVSyncCDF() *metrics.CDF { return &s.kvSyncPerReq }
+
+// SwitchLatencyCDF merges the exposed auto-scaling latency samples of all
+// instances (Fig. 15 left).
+func (s *System) SwitchLatencyCDF() *metrics.CDF {
+	var all metrics.CDF
+	for _, p := range s.prefills {
+		st := p.eng.Stats()
+		for _, pt := range st.SwitchLatency.Points(st.SwitchLatency.N()) {
+			all.Add(pt[0])
+		}
+	}
+	for _, d := range s.decodes {
+		st := d.eng.Stats()
+		for _, pt := range st.SwitchLatency.Points(st.SwitchLatency.N()) {
+			all.Add(pt[0])
+		}
+	}
+	return &all
+}
+
+// Engines returns all instance engines (prefill then decode), for
+// utilization accounting.
+func (s *System) Engines() []*engine.Engine {
+	var out []*engine.Engine
+	for _, p := range s.prefills {
+		out = append(out, p.eng)
+	}
+	for _, d := range s.decodes {
+		out = append(out, d.eng)
+	}
+	return out
+}
+
+// Tracer returns the configured tracer (nil when tracing is disabled).
+func (s *System) Tracer() *trace.Tracer { return s.tracer }
+
+// CPUKVStats returns the unified CPU KV cache fragmentation stats (Fig. 16).
+func (s *System) CPUKVStats() []memory.ClassStats { return s.cpuKV.Pool().Stats() }

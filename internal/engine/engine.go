@@ -1,0 +1,685 @@
+// Package engine simulates an LLM inference engine instance (vLLM in the
+// paper) running on one GPU or TP group: its initialization stage pipeline
+// (Fig. 7: distributed executor, profiling, weight loading, KV-cache
+// pinning, miscellaneous components), the component-reuse optimization of
+// §5.1, the explicitly managed VRAM weights buffer and model
+// prefetching of §5.2, and prefill/decode step execution timed by the
+// analytical models of Appendix A.2.
+//
+// Engine methods are callback-based: they schedule virtual-time work and
+// invoke completions, so instances (package core) can sequence scheduling
+// decisions around them.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"aegaeon/internal/gpu"
+	"aegaeon/internal/kvcache"
+	"aegaeon/internal/latency"
+	"aegaeon/internal/memory"
+	"aegaeon/internal/metrics"
+	"aegaeon/internal/model"
+	"aegaeon/internal/sim"
+)
+
+// Options selects which Aegaeon auto-scaling optimizations are active.
+// All-false reproduces the unoptimized T0 baseline of Fig. 7; enabling them
+// cumulatively yields T1 (Fig. 8a), T2 (Fig. 8b), and T3 (Fig. 10).
+type Options struct {
+	// ComponentReuse (§5.1): initialize the distributed executor, profiling
+	// results, pinned KV memory, tokenizers, and other engine components
+	// once per instance and reuse them across models; model loading uses the
+	// optimized stage-buffer path.
+	ComponentReuse bool
+	// ExplicitMemory (§5.2): self-managed bump-allocated VRAM buffer (no
+	// garbage-collection pass on scale-down) and host model cache.
+	ExplicitMemory bool
+	// Prefetch (§5.2): load the next scheduled model into spare VRAM on a
+	// separate stream, making its scale-up a cheap on-device copy.
+	Prefetch bool
+	// FineGrainedSync (§5.3): overlap KV-cache transfers with engine
+	// reinitialization and inference using per-transfer events. Without it,
+	// instances must drain transfers synchronously around every switch.
+	FineGrainedSync bool
+	// Colocate (§8, implemented future work): keep as many models resident
+	// in the weights buffer as fit, evicting least-recently-used residents
+	// only when a non-resident model needs the space. Switching between
+	// resident models costs only an activation, incorporating multiplexing
+	// into the SLO-aware scheduler. Implies ExplicitMemory-style instant
+	// deallocation via a first-fit region allocator.
+	Colocate bool
+}
+
+// AllOptimizations returns Aegaeon's full configuration (T3).
+func AllOptimizations() Options {
+	return Options{ComponentReuse: true, ExplicitMemory: true, Prefetch: true, FineGrainedSync: true}
+}
+
+// Unoptimized returns the default preemptive auto-scaling process (T0).
+func Unoptimized() Options { return Options{} }
+
+// Config parameterizes an engine instance.
+type Config struct {
+	Prof *latency.Profile
+	TP   int
+	Opts Options
+
+	// VRAM split: the weights region of the self-managed buffer, and the
+	// unified GPU KV cache region (Fig. 9).
+	WeightsRegionBytes int64
+	KVRegionBytes      int64
+	KVSlabBytes        int64
+	BlockTokens        int
+
+	// Node-shared resources.
+	ModelCache *memory.ModelCache
+	CPUKV      *kvcache.Cache
+
+	// RemoteLoadBPS is the bandwidth of the tier below the host model cache
+	// (bytes/s). Default 6 GB/s: production nodes keep provisioned model
+	// checkpoints on local NVMe (§2.3 — auto-scaling loads weights "from
+	// host memory or SSDs"); a genuinely remote registry would be slower.
+	RemoteLoadBPS float64
+
+	// Move-list daemon poll interval (0 = reclaim on completion).
+	DaemonPoll time.Duration
+}
+
+// Stats aggregates engine activity.
+type Stats struct {
+	Switches      uint64
+	PrefetchHits  uint64
+	CacheMisses   uint64
+	GCPauses      uint64
+	Reinits       uint64
+	PrefillJobs   uint64
+	DecodeSteps   uint64
+	SwitchLatency metrics.CDF // exposed scale-up latency per switch (Fig. 15)
+}
+
+// Engine is one simulated inference engine.
+type Engine struct {
+	Name string
+
+	eng *sim.Engine
+	dev *gpu.Device
+	cfg Config
+
+	compute  *gpu.Stream
+	loader   *gpu.Stream // weight H2D (stage-buffer path)
+	prefetch *gpu.Stream // §5.2 prefetch stream
+
+	weights *memory.BumpArena
+	region  *memory.RegionAlloc // weights allocator under Colocate
+	kv      *kvcache.Manager
+
+	booted  bool
+	current *model.Model
+	costs   map[string]*latency.CostModel
+
+	prefetched      *model.Model
+	prefetchReady   *gpu.Event
+	prefetchPending bool
+
+	// Colocation state: resident models and their region offsets.
+	residents map[string]*resident
+
+	switching bool
+	stats     Stats
+}
+
+// loadChunk bounds the duration of a single DMA operation for weight loads:
+// the stage buffer streams weights in chunks (§5.2, "multi-threaded,
+// chunked, and pipelined"), so concurrent KV-cache transfers interleave on
+// the PCIe link instead of waiting behind a monolithic multi-GB copy.
+const loadChunk = 25 * time.Millisecond
+
+// submitChunked splits a long H2D transfer into loadChunk-sized operations
+// and returns the event of the last chunk.
+func submitChunked(st *gpu.Stream, total time.Duration, tag string, done func()) *gpu.Event {
+	if total <= loadChunk {
+		return st.Submit(gpu.H2D, total, tag, done)
+	}
+	n := int(total / loadChunk)
+	rem := total - time.Duration(n)*loadChunk
+	for i := 0; i < n-1; i++ {
+		st.Submit(gpu.H2D, loadChunk, tag)
+	}
+	last := loadChunk + rem
+	return st.Submit(gpu.H2D, last, tag, done)
+}
+
+// New constructs an engine on a fresh device.
+func New(se *sim.Engine, name string, cfg Config) *Engine {
+	if cfg.TP < 1 {
+		cfg.TP = 1
+	}
+	if cfg.BlockTokens <= 0 {
+		cfg.BlockTokens = 16
+	}
+	if cfg.KVSlabBytes <= 0 {
+		cfg.KVSlabBytes = 64 << 20
+	}
+	if cfg.RemoteLoadBPS <= 0 {
+		cfg.RemoteLoadBPS = 6e9 // local NVMe tier
+	}
+	dev := gpu.NewDevice(se, name)
+	e := &Engine{
+		Name:     name,
+		eng:      se,
+		dev:      dev,
+		cfg:      cfg,
+		compute:  dev.NewStream("default"),
+		loader:   dev.NewStream("loader"),
+		prefetch: dev.NewStream("prefetch"),
+		weights:  memory.NewBumpArena(cfg.WeightsRegionBytes),
+		costs:    map[string]*latency.CostModel{},
+	}
+	if cfg.Opts.Colocate {
+		e.region = memory.NewRegionAlloc(cfg.WeightsRegionBytes)
+		e.residents = map[string]*resident{}
+	}
+	gpuKV := kvcache.NewCache(name+"/kv", cfg.KVRegionBytes, cfg.KVSlabBytes, cfg.BlockTokens)
+	e.kv = kvcache.NewManager(dev, cfg.Prof, gpuKV, cfg.CPUKV, cfg.DaemonPoll)
+	return e
+}
+
+// resident tracks one colocated model's placement in the weights region.
+type resident struct {
+	m        *model.Model
+	off      int64
+	size     int64
+	lastUsed sim.Time
+	loading  *gpu.Event // nil once fully loaded
+}
+
+// IsResident reports whether m's weights are (or are becoming) resident.
+func (e *Engine) IsResident(m *model.Model) bool {
+	if e.residents == nil {
+		return e.current != nil && e.current.Name == m.Name
+	}
+	_, ok := e.residents[m.Name]
+	return ok
+}
+
+// Residents returns the number of models currently resident (1 at most
+// without Colocate).
+func (e *Engine) Residents() int {
+	if e.residents == nil {
+		if e.current != nil {
+			return 1
+		}
+		return 0
+	}
+	return len(e.residents)
+}
+
+// activationDelay is the cost of switching between two already-resident
+// models under colocation: rebinding the execution context, no data motion.
+const activationDelay = time.Millisecond
+
+// switchColocated performs SwitchTo under the colocation policy.
+func (e *Engine) switchColocated(m *model.Model, start sim.Time, done func()) {
+	finish := func() {
+		e.switching = false
+		e.current = m
+		if r := e.residents[m.Name]; r != nil {
+			r.lastUsed = e.eng.Now()
+		}
+		e.stats.SwitchLatency.AddDuration(e.eng.Now() - start)
+		done()
+	}
+	if r, ok := e.residents[m.Name]; ok {
+		// Resident (possibly still streaming in): activate once loaded.
+		run := func() { e.eng.After(activationDelay, finish) }
+		if r.loading != nil && !r.loading.Query() {
+			e.stats.PrefetchHits++
+			r.loading.OnComplete(run)
+			return
+		}
+		e.stats.PrefetchHits++
+		run()
+		return
+	}
+	// Not resident: evict LRU residents until the shard fits (compacting
+	// survivors with a cheap on-device copy when eviction alone leaves the
+	// free space fragmented, as §5.2 does for prefetched models), then
+	// stream it in.
+	shard := m.ShardWeightBytes(e.cfg.TP)
+	compactDur, err := e.makeRoomColocate(shard, m)
+	if err != nil {
+		panic(fmt.Sprintf("engine %s: %v", e.Name, err))
+	}
+	off, err := e.region.Alloc(shard)
+	if err != nil {
+		panic(fmt.Sprintf("engine %s: colocate alloc after eviction: %v", e.Name, err))
+	}
+	r := &resident{m: m, off: off, size: shard, lastUsed: e.eng.Now()}
+	e.residents[m.Name] = r
+	load := func() {
+		var dur time.Duration
+		if e.cfg.ModelCache == nil || e.cfg.ModelCache.Contains(m.Name) {
+			dur = e.CostFor(m).Switch()
+		} else {
+			e.stats.CacheMisses++
+			fetch := time.Duration(float64(m.WeightBytes()) / e.cfg.RemoteLoadBPS * float64(time.Second))
+			_ = e.cfg.ModelCache.Insert(m.Name, m.WeightBytes())
+			dur = e.CostFor(m).Switch() + fetch
+		}
+		r.loading = submitChunked(e.loader, dur, "load "+m.Name, func() {
+			r.loading = nil
+			finish()
+		})
+	}
+	if compactDur > 0 {
+		inner := load
+		load = func() { e.compute.Submit(gpu.Compute, compactDur, "compact residents", inner) }
+	}
+	if !e.booted || !e.cfg.Opts.ComponentReuse {
+		e.stats.Reinits++
+		p := e.cfg.Prof
+		e.eng.After(p.DistExecInit+p.ProfileOpt+p.KVInit+p.MiscInit, func() {
+			e.booted = true
+			load()
+		})
+		return
+	}
+	load()
+}
+
+// makeRoomColocate frees least-recently-used residents until size bytes
+// fit. The target model, the current model, and residents with in-flight
+// loads are never evicted. If eviction leaves enough total but fragmented
+// space, the survivors are compacted; the returned duration is the
+// on-device copy cost to charge (zero when no compaction was needed).
+func (e *Engine) makeRoomColocate(size int64, keep *model.Model) (time.Duration, error) {
+	for e.region.LargestFree() < size {
+		var victim *resident
+		for _, r := range e.residents {
+			if r.m.Name == keep.Name || r.loading != nil {
+				continue
+			}
+			if e.current != nil && r.m.Name == e.current.Name {
+				continue
+			}
+			if victim == nil || r.lastUsed < victim.lastUsed ||
+				(r.lastUsed == victim.lastUsed && r.m.Name < victim.m.Name) {
+				victim = r
+			}
+		}
+		if victim == nil {
+			break // nothing more to evict; try compaction
+		}
+		if err := e.region.Free(victim.off); err != nil {
+			return 0, err
+		}
+		delete(e.residents, victim.m.Name)
+	}
+	if e.region.LargestFree() >= size {
+		return 0, nil
+	}
+	if e.region.FreeBytes() < size {
+		return 0, fmt.Errorf("colocate: cannot fit %d bytes for %s: %d free after eviction",
+			size, keep.Name, e.region.FreeBytes())
+	}
+	// Compact: survivors with in-flight loads cannot move.
+	var moved int64
+	for _, r := range e.residents {
+		if r.loading != nil {
+			return 0, fmt.Errorf("colocate: cannot compact around in-flight load of %s", r.m.Name)
+		}
+		moved += r.size
+	}
+	// Rebuild placements contiguously from offset zero.
+	survivors := make([]*resident, 0, len(e.residents))
+	for _, r := range e.residents {
+		survivors = append(survivors, r)
+	}
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i].off < survivors[j].off })
+	for _, r := range survivors {
+		if err := e.region.Free(r.off); err != nil {
+			return 0, err
+		}
+	}
+	for _, r := range survivors {
+		off, err := e.region.Alloc(r.size)
+		if err != nil {
+			return 0, err
+		}
+		r.off = off
+	}
+	return e.CostFor(keep).OnDeviceCopy(moved), nil
+}
+
+// WarmBoot marks the engine's persistent components (distributed executor,
+// profiling results, pinned KV memory, tokenizers) as already initialized —
+// the state of a long-running production instance. §5.1: Aegaeon performs
+// relevant profiling and caches tokenizers beforehand.
+func (e *Engine) WarmBoot() { e.booted = true }
+
+// KV returns the engine's KV transfer manager.
+func (e *Engine) KV() *kvcache.Manager { return e.kv }
+
+// Device returns the underlying simulated device.
+func (e *Engine) Device() *gpu.Device { return e.dev }
+
+// Sim returns the simulation engine.
+func (e *Engine) Sim() *sim.Engine { return e.eng }
+
+// Options returns the active optimization set.
+func (e *Engine) Options() Options { return e.cfg.Opts }
+
+// Current returns the currently loaded model (nil if none).
+func (e *Engine) Current() *model.Model { return e.current }
+
+// Stats returns a pointer to the engine's counters (live view).
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// CostFor returns the (cached) cost model for m on this engine's hardware.
+func (e *Engine) CostFor(m *model.Model) *latency.CostModel {
+	c, ok := e.costs[m.Name]
+	if !ok {
+		c = latency.NewCostModel(e.cfg.Prof, m, e.cfg.TP)
+		e.costs[m.Name] = c
+	}
+	return c
+}
+
+// SwitchEstimate returns the scheduler's model-switch latency estimate
+// (Appendix A.2, Eq. 4), including reinitialization when components are not
+// reused. The estimate ignores prefetch (the scheduler treats prefetch wins
+// as bonus).
+func (e *Engine) SwitchEstimate(m *model.Model) time.Duration {
+	if e.current != nil && e.current.Name == m.Name {
+		return 0
+	}
+	return e.SwitchCost(m)
+}
+
+// SwitchCost returns the Eq. 4-based cost of scaling up m on this engine,
+// regardless of what is currently resident. Algorithm 2's quota formula
+// uses it as the per-model auto-scaling overhead c.
+func (e *Engine) SwitchCost(m *model.Model) time.Duration {
+	cost := e.CostFor(m)
+	if !e.cfg.Opts.ComponentReuse {
+		d := cost.NaiveInit()
+		if !e.cfg.Opts.ExplicitMemory {
+			d += e.cfg.Prof.GCPause
+		}
+		return d
+	}
+	d := cost.Switch()
+	if !e.cfg.Opts.ExplicitMemory {
+		d += e.cfg.Prof.GCPause
+	}
+	return d
+}
+
+// EffectiveSwitchCost returns the auto-scaling overhead a decode round
+// should budget for scaling up m (Algorithm 2's per-model term in c): with
+// prefetching available, consecutive turns hide the PCIe load and the
+// exposed cost collapses to the on-device compaction copy; otherwise the
+// full Eq. 4 load (plus reinit/GC per the options) is paid.
+func (e *Engine) EffectiveSwitchCost(m *model.Model) time.Duration {
+	if e.cfg.Opts.Colocate && e.IsResident(m) {
+		return activationDelay
+	}
+	if e.cfg.Opts.Prefetch && e.weights.Capacity() >= 2*m.ShardWeightBytes(e.cfg.TP) {
+		return e.CostFor(m).OnDeviceCopy(m.ShardWeightBytes(e.cfg.TP)) + 5*time.Millisecond
+	}
+	return e.SwitchCost(m)
+}
+
+// SwitchTo performs preemptive scale-up to m: unload the current model
+// (instant bump reset, or a GC pause without explicit memory management),
+// (re)initialize engine components as the options dictate, and load the new
+// weights (prefetch hit, model-cache hit via the stage buffer, naive slow
+// path, or remote registry fetch). done fires when inference for m may
+// begin. Concurrent switches on one engine are a programming error.
+func (e *Engine) SwitchTo(m *model.Model, done func()) {
+	if e.switching {
+		panic(fmt.Sprintf("engine %s: concurrent SwitchTo", e.Name))
+	}
+	if e.current != nil && e.current.Name == m.Name {
+		done()
+		return
+	}
+	e.switching = true
+	start := e.eng.Now()
+	e.stats.Switches++
+
+	if e.cfg.Opts.Colocate {
+		e.switchColocated(m, start, done)
+		return
+	}
+
+	finish := func() {
+		e.switching = false
+		e.current = m
+		e.stats.SwitchLatency.AddDuration(e.eng.Now() - start)
+		done()
+	}
+
+	afterUnload := func() {
+		if !e.booted || !e.cfg.Opts.ComponentReuse {
+			// Full engine (re)initialization: distributed executor,
+			// profiling, KV pinning, misc (Fig. 7).
+			e.stats.Reinits++
+			p := e.cfg.Prof
+			reinit := p.DistExecInit + p.ProfileOpt + p.KVInit + p.MiscInit
+			e.eng.After(reinit, func() {
+				e.booted = true
+				e.loadWeights(m, finish)
+			})
+			return
+		}
+		e.loadWeights(m, finish)
+	}
+
+	// Unload / scale-down of the resident weights.
+	e.dropPrefetchIfStale(m)
+	if e.current == nil {
+		afterUnload()
+		return
+	}
+	if e.cfg.Opts.ExplicitMemory {
+		// O(1) bump reset — the prefetched copy (if for m) survives
+		// logically: we model compaction as an on-device copy below.
+		e.weights.Reset()
+		afterUnload()
+		return
+	}
+	// Tensor-library path: a garbage collection pass reclaims VRAM.
+	e.stats.GCPauses++
+	e.weights.Reset()
+	e.eng.After(e.cfg.Prof.GCPause, afterUnload)
+}
+
+// loadWeights brings m's weights into VRAM and calls done.
+func (e *Engine) loadWeights(m *model.Model, done func()) {
+	cost := e.CostFor(m)
+	shard := m.ShardWeightBytes(e.cfg.TP)
+
+	// Prefetch hit: the weights are already on the device; compact them to
+	// the start of the buffer with a cheap on-device copy (§5.2 step 3.b).
+	if e.cfg.Opts.Prefetch && e.prefetched != nil && e.prefetched.Name == m.Name {
+		ready := e.prefetchReady
+		e.prefetched = nil
+		e.prefetchReady = nil
+		e.stats.PrefetchHits++
+		copyDur := cost.OnDeviceCopy(shard)
+		run := func() {
+			if _, err := e.weights.Alloc(shard, 256); err != nil {
+				panic(fmt.Sprintf("engine %s: weights region cannot hold compacted model: %v", e.Name, err))
+			}
+			e.compute.Submit(gpu.Compute, copyDur, "compact "+m.Name, done)
+		}
+		if ready.Query() {
+			run()
+		} else {
+			ready.OnComplete(run)
+		}
+		return
+	}
+
+	if _, err := e.weights.Alloc(shard, 256); err != nil {
+		panic(fmt.Sprintf("engine %s: weights region too small for %s: %v", e.Name, m.Name, err))
+	}
+
+	loadFromHost := func() {
+		var dur time.Duration
+		if e.cfg.Opts.ComponentReuse {
+			// Optimized multi-threaded, chunked, pipelined stage-buffer copy
+			// (§5.2): achieves the Eq. 4 β-derated PCIe bandwidth.
+			dur = cost.Switch()
+		} else {
+			// Naive engine loading path (Fig. 7: 2.83 GB/s).
+			dur = cost.NaiveLoad()
+		}
+		submitChunked(e.loader, dur, "load "+m.Name, done)
+	}
+
+	if e.cfg.ModelCache != nil {
+		if e.cfg.ModelCache.Contains(m.Name) {
+			loadFromHost()
+			return
+		}
+		// Remote registry fetch, then cached in host memory.
+		e.stats.CacheMisses++
+		fetch := time.Duration(float64(m.WeightBytes()) / e.cfg.RemoteLoadBPS * float64(time.Second))
+		e.eng.After(fetch, func() {
+			// A full cache is tolerable: the fetched weights stream through
+			// the stage buffer regardless; only future hits are lost.
+			_ = e.cfg.ModelCache.Insert(m.Name, m.WeightBytes())
+			loadFromHost()
+		})
+		return
+	}
+	loadFromHost()
+}
+
+// dropPrefetchIfStale discards a prefetched model that is not the switch
+// target (its arena space is reclaimed by the imminent reset).
+func (e *Engine) dropPrefetchIfStale(target *model.Model) {
+	if e.prefetched != nil && e.prefetched.Name != target.Name {
+		e.prefetched = nil
+		e.prefetchReady = nil
+	}
+}
+
+// StartPrefetch begins loading m into spare weights-region VRAM on the
+// prefetch stream (§5.2), if the options allow, space suffices, and no
+// prefetch is already pending. Returns true if a prefetch was started or is
+// already in flight for m.
+func (e *Engine) StartPrefetch(m *model.Model) bool {
+	if e.cfg.Opts.Colocate {
+		return e.prefetchColocated(m)
+	}
+	if !e.cfg.Opts.Prefetch || e.switching {
+		return false
+	}
+	if e.current != nil && e.current.Name == m.Name {
+		return false
+	}
+	if e.prefetched != nil {
+		return e.prefetched.Name == m.Name
+	}
+	if e.prefetchPending {
+		return false
+	}
+	shard := m.ShardWeightBytes(e.cfg.TP)
+	if e.weights.Free() < shard {
+		return false // e.g. A10: no room for a second model (§7.4)
+	}
+	if _, err := e.weights.Alloc(shard, 256); err != nil {
+		return false
+	}
+	var dur time.Duration
+	if e.cfg.ModelCache == nil || e.cfg.ModelCache.Contains(m.Name) {
+		dur = e.CostFor(m).Switch()
+	} else {
+		e.stats.CacheMisses++
+		dur = e.CostFor(m).Switch() +
+			time.Duration(float64(m.WeightBytes())/e.cfg.RemoteLoadBPS*float64(time.Second))
+		_ = e.cfg.ModelCache.Insert(m.Name, m.WeightBytes())
+	}
+	e.prefetchPending = true
+	e.prefetchReady = submitChunked(e.prefetch, dur, "prefetch "+m.Name, func() {
+		e.prefetchPending = false
+	})
+	e.prefetched = m
+	return true
+}
+
+// prefetchColocated pre-loads m as a resident if the region has room
+// without evicting anything (prefetch must never displace hotter models).
+func (e *Engine) prefetchColocated(m *model.Model) bool {
+	if !e.cfg.Opts.Prefetch || e.switching {
+		return false
+	}
+	if _, ok := e.residents[m.Name]; ok {
+		return true
+	}
+	shard := m.ShardWeightBytes(e.cfg.TP)
+	if e.region.LargestFree() < shard {
+		return false
+	}
+	off, err := e.region.Alloc(shard)
+	if err != nil {
+		return false
+	}
+	r := &resident{m: m, off: off, size: shard, lastUsed: e.eng.Now()}
+	e.residents[m.Name] = r
+	var dur time.Duration
+	if e.cfg.ModelCache == nil || e.cfg.ModelCache.Contains(m.Name) {
+		dur = e.CostFor(m).Switch()
+	} else {
+		e.stats.CacheMisses++
+		dur = e.CostFor(m).Switch() +
+			time.Duration(float64(m.WeightBytes())/e.cfg.RemoteLoadBPS*float64(time.Second))
+		_ = e.cfg.ModelCache.Insert(m.Name, m.WeightBytes())
+	}
+	r.loading = submitChunked(e.prefetch, dur, "prefetch "+m.Name, func() {
+		r.loading = nil
+	})
+	return true
+}
+
+// Prefetched returns the model currently prefetched (nil if none).
+func (e *Engine) Prefetched() *model.Model { return e.prefetched }
+
+// Prefill executes one prefill job (batch size 1, §4.2) for the current
+// model and fires done on completion.
+func (e *Engine) Prefill(promptTokens int, done func()) {
+	if e.current == nil {
+		panic("engine: Prefill with no model loaded")
+	}
+	e.stats.PrefillJobs++
+	dur := e.CostFor(e.current).Prefill(promptTokens)
+	e.compute.Submit(gpu.Compute, dur, "prefill", done)
+}
+
+// DecodeStep executes one decoding iteration over a batch with the given
+// total context tokens and fires done on completion.
+func (e *Engine) DecodeStep(contextTokens int64, done func()) {
+	if e.current == nil {
+		panic("engine: DecodeStep with no model loaded")
+	}
+	e.stats.DecodeSteps++
+	dur := e.CostFor(e.current).DecodeStep(contextTokens)
+	e.compute.Submit(gpu.Compute, dur, "decode", done)
+}
+
+// DecodeStepEstimate returns the t_k of Eq. 2 for a batch of the model with
+// the given context size.
+func (e *Engine) DecodeStepEstimate(m *model.Model, contextTokens int64) time.Duration {
+	return e.CostFor(m).DecodeStep(contextTokens)
+}
+
+// PrefillEstimate returns the Eq. 5 estimate used for queue loads.
+func (e *Engine) PrefillEstimate(m *model.Model, promptTokens int) time.Duration {
+	return e.CostFor(m).Prefill(promptTokens)
+}

@@ -1,0 +1,229 @@
+// Package experiments contains one runner per table and figure in the
+// paper's evaluation (§7), regenerating the same rows and series from the
+// simulated substrate. Each runner returns Tables that cmd/aegaeon-bench
+// prints and bench_test.go reports.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"aegaeon/internal/baselines"
+	"aegaeon/internal/core"
+	"aegaeon/internal/engine"
+	"aegaeon/internal/latency"
+	"aegaeon/internal/model"
+	"aegaeon/internal/sim"
+	"aegaeon/internal/slo"
+	"aegaeon/internal/workload"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // e.g. "Figure 11(a)"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c + "  ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Options controls experiment scale. The defaults reproduce the paper's
+// testbed shape (16 H800 GPUs, 6 prefill + 10 decode); Quick shrinks
+// horizons for CI and benchmarks.
+type Options struct {
+	Seed    int64
+	Horizon time.Duration // trace length (simulations always run to drain)
+
+	PrefillGPUs int
+	DecodeGPUs  int
+	TotalGPUs   int // baselines use the undivided pool
+
+	Prof *latency.Profile
+	TP   int
+	SLO  slo.SLO
+}
+
+// Defaults returns the §7.1 testbed configuration.
+func Defaults() Options {
+	return Options{
+		Seed:        1,
+		Horizon:     300 * time.Second,
+		PrefillGPUs: 6,
+		DecodeGPUs:  10,
+		TotalGPUs:   16,
+		Prof:        latency.H800(),
+		TP:          1,
+		SLO:         slo.Default(),
+	}
+}
+
+// Quick returns a scaled-down configuration for fast iteration.
+func Quick() Options {
+	o := Defaults()
+	o.Horizon = 120 * time.Second
+	return o
+}
+
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+func fmtF(v float64) string   { return fmt.Sprintf("%.2f", v) }
+
+// systemName enumerates the compared systems.
+const (
+	sysAegaeon = "Aegaeon"
+	sysSLLM    = "ServerlessLLM"
+	sysSLLMP   = "ServerlessLLM+"
+	sysMux     = "MuxServe"
+)
+
+// runAegaeon serves the trace on a fresh Aegaeon system and returns it
+// finalized. Optional mutators adjust the system config (ablations).
+func runAegaeon(o Options, models []*model.Model, trace []workload.Request, mut ...func(*core.Config)) *core.System {
+	sys, se := buildAegaeon(o, models, mut...)
+	mustSubmit(sys, trace)
+	se.Run()
+	sys.Finalize(se.Now())
+	return sys
+}
+
+// buildAegaeon constructs an unstarted system plus its simulation engine,
+// for experiments that need to interleave samplers with the run.
+func buildAegaeon(o Options, models []*model.Model, mut ...func(*core.Config)) (*core.System, *sim.Engine) {
+	se := sim.NewEngine(o.Seed)
+	cfg := core.Config{
+		Prof:       o.Prof,
+		TP:         o.TP,
+		Opts:       engine.AllOptimizations(),
+		NumPrefill: o.PrefillGPUs,
+		NumDecode:  o.DecodeGPUs,
+		Models:     models,
+		SLO:        o.SLO,
+	}
+	for _, m := range mut {
+		m(&cfg)
+	}
+	return core.NewSystem(se, cfg), se
+}
+
+func runSLLM(o Options, models []*model.Model, trace []workload.Request, sjf bool) *baselines.SLLM {
+	se := sim.NewEngine(o.Seed)
+	sys := baselines.NewSLLM(se, baselines.SLLMConfig{
+		Prof: o.Prof, TP: o.TP, GPUs: o.TotalGPUs, Models: models, SLO: o.SLO, SJF: sjf,
+	})
+	mustSubmit(sys, trace)
+	se.Run()
+	sys.Finalize(se.Now())
+	return sys
+}
+
+func runMux(o Options, models []*model.Model, trace []workload.Request) *baselines.Mux {
+	se := sim.NewEngine(o.Seed)
+	sys := baselines.NewMux(se, baselines.MuxConfig{
+		Prof: o.Prof, TP: o.TP, GPUs: o.TotalGPUs, Models: models, SLO: o.SLO,
+	})
+	mustSubmit(sys, trace)
+	se.Run()
+	sys.Finalize(se.Now())
+	return sys
+}
+
+func mustSubmit(s baselines.Server, trace []workload.Request) {
+	if err := s.Submit(trace); err != nil {
+		panic(err)
+	}
+}
+
+// attainAll runs all four systems on the same trace and returns their
+// token-level SLO attainment keyed by system name.
+func attainAll(o Options, models []*model.Model, trace []workload.Request) map[string]float64 {
+	return map[string]float64{
+		sysAegaeon: runAegaeon(o, models, trace).Attainment(),
+		sysSLLM:    runSLLM(o, models, trace, false).Attainment(),
+		sysSLLMP:   runSLLM(o, models, trace, true).Attainment(),
+		sysMux:     runMux(o, models, trace).Attainment(),
+	}
+}
+
+func modelNames(models []*model.Model) []string {
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quotes only where needed).
+func (t Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// FileStem returns a filesystem-friendly name for the table.
+func (t Table) FileStem() string {
+	s := strings.ToLower(t.ID)
+	s = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		}
+		return '_'
+	}, s)
+	for strings.Contains(s, "__") {
+		s = strings.ReplaceAll(s, "__", "_")
+	}
+	return strings.Trim(s, "_")
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"aegaeon/internal/workload"
+)
+
+// Figure1a regenerates the marketplace skew of Fig. 1(a): the CDF of
+// request share over model popularity rank under Zipf(s=2) weights, checked
+// against the paper's headline statistic (94.1% of models receive 1.35% of
+// requests).
+func Figure1a(o Options) Table {
+	const nModels = 779
+	w := workload.ZipfWeights(nModels, 2)
+	cdf := workload.MarketCDF(w)
+	t := Table{
+		ID:     "Figure 1(a)",
+		Title:  "CDF of model invocations (Zipf s=2, 779 models)",
+		Header: []string{"top models", "request share"},
+	}
+	for _, frac := range []float64{0.01, 0.02, 0.059, 0.10, 0.25, 0.50, 0.75, 1.0} {
+		t.Rows = append(t.Rows, []string{fmtPct(frac), fmtPct(cdf(frac))})
+	}
+	tail := 1 - cdf(1-0.941)
+	t.Notes = fmt.Sprintf("tail 94.1%% of models receive %.2f%% of requests (paper: 1.35%%)", 100*tail)
+	return t
+}
+
+// Figure1b regenerates the hot-model burst pattern of Fig. 1(b): an MMPP
+// around a 700 req/s reservation, reporting how often and how far bursts
+// exceed the reserved rate.
+func Figure1b(o Options) Table {
+	rng := rand.New(rand.NewSource(o.Seed))
+	const reserved = 700.0
+	_, rates := workload.BurstTrace(rng, "hot-270B", 620, 860,
+		90*time.Second, 25*time.Second, 700*time.Second, workload.Fixed(256, 256))
+	var over, peak, sum float64
+	for _, r := range rates {
+		sum += r
+		if r > peak {
+			peak = r
+		}
+		if r > reserved {
+			over++
+		}
+	}
+	t := Table{
+		ID:     "Figure 1(b)",
+		Title:  "Hot-model request-rate fluctuation vs reserved capacity (700 s window)",
+		Header: []string{"metric", "value"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"mean rate (req/s)", fmtF(sum / float64(len(rates)))},
+		[]string{"peak rate (req/s)", fmtF(peak)},
+		[]string{"reserved (req/s)", fmtF(reserved)},
+		[]string{"seconds above reservation", fmtF(over)},
+		[]string{"fraction above reservation", fmtPct(over / float64(len(rates)))},
+	)
+	t.Notes = "paper: bursts intermittently exceed the reserved rate, wasting reserved GPUs between bursts"
+	return t
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"aegaeon/internal/workload"
+)
+
+// Figure12a–d regenerate the alternative-dataset sweeps of Fig. 12: SLO
+// attainment vs model count with ShareGPT-ix2 (doubled inputs) and
+// ShareGPT-ox2 (doubled outputs) at per-model RPS 0.1 and 0.5.
+
+// Figure12a: RPS 0.1, ShareGPT-ix2.
+func Figure12a(o Options) Table {
+	t := modelSweep(o, "Figure 12(a)", 0.1, []int{20, 40, 50, 60, 70, 80}, workload.ShareGPTIx2())
+	t.Notes = "paper: all systems drop slightly with longer inputs; request-level systems suffer most"
+	return t
+}
+
+// Figure12b: RPS 0.1, ShareGPT-ox2.
+func Figure12b(o Options) Table {
+	t := modelSweep(o, "Figure 12(b)", 0.1, []int{20, 40, 50, 60, 70, 80}, workload.ShareGPTOx2())
+	t.Notes = "paper: longer outputs lengthen decoding and aggravate HOL blocking; Aegaeon gains up to 2.5x goodput"
+	return t
+}
+
+// Figure12c: RPS 0.5, ShareGPT-ix2.
+func Figure12c(o Options) Table {
+	return modelSweep(o, "Figure 12(c)", 0.5, []int{16, 24, 32, 40, 48}, workload.ShareGPTIx2())
+}
+
+// Figure12d: RPS 0.5, ShareGPT-ox2.
+func Figure12d(o Options) Table {
+	return modelSweep(o, "Figure 12(d)", 0.5, []int{16, 24, 32, 40, 48}, workload.ShareGPTOx2())
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aegaeon/internal/model"
+	"aegaeon/internal/workload"
+)
+
+// Figure15Left regenerates the auto-scaling latency CDF of Fig. 15 (left):
+// the distribution of exposed preemptive-scaling latencies for 7B, 9B, and
+// 13B model populations. Prefetching makes roughly half the switches
+// near-instant; the rest complete within the Eq. 4 load time.
+func Figure15Left(o Options) Table {
+	families := []struct {
+		label string
+		names []string
+	}{
+		{"7B", []string{"Qwen-7B", "Llama-2-7B", "InternLM2.5-7B-chat", "Yi-6B"}},
+		{"9B", []string{"Yi-9B"}},
+		{"13B", []string{"LLaMA-13B", "Qwen-14B"}},
+	}
+	t := Table{
+		ID:     "Figure 15 (left)",
+		Title:  "CDF of exposed auto-scaling latency by model size (seconds)",
+		Header: []string{"size", "p10", "p50", "p90", "p99", "near-instant (<50ms)"},
+	}
+	for _, fam := range families {
+		// A dedicated population of 12 fine-tunes of this size class on a
+		// small slice (1 prefill + 2 decode) with enough load to force
+		// constant switching.
+		var models []*model.Model
+		for i := 0; i < 12; i++ {
+			src, err := model.ByName(fam.names[i%len(fam.names)])
+			if err != nil {
+				panic(err)
+			}
+			clone := *src
+			clone.Name = fmt.Sprintf("%s-f15-%02d", src.Name, i)
+			models = append(models, &clone)
+		}
+		oo := o
+		oo.PrefillGPUs, oo.DecodeGPUs = 1, 2
+		rng := rand.New(rand.NewSource(o.Seed))
+		trace := workload.PoissonTrace(rng, modelNames(models), 0.05, oo.Horizon, workload.ShareGPT())
+		sys := runAegaeon(oo, models, trace)
+		cdf := sys.SwitchLatencyCDF()
+		if cdf.N() == 0 {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			fam.label,
+			fmtF(cdf.Quantile(0.10)), fmtF(cdf.Quantile(0.50)),
+			fmtF(cdf.Quantile(0.90)), fmtF(cdf.Quantile(0.99)),
+			fmtPct(cdf.FractionBelow(0.05)),
+		})
+	}
+	t.Notes = "paper: ~50% of scalings are near-instant (prefetch hits); the rest finish under ~1s"
+	return t
+}
+
+// Figure15Right regenerates the per-request KV cache synchronization
+// overhead CDF of Fig. 15 (right) across the paper's five setups.
+func Figure15Right(o Options) Table {
+	setups := []struct {
+		models int
+		rps    float64
+	}{
+		{16, 0.1}, {32, 0.1}, {64, 0.1}, {16, 0.5}, {32, 0.5},
+	}
+	t := Table{
+		ID:     "Figure 15 (right)",
+		Title:  "CDF of per-request KV cache synchronization overhead (seconds)",
+		Header: []string{"setup", "p50", "p90", "p99", "mean"},
+	}
+	for _, su := range setups {
+		models := marketModels(su.models)
+		rng := rand.New(rand.NewSource(o.Seed))
+		trace := workload.PoissonTrace(rng, modelNames(models), su.rps, o.Horizon, workload.ShareGPT())
+		sys := runAegaeon(o, models, trace)
+		cdf := sys.KVSyncCDF()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dx%.1f", su.models, su.rps),
+			fmtF(cdf.Quantile(0.50)), fmtF(cdf.Quantile(0.90)),
+			fmtF(cdf.Quantile(0.99)), fmtF(cdf.Mean()),
+		})
+	}
+	t.Notes = "paper: total per-request KV transfer overhead stays below one second"
+	return t
+}

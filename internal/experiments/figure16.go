@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"aegaeon/internal/core"
+	"aegaeon/internal/workload"
+)
+
+// Figure16 regenerates the unified-CPU-cache fragmentation analysis of
+// Fig. 16: per-shape and overall fragmentation (unused held memory over
+// peak allocated memory) of the slab-allocated CPU KV cache, sampled while
+// serving a workload that mixes every KV shape in the market.
+func Figure16(o Options) Table {
+	models := marketModels(30) // spans 5 distinct KV shapes
+	rng := rand.New(rand.NewSource(o.Seed))
+	trace := workload.PoissonTrace(rng, modelNames(models), 0.15, o.Horizon, workload.ShareGPT())
+
+	sys, se := buildAegaeon(o, models, func(c *core.Config) {
+		// Finer blocks reduce internal waste in the shared slabs; 8 tokens
+		// per block still keeps 72B-class blocks (20 MB) well under the
+		// 64 MB slab size.
+		c.BlockTokens = 8
+	})
+	mustSubmit(sys, trace)
+
+	// Sample fragmentation every 5 s mid-run; report the serving-time mean
+	// (the figure's statistic) and the worst sampled moment.
+	type agg struct {
+		sum  float64
+		max  float64
+		n    int
+		seen bool
+	}
+	stats := map[string]*agg{}
+	var sample func()
+	sample = func() {
+		for _, st := range sys.CPUKVStats() {
+			a := stats[st.Label]
+			if a == nil {
+				a = &agg{}
+				stats[st.Label] = a
+			}
+			if st.AllocatedBytes > 0 {
+				a.sum += st.Fragmentation
+				a.n++
+				a.seen = true
+				if st.Fragmentation > a.max {
+					a.max = st.Fragmentation
+				}
+			}
+		}
+		if se.Now() < o.Horizon {
+			se.After(5*time.Second, sample)
+		}
+	}
+	se.After(5*time.Second, sample)
+	se.Run()
+	sys.Finalize(se.Now())
+
+	t := Table{
+		ID:     "Figure 16",
+		Title:  "Unified CPU KV cache fragmentation by block shape (while serving)",
+		Header: []string{"shape", "mean fragmentation", "peak"},
+	}
+	order := []string{}
+	for _, st := range sys.CPUKVStats() {
+		order = append(order, st.Label)
+	}
+	for _, label := range order {
+		a := stats[label]
+		if a == nil || !a.seen {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{label, fmtPct(a.sum / float64(a.n)), fmtPct(a.max)})
+	}
+	t.Notes = "paper: slab allocation keeps overall fragmentation below 20% with proportional per-shape utilization"
+	return t
+}

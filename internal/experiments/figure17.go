@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aegaeon/internal/latency"
+	"aegaeon/internal/model"
+	"aegaeon/internal/workload"
+)
+
+// Figure17Left regenerates the lower-end hardware study of Fig. 17 (left):
+// Aegaeon on a 4xA10 node (2 prefill + 2 decode), serving 6–7B models at
+// RPS 0.1 with the model count swept, under Strict (0.5x TBT), Normal, and
+// Loose (2x TBT) SLOs. Prefetching is automatically disabled: 24 GB cannot
+// hold two models.
+func Figure17Left(o Options) Table {
+	t := Table{
+		ID:     "Figure 17 (left)",
+		Title:  "4xA10 node, 6-7B models, RPS 0.1: SLO attainment vs model count",
+		Header: []string{"#models", "Strict (0.5x TBT)", "Normal", "Loose (2x TBT)"},
+	}
+	for _, n := range []int{4, 6, 8, 10} {
+		models := model.SmallMix(n)
+		rng := rand.New(rand.NewSource(o.Seed))
+		trace := workload.PoissonTrace(rng, modelNames(models), 0.1, o.Horizon, workload.ShareGPT())
+		row := []string{itoa(n)}
+		for _, scale := range []float64{0.5, 1.0, 2.0} {
+			oo := o
+			oo.Prof = latency.A10()
+			oo.TP = 1
+			oo.PrefillGPUs, oo.DecodeGPUs, oo.TotalGPUs = 2, 2, 4
+			oo.SLO = o.SLO.ScaleTBT(scale)
+			row = append(row, fmtPct(runAegaeon(oo, models, trace).Attainment()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = "paper: decent attainment on low-end GPUs; looser TBT tolerates more aggressive sharing"
+	return t
+}
+
+// Figure17Right regenerates the large-model study of Fig. 17 (right):
+// four 72B models at TP=4 on an 8xH800 node (one prefill + one decode
+// TP-group), sweeping the aggregate arrival rate, under Strict (0.5x TTFT),
+// Normal, and Loose (2x TTFT) SLOs.
+func Figure17Right(o Options) Table {
+	models := model.LargeMix(4)
+	t := Table{
+		ID:     "Figure 17 (right)",
+		Title:  "72B models, TP=4, 8xH800: SLO attainment vs aggregate arrival rate",
+		Header: []string{"rate(req/s)", "Strict (0.5x TTFT)", "Normal", "Loose (2x TTFT)"},
+	}
+	for _, rate := range []float64{0.4, 0.9, 1.4, 1.9, 2.4} {
+		rng := rand.New(rand.NewSource(o.Seed))
+		trace := workload.PoissonTrace(rng, modelNames(models), rate/float64(len(models)),
+			o.Horizon, workload.ShareGPT())
+		row := []string{fmt.Sprintf("%.1f", rate)}
+		for _, scale := range []float64{0.5, 1.0, 2.0} {
+			oo := o
+			oo.TP = 4
+			oo.PrefillGPUs, oo.DecodeGPUs, oo.TotalGPUs = 1, 1, 2
+			oo.SLO = o.SLO.ScaleTTFT(scale)
+			row = append(row, fmtPct(runAegaeon(oo, models, trace).Attainment()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = "paper: Aegaeon serves larger models via model parallelism with similar gains"
+	return t
+}

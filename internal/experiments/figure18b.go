@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"aegaeon/internal/cluster"
+	"aegaeon/internal/gpu"
+	"aegaeon/internal/latency"
+	"aegaeon/internal/model"
+	"aegaeon/internal/sim"
+	"aegaeon/internal/workload"
+)
+
+// Section75 reproduces the full §7.5 production deployment shape: the
+// forty-seven-model mix (twenty-eight 1.8–7B models at TP=1 and nineteen
+// 32–72B models at TP=4) served by two Aegaeon deployments behind one proxy
+// on H20 GPUs, with Zipf-skewed production arrival rates. Reports per-pool
+// GPU counts, attainment, compute utilization, and the implied GPU saving
+// against dedicated per-model serving.
+func Section75(o Options) Table {
+	models, tps := model.DeploymentMix()
+	var small, large []*model.Model
+	for i, m := range models {
+		if tps[i] == 1 {
+			small = append(small, m)
+		} else {
+			large = append(large, m)
+		}
+	}
+
+	se := sim.NewEngine(o.Seed)
+	cl, err := cluster.New(se, cluster.Config{
+		Prof: latency.H20(),
+		SLO:  o.SLO,
+		Deployments: []cluster.DeploymentConfig{
+			{Name: "tp1", TP: 1, NumPrefill: 2, NumDecode: 6, Models: small},
+			{Name: "tp4", TP: 4, NumPrefill: 2, NumDecode: 5, Models: large},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Production arrival rates: Zipf(s=2) per pool, clipped to §7.5's
+	// reported [0.01, 1.13] range with mean ≈ 0.037.
+	rates := func(n int) []float64 {
+		w := workload.ZipfWeights(n, 2)
+		var sum float64
+		for _, x := range w {
+			sum += x
+		}
+		out := make([]float64, n)
+		for i, x := range w {
+			r := 0.037 * float64(n) * x / sum
+			if r < 0.01 {
+				r = 0.01
+			}
+			if r > 1.13 {
+				r = 1.13
+			}
+			out[i] = r
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	var traces [][]workload.Request
+	gen := func(pool []*model.Model) {
+		rs := rates(len(pool))
+		for i, m := range pool {
+			traces = append(traces, workload.PoissonTrace(rng, []string{m.Name}, rs[i], o.Horizon, workload.ShareGPT()))
+		}
+	}
+	gen(small)
+	gen(large)
+	trace := workload.Merge(traces...)
+	if err := cl.Submit(trace); err != nil {
+		panic(err)
+	}
+	se.Run()
+	cl.Finalize(se.Now())
+
+	t := Table{
+		ID:     "§7.5 deployment",
+		Title:  "Production mix: 28 TP=1 + 19 TP=4 models on two pooled deployments (H20)",
+		Header: []string{"pool", "models", "GPUs", "attainment", "mean compute util"},
+	}
+	gpuCounts := map[string]int{"tp1": (2 + 6) * 1, "tp4": (2 + 5) * 4}
+	totalAfter := 0
+	for _, dep := range cl.Deployments() {
+		var busy time.Duration
+		engines := dep.System.Engines()
+		for _, e := range engines {
+			busy += e.Device().BusyTime(gpu.Compute)
+		}
+		util := 0.0
+		if se.Now() > 0 && len(engines) > 0 {
+			util = float64(busy) / float64(se.Now()*sim.Time(len(engines)))
+		}
+		nModels := 0
+		for _, m := range models {
+			if (dep.TP == 1) == (m.Params < 10_000_000_000) {
+				nModels++
+			}
+		}
+		g := gpuCounts[dep.Name]
+		totalAfter += g
+		t.Rows = append(t.Rows, []string{
+			dep.Name, itoa(nModels), itoa(g),
+			fmtPct(dep.System.Attainment()), fmtPct(util),
+		})
+	}
+	// Dedicated serving reserves at least one prefill+decode pair per model
+	// at its parallelism (the §3 strawman, before redundancy).
+	before := len(small)*2 + len(large)*2*4
+	t.Rows = append(t.Rows, []string{
+		"TOTAL", itoa(len(models)),
+		fmt.Sprintf("%d (dedicated: %d)", totalAfter, before),
+		fmtPct(cl.Attainment()),
+		fmt.Sprintf("saving %.0f%%", 100*(1-float64(totalAfter)/float64(before))),
+	})
+	t.Notes = "paper: 1,192 -> 213 GPUs (82% saving incl. burst/fault redundancy on both sides); utilization 13.3-33.9% -> 48.1%"
+	return t
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// smokeOptions keeps runner smoke tests cheap: tiny horizons, small pools.
+func smokeOptions() Options {
+	o := Quick()
+	o.Horizon = 30 * time.Second
+	o.PrefillGPUs, o.DecodeGPUs, o.TotalGPUs = 2, 3, 5
+	return o
+}
+
+// checkTable validates structural invariants every experiment table must
+// satisfy: an ID, a header, at least one row, rows matching the header
+// width, and percentage cells parsing into [0,100].
+func checkTable(t *testing.T, tab Table) {
+	t.Helper()
+	if tab.ID == "" || tab.Title == "" {
+		t.Fatalf("table missing ID/title: %+v", tab)
+	}
+	if len(tab.Header) == 0 || len(tab.Rows) == 0 {
+		t.Fatalf("%s: empty header or rows", tab.ID)
+	}
+	for ri, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("%s row %d has %d cells, header has %d", tab.ID, ri, len(row), len(tab.Header))
+		}
+		for _, cell := range row {
+			if strings.HasSuffix(cell, "%") && !strings.Contains(cell, " ") {
+				v := pct(t, cell)
+				if v < -0.001 || v > 100.001 {
+					t.Fatalf("%s: percentage cell %q out of range", tab.ID, cell)
+				}
+			}
+		}
+	}
+	if tab.FileStem() == "" {
+		t.Fatalf("%s: empty file stem", tab.ID)
+	}
+}
+
+func TestRunnerSmokeCheap(t *testing.T) {
+	o := smokeOptions()
+	for _, tab := range []Table{
+		Figure1a(o), Figure1b(o), Figure4(o), Figure7(o),
+		Table1(o), Table2(o), Figure8(o),
+	} {
+		checkTable(t, tab)
+	}
+}
+
+func TestRunnerSmokeServing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving sweeps")
+	}
+	o := smokeOptions()
+	checkTable(t, Figure14(o))
+	checkTable(t, Figure15Right(o))
+	checkTable(t, Figure16(o))
+	checkTable(t, ExtraWorkloadPatterns(o))
+}
+
+func TestRunnerSmokeHardware(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving sweeps")
+	}
+	o := smokeOptions()
+	checkTable(t, Figure17Left(o))
+	checkTable(t, Figure17Right(o))
+	checkTable(t, Figure18(o))
+	checkTable(t, Section75(o))
+}
+
+func TestRunnerSmokeFigure11c(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving sweeps")
+	}
+	o := smokeOptions()
+	tab := Figure11c(o)
+	checkTable(t, tab)
+}

@@ -1,0 +1,35 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+
+	"aegaeon/internal/sim"
+)
+
+func BenchmarkStreamSubmit(b *testing.B) {
+	eng := sim.NewEngine(1)
+	d := NewDevice(eng, "gpu0")
+	s := d.NewStream("s")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Submit(Compute, time.Microsecond, "op")
+		eng.Run()
+	}
+}
+
+func BenchmarkEventFanout(b *testing.B) {
+	eng := sim.NewEngine(1)
+	d := NewDevice(eng, "gpu0")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src := d.NewStream("src")
+		ev := src.Submit(D2H, time.Microsecond, "out")
+		for j := 0; j < 8; j++ {
+			w := d.NewStream("w")
+			w.WaitEvent(ev)
+			w.Submit(Compute, time.Microsecond, "work")
+		}
+		eng.Run()
+	}
+}

@@ -1,0 +1,345 @@
+// Package gpu models the GPU execution substrate that Aegaeon's KV-cache
+// synchronization (§5.3) is written against: devices with a compute engine
+// and two DMA copy engines (host-to-device and device-to-host), CUDA-like
+// streams whose operations execute in submission order, and CUDA-like
+// events supporting the API surface of Table 2:
+//
+//	cudaEventRecord        -> Stream.Record
+//	cudaEventQuery         -> Event.Query
+//	cudaStreamWaitEvent    -> Stream.WaitEvent
+//	cudaIpcGetEventHandle  -> Event.IPCHandle
+//	cudaIpcOpenEventHandle -> OpenEventHandle
+//
+// Operations from different streams that target the same engine are
+// serialized FIFO by readiness; operations on different engines overlap.
+// Durations are supplied by callers (the latency package knows bandwidths);
+// this package enforces ordering and accounts busy time.
+package gpu
+
+import (
+	"fmt"
+	"time"
+
+	"aegaeon/internal/sim"
+)
+
+// EngineKind selects which hardware engine an operation occupies.
+type EngineKind int
+
+const (
+	// Compute is the SM array: prefill and decode kernels.
+	Compute EngineKind = iota
+	// H2D is the host-to-device DMA engine.
+	H2D
+	// D2H is the device-to-host DMA engine.
+	D2H
+	// DeviceCopy models on-device memmoves; they occupy the compute engine's
+	// copy path but are short. We schedule them on Compute.
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case H2D:
+		return "h2d"
+	case D2H:
+		return "d2h"
+	}
+	return fmt.Sprintf("engine(%d)", int(k))
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	Name string
+
+	eng     *sim.Engine
+	engines [3]*executor
+	streams []*Stream
+}
+
+// NewDevice creates a device attached to the simulation engine.
+func NewDevice(eng *sim.Engine, name string) *Device {
+	d := &Device{Name: name, eng: eng}
+	for k := range d.engines {
+		d.engines[k] = &executor{eng: eng, dev: d, kind: EngineKind(k)}
+	}
+	return d
+}
+
+// NewStream creates an asynchronous work queue on the device.
+func (d *Device) NewStream(name string) *Stream {
+	s := &Stream{dev: d, name: name}
+	d.streams = append(d.streams, s)
+	return s
+}
+
+// BusyTime returns the cumulative busy duration of one engine, for
+// utilization accounting (Fig. 18).
+func (d *Device) BusyTime(k EngineKind) time.Duration {
+	return d.engines[k].busyTotal(d.eng.Now())
+}
+
+// Utilization returns the busy fraction of the engine over [since, now].
+func (d *Device) Utilization(k EngineKind, since sim.Time, busyAtSince time.Duration) float64 {
+	window := d.eng.Now() - since
+	if window <= 0 {
+		return 0
+	}
+	return float64(d.BusyTime(k)-busyAtSince) / float64(window)
+}
+
+// Sim returns the simulation engine the device is attached to.
+func (d *Device) Sim() *sim.Engine { return d.eng }
+
+// op is one unit of stream work.
+type op struct {
+	stream  *Stream
+	kind    EngineKind
+	dur     time.Duration
+	tag     string
+	onDone  []func()
+	barrier *Event // non-nil: wait-for-event op (no engine time)
+	marker  *Event // non-nil: completes when the op completes
+	record  bool   // pure Record marker: no engine work
+	started bool
+	waiting bool // barrier op already registered a completion callback
+}
+
+// Stream is an ordered queue of device operations (a CUDA stream).
+type Stream struct {
+	dev     *Device
+	name    string
+	queue   []*op
+	pumping bool
+}
+
+// Name returns the stream's diagnostic name.
+func (s *Stream) Name() string { return s.name }
+
+// Device returns the stream's device.
+func (s *Stream) Device() *Device { return s.dev }
+
+// Submit enqueues an operation occupying engine k for dur. onDone callbacks
+// (optional) fire when the operation completes. Returns an Event capturing
+// the operation's completion (equivalent to Submit followed by Record, but
+// cheaper and common enough to fold in).
+func (s *Stream) Submit(k EngineKind, dur time.Duration, tag string, onDone ...func()) *Event {
+	if dur < 0 {
+		panic(fmt.Sprintf("gpu: negative op duration %v (%s)", dur, tag))
+	}
+	ev := newEvent(s.dev.eng)
+	o := &op{stream: s, kind: k, dur: dur, tag: tag, onDone: onDone, marker: ev}
+	s.queue = append(s.queue, o)
+	s.pump()
+	return ev
+}
+
+// Record captures all work currently submitted to the stream into an event
+// (cudaEventRecord): the event completes when that work completes.
+func (s *Stream) Record() *Event {
+	ev := newEvent(s.dev.eng)
+	o := &op{stream: s, marker: ev, record: true}
+	s.queue = append(s.queue, o)
+	s.pump()
+	return ev
+}
+
+// WaitEvent makes all future work on the stream wait for the event
+// (cudaStreamWaitEvent). Events from other devices are accepted, mirroring
+// the IPC event usage between prefill and decoding instances.
+func (s *Stream) WaitEvent(e *Event) {
+	if e == nil {
+		panic("gpu: WaitEvent(nil)")
+	}
+	o := &op{stream: s, barrier: e}
+	s.queue = append(s.queue, o)
+	s.pump()
+}
+
+// pump advances the stream head as far as possible.
+func (s *Stream) pump() {
+	if s.pumping {
+		return
+	}
+	s.pumping = true
+	defer func() { s.pumping = false }()
+	for len(s.queue) > 0 {
+		head := s.queue[0]
+		switch {
+		case head.barrier != nil:
+			if !head.barrier.Query() {
+				if !head.waiting {
+					head.waiting = true
+					head.barrier.onComplete(func() { s.pump() })
+				}
+				return
+			}
+			s.queue = s.queue[1:]
+		case head.record:
+			// Pure marker (Record): completes instantly once reached.
+			s.queue = s.queue[1:]
+			head.marker.fire()
+		default:
+			if head.started {
+				return // already executing on its engine
+			}
+			head.started = true
+			s.dev.engines[head.kind].enqueue(head)
+			return
+		}
+	}
+}
+
+// complete is called by the executor when the head op finishes.
+func (s *Stream) complete(o *op) {
+	if len(s.queue) == 0 || s.queue[0] != o {
+		panic("gpu: completed op is not at stream head")
+	}
+	s.queue = s.queue[1:]
+	for _, fn := range o.onDone {
+		fn()
+	}
+	if o.marker != nil {
+		o.marker.fire()
+	}
+	s.pump()
+}
+
+// PendingOps returns the number of operations queued on the stream.
+func (s *Stream) PendingOps() int { return len(s.queue) }
+
+// executor serializes ops on one hardware engine, FIFO by readiness.
+type executor struct {
+	eng   *sim.Engine
+	dev   *Device
+	kind  EngineKind
+	queue []*op
+	busy  bool
+
+	busyAccum time.Duration
+	busySince sim.Time
+}
+
+func (x *executor) enqueue(o *op) {
+	x.queue = append(x.queue, o)
+	x.kick()
+}
+
+func (x *executor) kick() {
+	if x.busy || len(x.queue) == 0 {
+		return
+	}
+	o := x.queue[0]
+	x.queue = x.queue[1:]
+	x.busy = true
+	x.busySince = x.eng.Now()
+	x.eng.After(o.dur, func() {
+		x.busy = false
+		x.busyAccum += x.eng.Now() - x.busySince
+		o.stream.complete(o)
+		x.kick()
+	})
+}
+
+func (x *executor) busyTotal(now sim.Time) time.Duration {
+	if x.busy {
+		return x.busyAccum + (now - x.busySince)
+	}
+	return x.busyAccum
+}
+
+// Event mirrors a CUDA event: a completion marker shareable across streams
+// and (via IPC handles) across processes/devices.
+type Event struct {
+	eng     *sim.Engine
+	done    bool
+	at      sim.Time
+	waiters []func()
+}
+
+func newEvent(eng *sim.Engine) *Event { return &Event{eng: eng} }
+
+// NewCompletedEvent returns an event that is already complete — useful as a
+// neutral dependency.
+func NewCompletedEvent(eng *sim.Engine) *Event {
+	return &Event{eng: eng, done: true, at: eng.Now()}
+}
+
+// Query reports completion (cudaEventQuery).
+func (e *Event) Query() bool { return e.done }
+
+// CompletedAt returns the virtual time the event fired; valid only when
+// Query is true.
+func (e *Event) CompletedAt() sim.Time { return e.at }
+
+// onComplete registers fn to run when the event fires (immediately if done).
+func (e *Event) onComplete(fn func()) {
+	if e.done {
+		fn()
+		return
+	}
+	e.waiters = append(e.waiters, fn)
+}
+
+// OnComplete registers a host-side callback for the event's completion,
+// firing immediately if the event is already done. This models a host
+// thread polling cudaEventQuery (§5.3's daemon thread) without busy-wait.
+func (e *Event) OnComplete(fn func()) { e.onComplete(fn) }
+
+func (e *Event) fire() {
+	if e.done {
+		panic("gpu: event fired twice")
+	}
+	e.done = true
+	e.at = e.eng.Now()
+	ws := e.waiters
+	e.waiters = nil
+	for _, fn := range ws {
+		fn()
+	}
+}
+
+// EventHandle is the IPC-shareable form of an event
+// (cudaIpcGetEventHandle / cudaIpcOpenEventHandle).
+type EventHandle struct{ e *Event }
+
+// IPCHandle exports the event for another instance.
+func (e *Event) IPCHandle() EventHandle { return EventHandle{e: e} }
+
+// OpenEventHandle reconstructs an event from an IPC handle.
+func OpenEventHandle(h EventHandle) *Event {
+	if h.e == nil {
+		panic("gpu: OpenEventHandle on zero handle")
+	}
+	return h.e
+}
+
+// AfterAll returns an event that completes when all input events complete.
+// A convenience not present in CUDA proper (where one would WaitEvent each),
+// used by host-side orchestration code.
+func AfterAll(eng *sim.Engine, events ...*Event) *Event {
+	out := newEvent(eng)
+	remaining := 0
+	for _, e := range events {
+		if !e.Query() {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		out.done = true
+		out.at = eng.Now()
+		return out
+	}
+	for _, e := range events {
+		if !e.Query() {
+			e.onComplete(func() {
+				remaining--
+				if remaining == 0 {
+					out.fire()
+				}
+			})
+		}
+	}
+	return out
+}

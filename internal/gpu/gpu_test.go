@@ -1,0 +1,342 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+
+	"aegaeon/internal/sim"
+)
+
+func newDev(seed int64) (*sim.Engine, *Device) {
+	eng := sim.NewEngine(seed)
+	return eng, NewDevice(eng, "gpu0")
+}
+
+func TestStreamOrdering(t *testing.T) {
+	eng, d := newDev(1)
+	s := d.NewStream("default")
+	var order []string
+	s.Submit(Compute, 10*time.Millisecond, "a", func() { order = append(order, "a") })
+	s.Submit(Compute, 5*time.Millisecond, "b", func() { order = append(order, "b") })
+	eng.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("stream ops out of order: %v", order)
+	}
+	if eng.Now() != 15*time.Millisecond {
+		t.Fatalf("serialized ops finished at %v, want 15ms", eng.Now())
+	}
+}
+
+func TestEnginesOverlap(t *testing.T) {
+	eng, d := newDev(1)
+	sc := d.NewStream("compute")
+	sh := d.NewStream("h2d")
+	var tc, th sim.Time
+	sc.Submit(Compute, 10*time.Millisecond, "kernel", func() { tc = eng.Now() })
+	sh.Submit(H2D, 10*time.Millisecond, "copy", func() { th = eng.Now() })
+	eng.Run()
+	if tc != 10*time.Millisecond || th != 10*time.Millisecond {
+		t.Fatalf("compute and copy did not overlap: compute=%v h2d=%v", tc, th)
+	}
+}
+
+func TestSameEngineSerializesAcrossStreams(t *testing.T) {
+	eng, d := newDev(1)
+	s1 := d.NewStream("s1")
+	s2 := d.NewStream("s2")
+	var t1, t2 sim.Time
+	s1.Submit(H2D, 10*time.Millisecond, "c1", func() { t1 = eng.Now() })
+	s2.Submit(H2D, 10*time.Millisecond, "c2", func() { t2 = eng.Now() })
+	eng.Run()
+	if t1 != 10*time.Millisecond || t2 != 20*time.Millisecond {
+		t.Fatalf("copies on one DMA engine overlapped: t1=%v t2=%v", t1, t2)
+	}
+}
+
+func TestEventRecordAndQuery(t *testing.T) {
+	eng, d := newDev(1)
+	s := d.NewStream("s")
+	s.Submit(Compute, 10*time.Millisecond, "k")
+	ev := s.Record()
+	if ev.Query() {
+		t.Fatal("event complete before work ran")
+	}
+	eng.Run()
+	if !ev.Query() {
+		t.Fatal("event incomplete after work ran")
+	}
+	if ev.CompletedAt() != 10*time.Millisecond {
+		t.Fatalf("event completed at %v, want 10ms", ev.CompletedAt())
+	}
+}
+
+func TestStreamWaitEvent(t *testing.T) {
+	// The §5.3 swap-in scenario: the decode instance's KV-in stream must not
+	// start until the prefill instance's swap-out completes (rule ❷).
+	eng, d1 := newDev(1)
+	d2 := NewDevice(eng, "gpu1")
+	out := d1.NewStream("kv-out")
+	in := d2.NewStream("kv-in")
+
+	out.Submit(D2H, 30*time.Millisecond, "swap-out R1")
+	evOut := out.Record()
+
+	// Pass the event via an IPC handle as between separate instances.
+	in.WaitEvent(OpenEventHandle(evOut.IPCHandle()))
+	var tin sim.Time
+	in.Submit(H2D, 20*time.Millisecond, "swap-in R1", func() { tin = eng.Now() })
+	eng.Run()
+	if tin != 50*time.Millisecond {
+		t.Fatalf("swap-in finished at %v, want 50ms (after 30ms swap-out)", tin)
+	}
+}
+
+func TestWaitEventAlreadyDone(t *testing.T) {
+	eng, d := newDev(1)
+	s := d.NewStream("s")
+	ev := NewCompletedEvent(eng)
+	s.WaitEvent(ev)
+	done := false
+	s.Submit(Compute, time.Millisecond, "k", func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("op behind satisfied barrier never ran")
+	}
+}
+
+func TestMultipleWaitersOneEvent(t *testing.T) {
+	eng, d := newDev(1)
+	src := d.NewStream("src")
+	src.Submit(D2H, 10*time.Millisecond, "out")
+	ev := src.Record()
+	var done []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		w := d.NewStream(name)
+		w.WaitEvent(ev)
+		w.Submit(Compute, time.Millisecond, name, func() { done = append(done, name) })
+	}
+	eng.Run()
+	if len(done) != 3 {
+		t.Fatalf("only %d of 3 waiters ran: %v", len(done), done)
+	}
+}
+
+func TestOnCompleteHostCallback(t *testing.T) {
+	eng, d := newDev(1)
+	s := d.NewStream("s")
+	ev := s.Submit(D2H, 10*time.Millisecond, "copy")
+	var fired sim.Time
+	ev.OnComplete(func() { fired = eng.Now() })
+	eng.Run()
+	if fired != 10*time.Millisecond {
+		t.Fatalf("host callback at %v, want 10ms", fired)
+	}
+	// Immediate fire when already complete.
+	hit := false
+	ev.OnComplete(func() { hit = true })
+	if !hit {
+		t.Fatal("OnComplete on done event did not fire immediately")
+	}
+}
+
+func TestAfterAll(t *testing.T) {
+	eng, d := newDev(1)
+	s1 := d.NewStream("s1")
+	s2 := d.NewStream("s2")
+	e1 := s1.Submit(Compute, 10*time.Millisecond, "a")
+	e2 := s2.Submit(H2D, 25*time.Millisecond, "b")
+	all := AfterAll(eng, e1, e2)
+	eng.Run()
+	if !all.Query() || all.CompletedAt() != 25*time.Millisecond {
+		t.Fatalf("AfterAll completed at %v, want 25ms", all.CompletedAt())
+	}
+	// Empty and already-done cases.
+	if !AfterAll(eng).Query() {
+		t.Fatal("AfterAll() not immediately done")
+	}
+	if !AfterAll(eng, e1, e2).Query() {
+		t.Fatal("AfterAll(done, done) not immediately done")
+	}
+}
+
+func TestBusyTimeAccounting(t *testing.T) {
+	eng, d := newDev(1)
+	s := d.NewStream("s")
+	s.Submit(Compute, 10*time.Millisecond, "k1")
+	s.Submit(Compute, 20*time.Millisecond, "k2")
+	d.NewStream("c").Submit(H2D, 5*time.Millisecond, "c1")
+	eng.Run()
+	if got := d.BusyTime(Compute); got != 30*time.Millisecond {
+		t.Fatalf("compute busy = %v, want 30ms", got)
+	}
+	if got := d.BusyTime(H2D); got != 5*time.Millisecond {
+		t.Fatalf("h2d busy = %v, want 5ms", got)
+	}
+	if got := d.BusyTime(D2H); got != 0 {
+		t.Fatalf("d2h busy = %v, want 0", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	eng, d := newDev(1)
+	s := d.NewStream("s")
+	s.Submit(Compute, 250*time.Millisecond, "k")
+	eng.Run()
+	eng.At(time.Second, func() {}) // advance the clock to 1s
+	eng.Run()
+	u := d.Utilization(Compute, 0, 0)
+	if u < 0.24 || u > 0.26 {
+		t.Fatalf("utilization = %.3f, want 0.25", u)
+	}
+}
+
+func TestPendingOps(t *testing.T) {
+	eng, d := newDev(1)
+	s := d.NewStream("s")
+	s.Submit(Compute, time.Second, "k1")
+	s.Submit(Compute, time.Second, "k2")
+	if s.PendingOps() != 2 {
+		t.Fatalf("pending = %d, want 2", s.PendingOps())
+	}
+	eng.Run()
+	if s.PendingOps() != 0 {
+		t.Fatalf("pending after run = %d", s.PendingOps())
+	}
+}
+
+func TestZeroDurationOp(t *testing.T) {
+	eng, d := newDev(1)
+	s := d.NewStream("s")
+	ran := false
+	s.Submit(Compute, 0, "noop", func() { ran = true })
+	eng.Run()
+	if !ran {
+		t.Fatal("zero-duration op never completed")
+	}
+}
+
+func TestNegativeDurationPanics(t *testing.T) {
+	_, d := newDev(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative-duration Submit did not panic")
+		}
+	}()
+	d.NewStream("s").Submit(Compute, -time.Second, "bad")
+}
+
+func TestWaitNilEventPanics(t *testing.T) {
+	_, d := newDev(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("WaitEvent(nil) did not panic")
+		}
+	}()
+	d.NewStream("s").WaitEvent(nil)
+}
+
+// The Figure 10 scenario end to end: prefill offloads R1..R3 while a decode
+// instance waits per-request; decoding of R1 must start as soon as R1's
+// swap-in completes, not when the whole batch is in.
+func TestFigure10FineGrainedOverlap(t *testing.T) {
+	eng := sim.NewEngine(1)
+	prefill := NewDevice(eng, "prefill0")
+	decode := NewDevice(eng, "decode0")
+	pOut := prefill.NewStream("kv-out")
+	dIn := decode.NewStream("kv-in")
+	dCompute := decode.NewStream("default")
+
+	const per = 10 * time.Millisecond
+	var swapInDone [3]*Event
+	for i := 0; i < 3; i++ {
+		pOut.Submit(D2H, per, "out")
+		outEv := pOut.Record()
+		dIn.WaitEvent(outEv)
+		swapInDone[i] = dIn.Submit(H2D, per, "in")
+	}
+	var decodeStart sim.Time
+	swapInDone[0].OnComplete(func() {
+		decodeStart = eng.Now()
+		dCompute.Submit(Compute, 5*time.Millisecond, "decode{R1}")
+	})
+	eng.Run()
+	// R1 out: 10ms, R1 in: 20ms. Decode must start at 20ms, while R2/R3 are
+	// still transferring (R3 in completes at 40ms).
+	if decodeStart != 20*time.Millisecond {
+		t.Fatalf("decode started at %v, want 20ms (fine-grained sync)", decodeStart)
+	}
+	if swapInDone[2].CompletedAt() != 40*time.Millisecond {
+		t.Fatalf("R3 swap-in at %v, want 40ms", swapInDone[2].CompletedAt())
+	}
+}
+
+// Property: under arbitrary cross-stream WaitEvent edges (a random DAG),
+// (1) all ops eventually complete, (2) per-stream order is preserved, and
+// (3) no op starts before an event it waits on has completed.
+func TestRandomDAGProperty(t *testing.T) {
+	quickCheck := func(seed int64) bool {
+		eng := sim.NewEngine(seed)
+		rng := eng.Rand()
+		d1 := NewDevice(eng, "d1")
+		d2 := NewDevice(eng, "d2")
+		streams := []*Stream{
+			d1.NewStream("a"), d1.NewStream("b"), d2.NewStream("c"),
+		}
+		type rec struct {
+			stream  int
+			doneAt  sim.Time
+			waitFor []*Event
+		}
+		var recs []*rec
+		var events []*Event
+		for i := 0; i < 40; i++ {
+			si := rng.Intn(len(streams))
+			s := streams[si]
+			r := &rec{stream: si}
+			// Random cross-stream dependency on an earlier event.
+			if len(events) > 0 && rng.Intn(2) == 0 {
+				ev := events[rng.Intn(len(events))]
+				s.WaitEvent(ev)
+				r.waitFor = append(r.waitFor, ev)
+			}
+			kind := EngineKind(rng.Intn(3))
+			dur := time.Duration(rng.Intn(10)+1) * time.Millisecond
+			ev := s.Submit(kind, dur, "op", func() { r.doneAt = eng.Now() })
+			events = append(events, ev)
+			recs = append(recs, r)
+		}
+		eng.Run()
+		// (1) all complete
+		for _, ev := range events {
+			if !ev.Query() {
+				return false
+			}
+		}
+		// (2) per-stream order: completion times of ops on one stream are
+		// non-decreasing in submission order.
+		last := map[int]sim.Time{}
+		for _, r := range recs {
+			if r.doneAt < last[r.stream] {
+				return false
+			}
+			last[r.stream] = r.doneAt
+		}
+		// (3) dependencies respected: an op completes no earlier than the
+		// events it waited on.
+		for i, r := range recs {
+			for _, ev := range r.waitFor {
+				if r.doneAt < ev.CompletedAt() {
+					_ = i
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for seed := int64(1); seed <= 50; seed++ {
+		if !quickCheck(seed) {
+			t.Fatalf("DAG property violated at seed %d", seed)
+		}
+	}
+}

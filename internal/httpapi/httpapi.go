@@ -1,0 +1,249 @@
+// Package httpapi exposes the simulator as a small HTTP service
+// (cmd/aegaeon-server): POST a simulation spec, receive the SLO report;
+// POST a trace to characterize it; GET the model catalog. Handlers are
+// stdlib net/http and stateless — every request runs a fresh deterministic
+// simulation.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"aegaeon"
+	"aegaeon/internal/workload"
+)
+
+// SimRequest is the body of POST /v1/simulate.
+type SimRequest struct {
+	GPU         string  `json:"gpu"`          // H800 (default), A10, H20
+	TP          int     `json:"tp"`           // tensor parallel degree
+	PrefillGPUs int     `json:"prefill_gpus"` // default 6
+	DecodeGPUs  int     `json:"decode_gpus"`  // default 10
+	NumModels   int     `json:"num_models"`   // default 8
+	RPS         float64 `json:"rps"`          // per-model req/s, default 0.1
+	HorizonSec  float64 `json:"horizon_sec"`  // default 300
+	Dataset     string  `json:"dataset"`      // sharegpt (default), sharegpt-ix2, sharegpt-ox2
+	System      string  `json:"system"`       // aegaeon (default), serverlessllm, serverlessllm+, muxserve
+	SLOScale    float64 `json:"slo_scale"`    // default 1.0
+	Seed        int64   `json:"seed"`         // default 1
+	Unoptimized bool    `json:"unoptimized"`  // disable §5 optimizations
+	Colocate    bool    `json:"colocate"`     // §8 dynamic colocation
+	// Fault injection (aegaeon system only): crash decoding instance
+	// FailDecodeIdx at FailDecodeAtSec virtual seconds.
+	FailDecodeAtSec float64 `json:"fail_decode_at_sec"`
+	FailDecodeIdx   int     `json:"fail_decode_idx"`
+	TraceInline     []Req   `json:"trace_inline"` // optional explicit trace
+	UseInline       bool    `json:"use_inline"`   // serve TraceInline instead of synthesizing
+}
+
+// Req is an inline trace record.
+type Req struct {
+	Model    string  `json:"model"`
+	ArrivalS float64 `json:"arrival_s"`
+	Input    int     `json:"input_tokens"`
+	Output   int     `json:"output_tokens"`
+}
+
+// SimResponse is the body of a successful simulation.
+type SimResponse struct {
+	System          string  `json:"system"`
+	Requests        int     `json:"requests"`
+	Completed       int     `json:"completed"`
+	Attainment      float64 `json:"token_attainment"`
+	TTFTAttainment  float64 `json:"ttft_attainment"`
+	MeanTTFTMs      float64 `json:"mean_ttft_ms"`
+	Switches        uint64  `json:"switches"`
+	SwitchP50Ms     float64 `json:"switch_p50_ms"`
+	SwitchP99Ms     float64 `json:"switch_p99_ms"`
+	VirtualDuration float64 `json:"virtual_duration_s"`
+}
+
+// Handler returns the service mux.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/simulate", handleSimulate)
+	mux.HandleFunc("/v1/models", handleModels)
+	mux.HandleFunc("/v1/trace/summarize", handleSummarize)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req SimRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if req.RPS == 0 {
+		req.RPS = 0.1
+	}
+	if req.HorizonSec == 0 {
+		req.HorizonSec = 300
+	}
+	if req.HorizonSec < 0 || req.HorizonSec > 7200 {
+		writeErr(w, http.StatusBadRequest, "horizon_sec out of range (0, 7200]")
+		return
+	}
+	if req.SLOScale == 0 {
+		req.SLOScale = 1
+	}
+	if req.NumModels == 0 {
+		req.NumModels = 8
+	}
+	if req.NumModels < 0 || req.NumModels > 512 {
+		writeErr(w, http.StatusBadRequest, "num_models out of range (0, 512]")
+		return
+	}
+	var ds aegaeon.Dataset
+	switch req.Dataset {
+	case "", "sharegpt":
+		ds = aegaeon.ShareGPT()
+	case "sharegpt-ix2":
+		ds = aegaeon.ShareGPTIx2()
+	case "sharegpt-ox2":
+		ds = aegaeon.ShareGPTOx2()
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown dataset %q", req.Dataset)
+		return
+	}
+
+	sys, err := aegaeon.New(aegaeon.Config{
+		GPU:                  req.GPU,
+		TP:                   req.TP,
+		PrefillGPUs:          req.PrefillGPUs,
+		DecodeGPUs:           req.DecodeGPUs,
+		NumModels:            req.NumModels,
+		SLO:                  aegaeon.DefaultSLO().Scale(req.SLOScale),
+		Seed:                 req.Seed,
+		DisableOptimizations: req.Unoptimized,
+		Colocate:             req.Colocate,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.FailDecodeAtSec > 0 {
+		if req.System != "" && req.System != "aegaeon" {
+			writeErr(w, http.StatusBadRequest, "fault injection requires the aegaeon system")
+			return
+		}
+		sys.InjectDecodeFailure(time.Duration(req.FailDecodeAtSec*float64(time.Second)), req.FailDecodeIdx)
+	}
+
+	var trace []aegaeon.Request
+	if req.UseInline {
+		for i, t := range req.TraceInline {
+			if t.Output < 1 || t.ArrivalS < 0 {
+				writeErr(w, http.StatusBadRequest, "trace_inline[%d] invalid", i)
+				return
+			}
+			trace = append(trace, aegaeon.Request{
+				ID:           fmt.Sprintf("r%06d", i),
+				Model:        t.Model,
+				Arrival:      time.Duration(t.ArrivalS * float64(time.Second)),
+				InputTokens:  t.Input,
+				OutputTokens: t.Output,
+			})
+		}
+	} else {
+		trace = sys.GenerateTrace(aegaeon.TraceSpec{
+			RatePerModel: req.RPS,
+			Horizon:      time.Duration(req.HorizonSec * float64(time.Second)),
+			Dataset:      ds,
+		})
+	}
+
+	var rep aegaeon.Report
+	system := req.System
+	if system == "" {
+		system = "aegaeon"
+	}
+	switch system {
+	case "aegaeon":
+		rep, err = sys.Serve(trace)
+	case "serverlessllm":
+		rep, err = sys.ServeBaseline(aegaeon.ServerlessLLM, trace)
+	case "serverlessllm+":
+		rep, err = sys.ServeBaseline(aegaeon.ServerlessLLMPlus, trace)
+	case "muxserve":
+		rep, err = sys.ServeBaseline(aegaeon.MuxServe, trace)
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown system %q", system)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, SimResponse{
+		System:          system,
+		Requests:        rep.Requests,
+		Completed:       rep.Completed,
+		Attainment:      rep.Attainment,
+		TTFTAttainment:  rep.TTFTAttainment,
+		MeanTTFTMs:      float64(rep.MeanTTFT) / float64(time.Millisecond),
+		Switches:        rep.Switches,
+		SwitchP50Ms:     float64(rep.SwitchP50) / float64(time.Millisecond),
+		SwitchP99Ms:     float64(rep.SwitchP99) / float64(time.Millisecond),
+		VirtualDuration: rep.VirtualDuration.Seconds(),
+	})
+}
+
+func handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	type modelInfo struct {
+		Name          string `json:"name"`
+		Params        int64  `json:"params"`
+		WeightBytes   int64  `json:"weight_bytes"`
+		KVShape       string `json:"kv_shape"`
+		KVBytesPerTok int64  `json:"kv_bytes_per_token"`
+	}
+	var out []modelInfo
+	for _, m := range aegaeon.Catalog() {
+		out = append(out, modelInfo{
+			Name:          m.Name,
+			Params:        m.Params,
+			WeightBytes:   m.WeightBytes(),
+			KVShape:       m.KVShape().String(),
+			KVBytesPerTok: m.KVShape().BytesPerToken(),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func handleSummarize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	trace, err := workload.ReadTrace(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := workload.Summarize(trace)
+	writeJSON(w, st)
+}

@@ -1,0 +1,200 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func post(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	switch b := body.(type) {
+	case string:
+		buf.WriteString(b)
+	default:
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(http.MethodPost, path, &buf)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	h := Handler()
+	w := post(t, h, "/v1/simulate", SimRequest{
+		NumModels: 4, PrefillGPUs: 1, DecodeGPUs: 1, RPS: 0.1, HorizonSec: 60,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp SimResponse
+	if err := json.NewDecoder(w.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Completed != resp.Requests || resp.Requests == 0 {
+		t.Fatalf("completed %d/%d", resp.Completed, resp.Requests)
+	}
+	if resp.Attainment <= 0 || resp.Attainment > 1 {
+		t.Fatalf("attainment %v", resp.Attainment)
+	}
+	if resp.System != "aegaeon" {
+		t.Fatalf("system %q", resp.System)
+	}
+}
+
+func TestSimulateBaseline(t *testing.T) {
+	w := post(t, Handler(), "/v1/simulate", SimRequest{
+		NumModels: 4, PrefillGPUs: 1, DecodeGPUs: 1, RPS: 0.1, HorizonSec: 30,
+		System: "muxserve",
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp SimResponse
+	_ = json.NewDecoder(w.Body).Decode(&resp)
+	if resp.System != "muxserve" {
+		t.Fatalf("system %q", resp.System)
+	}
+}
+
+func TestSimulateInlineTrace(t *testing.T) {
+	h := Handler()
+	// Find a valid model name first.
+	req := httptest.NewRequest(http.MethodGet, "/v1/models", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("models status %d", w.Code)
+	}
+	var models []struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(w.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	if len(models) == 0 {
+		t.Fatal("empty catalog")
+	}
+	// Inline traces must target the generated market names, so use a
+	// single-model config with a known generated name ("...-ft000").
+	sim := SimRequest{
+		NumModels: 1, PrefillGPUs: 1, DecodeGPUs: 1, UseInline: true,
+		TraceInline: []Req{
+			{Model: "Qwen-7B-ft000", ArrivalS: 0, Input: 128, Output: 16},
+			{Model: "Qwen-7B-ft000", ArrivalS: 1, Input: 64, Output: 8},
+		},
+	}
+	w2 := post(t, h, "/v1/simulate", sim)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w2.Code, w2.Body)
+	}
+	var resp SimResponse
+	_ = json.NewDecoder(w2.Body).Decode(&resp)
+	if resp.Requests != 2 || resp.Completed != 2 {
+		t.Fatalf("completed %d/%d", resp.Completed, resp.Requests)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	h := Handler()
+	cases := []SimRequest{
+		{NumModels: 4, HorizonSec: 100000},
+		{NumModels: 9999},
+		{NumModels: 4, Dataset: "pile"},
+		{NumModels: 4, System: "vllm", HorizonSec: 10},
+		{NumModels: 4, GPU: "V100", HorizonSec: 10},
+		{NumModels: 1, UseInline: true, TraceInline: []Req{{Model: "x", Output: 0}}},
+	}
+	for i, c := range cases {
+		if w := post(t, h, "/v1/simulate", c); w.Code != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400 (%s)", i, w.Code, w.Body)
+		}
+	}
+	if w := post(t, h, "/v1/simulate", `{not json`); w.Code != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d", w.Code)
+	}
+	// Wrong method.
+	req := httptest.NewRequest(http.MethodGet, "/v1/simulate", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET simulate: status %d", w.Code)
+	}
+}
+
+func TestModelsEndpoint(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet, "/v1/models", nil)
+	w := httptest.NewRecorder()
+	Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{"Qwen-7B", "(32, 2, 32, 128)", "LLaMA-13B"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("catalog missing %q", want)
+		}
+	}
+}
+
+func TestSummarizeEndpoint(t *testing.T) {
+	trace := `{"id":"r1","model":"m","arrival_s":0,"input_tokens":100,"output_tokens":50}
+{"id":"r2","model":"m","arrival_s":10,"input_tokens":200,"output_tokens":70}
+`
+	w := post(t, Handler(), "/v1/trace/summarize", trace)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var st struct {
+		Requests int
+		Models   int
+		MeanIn   float64
+	}
+	if err := json.NewDecoder(w.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 2 || st.Models != 1 || st.MeanIn != 150 {
+		t.Fatalf("summary %+v", st)
+	}
+	if w := post(t, Handler(), "/v1/trace/summarize", "garbage"); w.Code != http.StatusBadRequest {
+		t.Errorf("garbage trace: status %d", w.Code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+}
+
+func TestSimulateColocateAndFailure(t *testing.T) {
+	w := post(t, Handler(), "/v1/simulate", SimRequest{
+		NumModels: 4, PrefillGPUs: 1, DecodeGPUs: 2, RPS: 0.1, HorizonSec: 60,
+		Colocate: true, FailDecodeAtSec: 20, FailDecodeIdx: 1,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp SimResponse
+	_ = json.NewDecoder(w.Body).Decode(&resp)
+	if resp.Completed != resp.Requests {
+		t.Fatalf("completed %d/%d with colocate+failure", resp.Completed, resp.Requests)
+	}
+	// Fault injection on a baseline is rejected.
+	w2 := post(t, Handler(), "/v1/simulate", SimRequest{
+		NumModels: 2, HorizonSec: 10, System: "muxserve", FailDecodeAtSec: 5,
+	})
+	if w2.Code != http.StatusBadRequest {
+		t.Fatalf("baseline fault injection: status %d", w2.Code)
+	}
+}

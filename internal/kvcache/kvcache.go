@@ -1,0 +1,530 @@
+// Package kvcache implements the unified KV caches of §5.2 and the
+// fine-grained KV-cache transfer synchronization of §5.3.
+//
+// A Cache is one tier (GPU VRAM or node DRAM) of slab-allocated, fixed-size
+// KV blocks, with one shape class per distinct per-token KV geometry
+// (Table 1). A Manager owns one GPU tier plus a reference to the shared CPU
+// tier and performs swap-out/swap-in of request Sequences over dedicated
+// KV-out / KV-in streams, enforcing the three data-dependency rules of §5.3:
+//
+//	❶ inference requires the sequence's KV to be resident on the GPU,
+//	❷ a new transfer must wait for the sequence's previous transfer,
+//	❸ freed CPU blocks stay in a move list until in-flight transfers
+//	  touching them complete (reclaimed by a daemon that polls events).
+package kvcache
+
+import (
+	"fmt"
+	"time"
+
+	"aegaeon/internal/gpu"
+	"aegaeon/internal/latency"
+	"aegaeon/internal/memory"
+	"aegaeon/internal/model"
+	"aegaeon/internal/sim"
+)
+
+// Cache is one tier of unified KV storage.
+type Cache struct {
+	name        string
+	pool        *memory.SlabPool
+	blockTokens int
+	classes     map[string]int64 // label -> block bytes
+}
+
+// NewCache builds a tier over capacity bytes with the given slab size and
+// tokens-per-block granularity.
+func NewCache(name string, capacity, slabSize int64, blockTokens int) *Cache {
+	if blockTokens <= 0 {
+		panic("kvcache: blockTokens must be positive")
+	}
+	return &Cache{
+		name:        name,
+		pool:        memory.NewSlabPool(capacity, slabSize),
+		blockTokens: blockTokens,
+		classes:     map[string]int64{},
+	}
+}
+
+// RegisterShape declares the shape class for a model's KV geometry and
+// returns the class label. Models with identical shapes share a class.
+func (c *Cache) RegisterShape(s model.KVShape) (string, error) {
+	label := s.String()
+	blockBytes := s.BytesPerToken() * int64(c.blockTokens)
+	if err := c.pool.Register(label, blockBytes); err != nil {
+		return "", err
+	}
+	c.classes[label] = blockBytes
+	return label, nil
+}
+
+// BlocksFor returns the number of blocks needed to hold tokens.
+func (c *Cache) BlocksFor(tokens int) int {
+	return (tokens + c.blockTokens - 1) / c.blockTokens
+}
+
+// BlockBytes returns the per-block byte size of a class.
+func (c *Cache) BlockBytes(class string) int64 { return c.classes[class] }
+
+// MaxTokens returns how many tokens of the class the tier could hold if
+// entirely dedicated to it.
+func (c *Cache) MaxTokens(class string) int64 {
+	bb := c.classes[class]
+	if bb == 0 {
+		return 0
+	}
+	perSlab := c.pool.SlabSize() / bb
+	slabs := c.pool.Capacity() / c.pool.SlabSize()
+	return slabs * perSlab * int64(c.blockTokens)
+}
+
+// FreeTokensAvailable estimates how many more tokens of the class can be
+// allocated right now.
+func (c *Cache) FreeTokensAvailable(class string) int64 {
+	n, err := c.pool.FreeBlocksAvailable(class)
+	if err != nil {
+		return 0
+	}
+	return int64(n) * int64(c.blockTokens)
+}
+
+// Pool exposes the underlying slab pool (for fragmentation statistics).
+func (c *Cache) Pool() *memory.SlabPool { return c.pool }
+
+// alloc acquires blocks for tokens of the class. Capacity is pre-checked in
+// O(1) so an oversized request fails fast instead of allocating hundreds of
+// blocks and rolling them back — swap-in retry storms under memory pressure
+// would otherwise turn quadratic.
+func (c *Cache) alloc(class string, tokens int) ([]memory.Block, error) {
+	n := c.BlocksFor(tokens)
+	if avail, err := c.pool.FreeBlocksAvailable(class); err != nil {
+		return nil, fmt.Errorf("kvcache %s: %w", c.name, err)
+	} else if avail < n {
+		return nil, fmt.Errorf("kvcache %s: need %d blocks of %s, %d available: %w",
+			c.name, n, class, avail, memory.ErrOutOfMemory)
+	}
+	blocks := make([]memory.Block, 0, n)
+	for i := 0; i < n; i++ {
+		b, err := c.pool.Alloc(class)
+		if err != nil {
+			// Roll back partial allocation.
+			for _, rb := range blocks {
+				if ferr := c.pool.Free(rb); ferr != nil {
+					panic(fmt.Sprintf("kvcache: rollback free failed: %v", ferr))
+				}
+			}
+			return nil, fmt.Errorf("kvcache %s: %w", c.name, err)
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks, nil
+}
+
+// State is the residency state of a sequence's KV cache.
+type State int
+
+const (
+	// StateGPU: resident in VRAM; inference may run (rule ❶ satisfied).
+	StateGPU State = iota
+	// StateSwappingOut: D2H transfer in flight.
+	StateSwappingOut
+	// StateCPU: resident in host memory.
+	StateCPU
+	// StateSwappingIn: H2D transfer in flight.
+	StateSwappingIn
+	// StateFreed: released.
+	StateFreed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateGPU:
+		return "gpu"
+	case StateSwappingOut:
+		return "swapping-out"
+	case StateCPU:
+		return "cpu"
+	case StateSwappingIn:
+		return "swapping-in"
+	case StateFreed:
+		return "freed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Sequence is the KV cache of one request.
+type Sequence struct {
+	ID    string
+	Class string
+	Shape model.KVShape
+
+	tokens    int
+	state     State
+	gpuBlocks []memory.Block
+	cpuBlocks []memory.Block
+	gpuCache  *Cache // tier currently/last holding the GPU copy
+	cpuCache  *Cache
+	lastXfer  *gpu.Event // most recent transfer touching this sequence (rule ❷)
+
+	xferWait time.Duration // cumulative exposed data-plane wait (Fig. 14/15)
+}
+
+// Tokens returns the number of tokens cached.
+func (s *Sequence) Tokens() int { return s.tokens }
+
+// State returns the residency state.
+func (s *Sequence) State() State { return s.state }
+
+// Bytes returns the total KV bytes of the sequence.
+func (s *Sequence) Bytes() int64 {
+	return s.Shape.BytesPerToken() * int64(s.tokens)
+}
+
+// LastTransfer returns the event of the sequence's most recent transfer
+// (nil if none). Shareable across instances via IPC handles.
+func (s *Sequence) LastTransfer() *gpu.Event { return s.lastXfer }
+
+// TransferWait returns the cumulative exposed wait attributed to this
+// sequence's KV transfers.
+func (s *Sequence) TransferWait() time.Duration { return s.xferWait }
+
+// AddTransferWait accrues exposed data-plane wait time (called by the
+// instance when a batch stalls on rule ❶).
+func (s *Sequence) AddTransferWait(d time.Duration) { s.xferWait += d }
+
+// SurvivesHostOnly reports whether the sequence can be resumed using only
+// host memory — i.e. a complete copy resides in the CPU tier. Used by
+// crash recovery: VRAM contents die with an instance; the unified CPU KV
+// cache does not.
+func (s *Sequence) SurvivesHostOnly() bool { return s.state == StateCPU }
+
+// Abandon releases the sequence's bookkeeping after its owning instance
+// crashed: CPU-tier blocks are returned (any in-flight reads of them died
+// with the instance; there is no payload to corrupt in the simulation), and
+// GPU-tier blocks are dropped without pool updates — the device's memory is
+// gone with the instance. The sequence ends in StateFreed.
+func (s *Sequence) Abandon() {
+	for _, b := range s.cpuBlocks {
+		// Best effort: blocks may already be parked in move lists.
+		_ = s.cpuCache.pool.Free(b)
+	}
+	s.cpuBlocks = nil
+	s.gpuBlocks = nil
+	s.state = StateFreed
+}
+
+// Manager performs KV transfers for one GPU instance.
+type Manager struct {
+	eng  *sim.Engine
+	dev  *gpu.Device
+	prof *latency.Profile
+
+	GPUCache *Cache
+	CPUCache *Cache
+
+	kvIn, kvOut *gpu.Stream
+
+	moveList  *MoveList
+	stats     Stats
+	ctrlDelay time.Duration // per control operation (index/event bookkeeping)
+}
+
+// Stats counts data-plane activity for Fig. 14's control/data overhead
+// breakdown and Fig. 15's CDFs.
+type Stats struct {
+	SwapOuts    uint64
+	SwapIns     uint64
+	BytesOut    int64
+	BytesIn     int64
+	ControlOps  uint64
+	ControlTime time.Duration
+}
+
+// NewManager builds a transfer manager for dev, using the shared CPU cache.
+func NewManager(dev *gpu.Device, prof *latency.Profile, gpuCache, cpuCache *Cache, daemonPoll time.Duration) *Manager {
+	m := &Manager{
+		eng:       dev.Sim(),
+		dev:       dev,
+		prof:      prof,
+		GPUCache:  gpuCache,
+		CPUCache:  cpuCache,
+		kvIn:      dev.NewStream("kv-in"),
+		kvOut:     dev.NewStream("kv-out"),
+		ctrlDelay: 20 * time.Microsecond,
+	}
+	m.moveList = NewMoveList(dev.Sim(), cpuCache.pool, daemonPoll)
+	return m
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// MoveListLen returns the number of CPU blocks awaiting daemon reclamation.
+func (m *Manager) MoveListLen() int { return m.moveList.Len() }
+
+func (m *Manager) control(n int) {
+	m.stats.ControlOps += uint64(n)
+	m.stats.ControlTime += time.Duration(n) * m.ctrlDelay
+}
+
+// NewSequence allocates GPU KV for a fresh request (at prefill admission).
+func (m *Manager) NewSequence(id string, shape model.KVShape, tokens int) (*Sequence, error) {
+	class, err := m.GPUCache.RegisterShape(shape)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.CPUCache.RegisterShape(shape); err != nil {
+		return nil, err
+	}
+	blocks, err := m.GPUCache.alloc(class, tokens)
+	if err != nil {
+		return nil, err
+	}
+	m.control(1)
+	return &Sequence{
+		ID:        id,
+		Class:     class,
+		Shape:     shape,
+		tokens:    tokens,
+		state:     StateGPU,
+		gpuBlocks: blocks,
+		gpuCache:  m.GPUCache,
+		cpuCache:  m.CPUCache,
+	}, nil
+}
+
+// AppendTokens extends a GPU-resident sequence by n tokens, allocating
+// blocks as needed. Fails with memory.ErrOutOfMemory when the GPU tier is
+// full (the caller preempts in response).
+func (m *Manager) AppendTokens(seq *Sequence, n int) error {
+	if seq.state != StateGPU {
+		return fmt.Errorf("kvcache: append to sequence %s in state %s", seq.ID, seq.state)
+	}
+	cache := seq.gpuCache
+	need := cache.BlocksFor(seq.tokens+n) - len(seq.gpuBlocks)
+	if need > 0 {
+		blocks, err := cache.alloc(seq.Class, need*cache.blockTokens)
+		if err != nil {
+			return err
+		}
+		seq.gpuBlocks = append(seq.gpuBlocks, blocks...)
+	}
+	seq.tokens += n
+	return nil
+}
+
+// SwapOut starts offloading the sequence to the CPU tier (scale-down path).
+// The transfer waits for the sequence's previous transfer (rule ❷). GPU
+// blocks are released when the copy completes. Returns the transfer event.
+func (m *Manager) SwapOut(seq *Sequence) (*gpu.Event, error) {
+	if seq.state != StateGPU {
+		return nil, fmt.Errorf("kvcache: swap-out of sequence %s in state %s", seq.ID, seq.state)
+	}
+	cpuBlocks, err := m.CPUCache.alloc(seq.Class, seq.tokens)
+	if err != nil {
+		return nil, err
+	}
+	seq.cpuBlocks = cpuBlocks
+	seq.state = StateSwappingOut
+	if seq.lastXfer != nil && !seq.lastXfer.Query() {
+		m.kvOut.WaitEvent(seq.lastXfer) // rule ❷
+		m.control(1)
+	}
+	bytes := seq.Bytes()
+	gpuBlocks := seq.gpuBlocks
+	srcCache := seq.gpuCache
+	seq.gpuBlocks = nil
+	ev := m.kvOut.Submit(gpu.D2H, m.prof.PCIeCopy(bytes), "kv-out "+seq.ID, func() {
+		// Source GPU blocks are safe to release once the copy has read them.
+		for _, b := range gpuBlocks {
+			if err := srcCache.pool.Free(b); err != nil {
+				panic(fmt.Sprintf("kvcache: gpu free after swap-out: %v", err))
+			}
+		}
+		// A swap-in may already have been issued against this sequence
+		// (Fig. 10's overlapped handoff); do not clobber its state.
+		if seq.state == StateSwappingOut {
+			seq.state = StateCPU
+		}
+	})
+	seq.lastXfer = ev
+	m.stats.SwapOuts++
+	m.stats.BytesOut += bytes
+	m.control(2) // event record + block index updates
+	return ev, nil
+}
+
+// SwapIn starts loading the sequence back into this manager's GPU tier
+// (scale-up path). It may be called while the swap-out (possibly issued by a
+// different instance) is still in flight: the KV-in stream waits on the
+// sequence's last transfer event (rule ❷, cross-instance via IPC events).
+// The CPU source blocks are logically freed immediately but parked in the
+// move list until the daemon observes the transfer complete (rule ❸).
+func (m *Manager) SwapIn(seq *Sequence) (*gpu.Event, error) {
+	if seq.state != StateCPU && seq.state != StateSwappingOut {
+		return nil, fmt.Errorf("kvcache: swap-in of sequence %s in state %s", seq.ID, seq.state)
+	}
+	class, err := m.GPUCache.RegisterShape(seq.Shape)
+	if err != nil {
+		return nil, err
+	}
+	gpuBlocks, err := m.GPUCache.alloc(class, seq.tokens)
+	if err != nil {
+		return nil, err
+	}
+	if seq.lastXfer != nil && !seq.lastXfer.Query() {
+		m.kvIn.WaitEvent(seq.lastXfer) // rule ❷
+		m.control(1)
+	}
+	seq.state = StateSwappingIn
+	bytes := seq.Bytes()
+	cpuBlocks := seq.cpuBlocks
+	seq.cpuBlocks = nil
+	ev := m.kvIn.Submit(gpu.H2D, m.prof.PCIeCopy(bytes), "kv-in "+seq.ID, func() {
+		// Guard against a crash-recovery Abandon racing the transfer.
+		if seq.state == StateSwappingIn {
+			seq.state = StateGPU
+		}
+	})
+	// Rule ❸: the CPU copies become garbage once read, but they must not be
+	// reallocated until the read completes. Park them in the move list.
+	for _, b := range cpuBlocks {
+		if err := m.CPUCache.pool.FreeBlocked(b); err != nil {
+			panic(fmt.Sprintf("kvcache: cpu free-blocked: %v", err))
+		}
+	}
+	m.moveList.Add(cpuBlocks, ev)
+	seq.gpuBlocks = gpuBlocks
+	seq.gpuCache = m.GPUCache
+	seq.lastXfer = ev
+	m.stats.SwapIns++
+	m.stats.BytesIn += bytes
+	m.control(2)
+	return ev, nil
+}
+
+// Free releases the sequence's blocks (request completed or aborted). A
+// sequence with an in-flight transfer parks its blocks in move lists.
+func (m *Manager) Free(seq *Sequence) error {
+	switch seq.state {
+	case StateGPU:
+		for _, b := range seq.gpuBlocks {
+			if err := seq.gpuCache.pool.Free(b); err != nil {
+				return err
+			}
+		}
+	case StateCPU:
+		for _, b := range seq.cpuBlocks {
+			if err := m.CPUCache.pool.Free(b); err != nil {
+				return err
+			}
+		}
+	case StateSwappingOut:
+		// GPU blocks are released by the swap-out completion; CPU target
+		// blocks must survive until the write completes.
+		for _, b := range seq.cpuBlocks {
+			if err := m.CPUCache.pool.FreeBlocked(b); err != nil {
+				return err
+			}
+		}
+		m.moveList.Add(seq.cpuBlocks, seq.lastXfer)
+	case StateSwappingIn:
+		// GPU target blocks must survive until the write completes; reuse
+		// the move-list mechanism on the GPU pool via OnComplete.
+		blocks := seq.gpuBlocks
+		cache := seq.gpuCache
+		seq.lastXfer.OnComplete(func() {
+			for _, b := range blocks {
+				if err := cache.pool.Free(b); err != nil {
+					panic(fmt.Sprintf("kvcache: deferred gpu free: %v", err))
+				}
+			}
+		})
+	case StateFreed:
+		return fmt.Errorf("kvcache: double free of sequence %s", seq.ID)
+	}
+	seq.gpuBlocks, seq.cpuBlocks = nil, nil
+	seq.state = StateFreed
+	m.control(1)
+	return nil
+}
+
+// MoveList tracks CPU blocks that are logically free but possibly still
+// referenced by in-flight transfers (§5.3). A daemon polls the associated
+// events every poll interval and unblocks completed entries (step ⑧).
+type MoveList struct {
+	eng     *sim.Engine
+	pool    *memory.SlabPool
+	poll    time.Duration
+	entries []moveEntry
+	armed   bool
+}
+
+type moveEntry struct {
+	blocks []memory.Block
+	ev     *gpu.Event
+}
+
+// NewMoveList builds a move list with the given daemon poll interval. A
+// non-positive interval reclaims synchronously on event completion
+// (equivalent to an infinitely fast daemon).
+func NewMoveList(eng *sim.Engine, pool *memory.SlabPool, poll time.Duration) *MoveList {
+	return &MoveList{eng: eng, pool: pool, poll: poll}
+}
+
+// Add registers blocks guarded by the transfer event.
+func (l *MoveList) Add(blocks []memory.Block, ev *gpu.Event) {
+	if len(blocks) == 0 {
+		return
+	}
+	if l.poll <= 0 {
+		ev.OnComplete(func() {
+			for _, b := range blocks {
+				if err := l.pool.Unblock(b); err != nil {
+					panic(fmt.Sprintf("kvcache: move list unblock: %v", err))
+				}
+			}
+		})
+		return
+	}
+	l.entries = append(l.entries, moveEntry{blocks: blocks, ev: ev})
+	if !l.armed {
+		l.armed = true
+		l.eng.After(l.poll, l.daemon)
+	}
+}
+
+// daemon is the periodic reclamation pass.
+func (l *MoveList) daemon() {
+	kept := l.entries[:0]
+	for _, e := range l.entries {
+		if e.ev.Query() {
+			for _, b := range e.blocks {
+				if err := l.pool.Unblock(b); err != nil {
+					panic(fmt.Sprintf("kvcache: move list unblock: %v", err))
+				}
+			}
+			continue
+		}
+		kept = append(kept, e)
+	}
+	l.entries = kept
+	if len(l.entries) > 0 {
+		l.eng.After(l.poll, l.daemon)
+	} else {
+		l.armed = false
+	}
+}
+
+// Len returns the number of pending move-list entries' blocks.
+func (l *MoveList) Len() int {
+	n := 0
+	for _, e := range l.entries {
+		n += len(e.blocks)
+	}
+	return n
+}
+
+// DebugGPUBlocks returns the count of GPU blocks currently attached to the
+// sequence (test diagnostics only).
+func (s *Sequence) DebugGPUBlocks() int { return len(s.gpuBlocks) }

@@ -1,0 +1,25 @@
+package latency
+
+import (
+	"testing"
+
+	"aegaeon/internal/model"
+)
+
+func BenchmarkDecodeStepModel(b *testing.B) {
+	m, _ := model.ByName("Qwen-7B")
+	cm := NewCostModel(H800(), m, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = cm.DecodeStep(int64(i % 100000))
+	}
+}
+
+func BenchmarkPrefillModel(b *testing.B) {
+	m, _ := model.ByName("LLaMA-13B")
+	cm := NewCostModel(H800(), m, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = cm.Prefill(1 + i%4096)
+	}
+}

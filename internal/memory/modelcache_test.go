@@ -1,0 +1,127 @@
+package memory
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestModelCacheHitMiss(t *testing.T) {
+	c := NewModelCache(100)
+	if c.Contains("a") {
+		t.Fatal("empty cache reported hit")
+	}
+	if err := c.Insert("a", 40); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains("a") {
+		t.Fatal("inserted model not found")
+	}
+	h, m, _ := c.Stats()
+	if h != 1 || m != 1 {
+		t.Fatalf("stats = %d hits, %d misses; want 1, 1", h, m)
+	}
+}
+
+func TestModelCacheLRUEviction(t *testing.T) {
+	c := NewModelCache(100)
+	for _, m := range []struct {
+		n string
+		b int64
+	}{{"a", 40}, {"b", 40}} {
+		if err := c.Insert(m.n, m.b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Contains("a") // make "b" the LRU
+	if err := c.Insert("c", 40); err != nil {
+		t.Fatal(err)
+	}
+	if c.Peek("b") {
+		t.Error("LRU model b not evicted")
+	}
+	if !c.Peek("a") || !c.Peek("c") {
+		t.Error("wrong model evicted")
+	}
+	_, _, ev := c.Stats()
+	if ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestModelCachePinBlocksEviction(t *testing.T) {
+	c := NewModelCache(100)
+	if err := c.Insert("a", 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Pin("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("b", 60); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("insert that would evict pinned model = %v, want OOM", err)
+	}
+	if err := c.Unpin("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("b", 60); err != nil {
+		t.Fatalf("insert after unpin failed: %v", err)
+	}
+}
+
+func TestModelCacheOversized(t *testing.T) {
+	c := NewModelCache(100)
+	if err := c.Insert("xxl", 101); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("oversized insert = %v, want OOM", err)
+	}
+}
+
+func TestModelCacheReinsertIsTouch(t *testing.T) {
+	c := NewModelCache(100)
+	_ = c.Insert("a", 40)
+	_ = c.Insert("b", 40)
+	_ = c.Insert("a", 40) // touch, not duplicate
+	if c.Used() != 80 {
+		t.Fatalf("used = %d after re-insert, want 80", c.Used())
+	}
+	_ = c.Insert("c", 40) // must evict b, the LRU
+	if c.Peek("b") || !c.Peek("a") {
+		t.Error("re-insert did not refresh LRU position")
+	}
+}
+
+func TestModelCachePinErrors(t *testing.T) {
+	c := NewModelCache(100)
+	if err := c.Pin("ghost"); err == nil {
+		t.Error("pin of absent model returned nil error")
+	}
+	_ = c.Insert("a", 10)
+	if err := c.Unpin("a"); err == nil {
+		t.Error("unpin of unpinned model returned nil error")
+	}
+}
+
+func TestHostLayoutProportions(t *testing.T) {
+	// §7.1 testbed: 2 TB DRAM, 8 GPUs per node.
+	h := NewHostLayout(2<<40, 8, 64<<20)
+	if h.StageBufBytes != 2<<30 || h.StageBufCount != 8 {
+		t.Fatalf("stage buffers = %d x %d bytes", h.StageBufCount, h.StageBufBytes)
+	}
+	total := h.ModelCache.Capacity() + h.CPUKV.Capacity() +
+		h.StageBufBytes*int64(h.StageBufCount)
+	if total > h.TotalDRAMBytes {
+		t.Fatalf("layout oversubscribes DRAM: %d > %d", total, h.TotalDRAMBytes)
+	}
+	// Model cache should be roughly 2x the CPU KV region (Fig. 9: 640 vs 320 GB).
+	ratio := float64(h.ModelCache.Capacity()) / float64(h.CPUKV.Capacity())
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("model-cache:KV ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestHostLayoutPanicsWhenTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("tiny DRAM layout did not panic")
+		}
+	}()
+	NewHostLayout(1<<30, 8, 64<<20) // 1 GB cannot hold 8 x 2 GB stage buffers
+}

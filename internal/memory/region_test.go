@@ -1,0 +1,127 @@
+package memory
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionAllocFirstFit(t *testing.T) {
+	r := NewRegionAlloc(100)
+	a, err := r.Alloc(30)
+	if err != nil || a != 0 {
+		t.Fatalf("first alloc = (%d, %v)", a, err)
+	}
+	b, err := r.Alloc(30)
+	if err != nil || b != 30 {
+		t.Fatalf("second alloc = (%d, %v)", b, err)
+	}
+	if err := r.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	// First fit reuses the freed hole.
+	c, err := r.Alloc(20)
+	if err != nil || c != 0 {
+		t.Fatalf("hole not reused: (%d, %v)", c, err)
+	}
+}
+
+func TestRegionCoalescing(t *testing.T) {
+	r := NewRegionAlloc(100)
+	var offs []int64
+	for i := 0; i < 5; i++ {
+		o, err := r.Alloc(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, o)
+	}
+	// Free in arbitrary order; everything must coalesce back to one span.
+	for _, i := range []int{2, 0, 4, 1, 3} {
+		if err := r.Free(offs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Fragments() != 1 || r.LargestFree() != 100 {
+		t.Fatalf("not coalesced: %d fragments, largest %d", r.Fragments(), r.LargestFree())
+	}
+}
+
+func TestRegionOOMAndFragmentation(t *testing.T) {
+	r := NewRegionAlloc(100)
+	a, _ := r.Alloc(40)
+	b, _ := r.Alloc(20)
+	if _, err := r.Alloc(50); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("oversized alloc = %v", err)
+	}
+	_ = r.Free(a)
+	// 40 free at the front, 40 at the back — but no contiguous 50.
+	if _, err := r.Alloc(50); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("fragmented alloc should fail: %v", err)
+	}
+	if r.LargestFree() != 40 {
+		t.Fatalf("largest free = %d", r.LargestFree())
+	}
+	_ = r.Free(b)
+	if _, err := r.Alloc(100); err != nil {
+		t.Fatalf("full-capacity alloc after coalesce failed: %v", err)
+	}
+}
+
+func TestRegionFreeErrors(t *testing.T) {
+	r := NewRegionAlloc(100)
+	if err := r.Free(0); err == nil {
+		t.Error("free of never-allocated offset succeeded")
+	}
+	o, _ := r.Alloc(10)
+	_ = r.Free(o)
+	if err := r.Free(o); err == nil {
+		t.Error("double free succeeded")
+	}
+	if _, err := r.Alloc(0); err == nil {
+		t.Error("zero-size alloc succeeded")
+	}
+}
+
+// Property: random alloc/free sequences preserve the accounting invariant
+// used + Σ free spans == capacity, allocations never overlap, and frees
+// always coalesce adjacent spans.
+func TestRegionInvariantProperty(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		r := NewRegionAlloc(1 << 16)
+		type alloc struct{ off, size int64 }
+		var live []alloc
+		for _, op := range ops {
+			if op%3 != 0 && len(live) > 0 { // free
+				i := int(op) % len(live)
+				if r.Free(live[i].off) != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			} else { // alloc
+				size := int64(op%1024) + 1
+				off, err := r.Alloc(size)
+				if err != nil {
+					if !errors.Is(err, ErrOutOfMemory) {
+						return false
+					}
+					continue
+				}
+				for _, a := range live {
+					if off < a.off+a.size && a.off < off+size {
+						return false // overlap
+					}
+				}
+				live = append(live, alloc{off, size})
+			}
+		}
+		var sum int64
+		for _, a := range live {
+			sum += a.size
+		}
+		return r.Used() == sum && r.FreeBytes() == r.Capacity()-sum
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,334 @@
+package memory
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Block identifies one KV-cache block inside a SlabPool.
+type Block struct {
+	Class string // shape class label
+	Slab  int    // slab id within the pool
+	Index int    // block index within the slab
+}
+
+// SlabPool implements the unified KV cache allocation of §5.2: a memory
+// region is divided into fixed-size slabs; each slab is dynamically assigned
+// to one block shape and serves as a pool of fixed-size blocks of that
+// shape. Freeing the last block of a slab returns the slab to the shared
+// free list, so shapes borrow capacity from each other over time.
+type SlabPool struct {
+	slabSize  int64
+	slabCount int
+	freeSlabs []int
+	classes   map[string]*slabClass
+	slabOwner []string // slab id -> class label ("" if free)
+
+	peakAllocated int64 // high-water mark of slab bytes held by classes
+}
+
+type slabClass struct {
+	label         string
+	blockBytes    int64
+	blocksPerSlab int
+	slabs         map[int]*slab
+	freeBlocks    []Block // LIFO free list
+	used          int     // blocks in use
+	peakAllocated int64   // high-water of slab bytes held by this class
+}
+
+type slab struct {
+	id      int
+	inUse   int
+	live    map[int]bool // indices currently allocated
+	blocked map[int]bool // indices currently unavailable for allocation (move lists)
+}
+
+// NewSlabPool divides capacity bytes into slabs of slabSize bytes each.
+func NewSlabPool(capacity, slabSize int64) *SlabPool {
+	if slabSize <= 0 || capacity < slabSize {
+		panic(fmt.Sprintf("memory: bad slab pool geometry capacity=%d slabSize=%d", capacity, slabSize))
+	}
+	n := int(capacity / slabSize)
+	p := &SlabPool{
+		slabSize:  slabSize,
+		slabCount: n,
+		classes:   map[string]*slabClass{},
+		slabOwner: make([]string, n),
+	}
+	// Keep the free list sorted so allocation order is deterministic.
+	p.freeSlabs = make([]int, n)
+	for i := range p.freeSlabs {
+		p.freeSlabs[i] = n - 1 - i // pop from the end -> ascending slab ids
+	}
+	return p
+}
+
+// Register declares a shape class with the given per-block byte size.
+// Registering the same label twice with a different size is an error.
+func (p *SlabPool) Register(label string, blockBytes int64) error {
+	if blockBytes <= 0 {
+		return fmt.Errorf("memory: non-positive block size %d for class %q", blockBytes, label)
+	}
+	if blockBytes > p.slabSize {
+		return fmt.Errorf("memory: block size %d exceeds slab size %d for class %q",
+			blockBytes, p.slabSize, label)
+	}
+	if c, ok := p.classes[label]; ok {
+		if c.blockBytes != blockBytes {
+			return fmt.Errorf("memory: class %q re-registered with size %d != %d",
+				label, blockBytes, c.blockBytes)
+		}
+		return nil
+	}
+	p.classes[label] = &slabClass{
+		label:         label,
+		blockBytes:    blockBytes,
+		blocksPerSlab: int(p.slabSize / blockBytes),
+		slabs:         map[int]*slab{},
+	}
+	return nil
+}
+
+// Alloc returns a free block of the given class, acquiring a new slab for
+// the class if necessary. It fails with ErrOutOfMemory when the class has no
+// free blocks and no free slabs remain.
+func (p *SlabPool) Alloc(label string) (Block, error) {
+	c, ok := p.classes[label]
+	if !ok {
+		return Block{}, fmt.Errorf("memory: unregistered class %q", label)
+	}
+	for len(c.freeBlocks) > 0 {
+		b := c.freeBlocks[len(c.freeBlocks)-1]
+		c.freeBlocks = c.freeBlocks[:len(c.freeBlocks)-1]
+		s := c.slabs[b.Slab]
+		if s == nil {
+			continue // slab was reclaimed; stale free-list entry
+		}
+		if s.blocked[b.Index] {
+			// Block is in a move list (§5.3 rule ❸); skip it for now. It is
+			// re-added to the free list when the transfer completes.
+			continue
+		}
+		s.inUse++
+		s.live[b.Index] = true
+		c.used++
+		return b, nil
+	}
+	// Acquire a fresh slab.
+	if len(p.freeSlabs) == 0 {
+		return Block{}, fmt.Errorf("%w: no free slabs for class %q", ErrOutOfMemory, label)
+	}
+	id := p.freeSlabs[len(p.freeSlabs)-1]
+	p.freeSlabs = p.freeSlabs[:len(p.freeSlabs)-1]
+	s := &slab{id: id, live: map[int]bool{}}
+	c.slabs[id] = s
+	p.slabOwner[id] = label
+	if alloc := c.allocatedBytes(p.slabSize); alloc > c.peakAllocated {
+		c.peakAllocated = alloc
+	}
+	if total := p.allocatedBytes(); total > p.peakAllocated {
+		p.peakAllocated = total
+	}
+	// Push all blocks except index 0 (which we hand out) onto the free list,
+	// in reverse so they pop in ascending order.
+	for i := c.blocksPerSlab - 1; i >= 1; i-- {
+		c.freeBlocks = append(c.freeBlocks, Block{Class: label, Slab: id, Index: i})
+	}
+	s.inUse++
+	s.live[0] = true
+	c.used++
+	return Block{Class: label, Slab: id, Index: 0}, nil
+}
+
+// Free returns a block to its class. If its slab becomes empty (and has no
+// blocked indices), the slab is reclaimed into the shared pool.
+func (p *SlabPool) Free(b Block) error {
+	c, ok := p.classes[b.Class]
+	if !ok {
+		return fmt.Errorf("memory: free of block with unknown class %q", b.Class)
+	}
+	s, ok := c.slabs[b.Slab]
+	if !ok {
+		return fmt.Errorf("memory: free of block in unowned slab %d (class %q)", b.Slab, b.Class)
+	}
+	if !s.live[b.Index] {
+		return fmt.Errorf("memory: double free of block %v", b)
+	}
+	delete(s.live, b.Index)
+	s.inUse--
+	c.used--
+	if s.inUse == 0 && len(s.blocked) == 0 {
+		p.reclaim(c, s)
+		return nil
+	}
+	c.freeBlocks = append(c.freeBlocks, b)
+	return nil
+}
+
+// FreeBlocked marks a freed block as unavailable for reuse because an
+// asynchronous transfer may still be reading or writing it (§5.3 rule ❸,
+// move lists). Unblock must be called once the transfer completes.
+func (p *SlabPool) FreeBlocked(b Block) error {
+	c, ok := p.classes[b.Class]
+	if !ok {
+		return fmt.Errorf("memory: free of block with unknown class %q", b.Class)
+	}
+	s, ok := c.slabs[b.Slab]
+	if !ok {
+		return fmt.Errorf("memory: free of block in unowned slab %d (class %q)", b.Slab, b.Class)
+	}
+	if !s.live[b.Index] {
+		return fmt.Errorf("memory: double free of block %v", b)
+	}
+	delete(s.live, b.Index)
+	s.inUse--
+	c.used--
+	if s.blocked == nil {
+		s.blocked = map[int]bool{}
+	}
+	s.blocked[b.Index] = true
+	return nil
+}
+
+// Unblock makes a previously FreeBlocked block allocatable again — the
+// daemon thread's reclamation step (§5.3 step ⑧).
+func (p *SlabPool) Unblock(b Block) error {
+	c, ok := p.classes[b.Class]
+	if !ok {
+		return fmt.Errorf("memory: unblock of block with unknown class %q", b.Class)
+	}
+	s, ok := c.slabs[b.Slab]
+	if !ok {
+		return fmt.Errorf("memory: unblock of block in unowned slab %d", b.Slab)
+	}
+	if !s.blocked[b.Index] {
+		return fmt.Errorf("memory: unblock of non-blocked block %v", b)
+	}
+	delete(s.blocked, b.Index)
+	if s.inUse == 0 && len(s.blocked) == 0 {
+		p.reclaim(c, s)
+		return nil
+	}
+	c.freeBlocks = append(c.freeBlocks, b)
+	return nil
+}
+
+func (p *SlabPool) reclaim(c *slabClass, s *slab) {
+	delete(c.slabs, s.id)
+	p.slabOwner[s.id] = ""
+	p.freeSlabs = append(p.freeSlabs, s.id)
+	// Purge stale free-list entries for the reclaimed slab: if the class
+	// later reacquires the same slab id, leftover entries would alias the
+	// fresh slab's blocks.
+	kept := c.freeBlocks[:0]
+	for _, b := range c.freeBlocks {
+		if b.Slab != s.id {
+			kept = append(kept, b)
+		}
+	}
+	c.freeBlocks = kept
+}
+
+func (c *slabClass) allocatedBytes(slabSize int64) int64 {
+	return int64(len(c.slabs)) * slabSize
+}
+
+func (p *SlabPool) allocatedBytes() int64 {
+	return int64(p.slabCount-len(p.freeSlabs)) * p.slabSize
+}
+
+// ClassStats summarizes one shape class for the fragmentation analysis of
+// Fig. 16.
+type ClassStats struct {
+	Label          string
+	BlockBytes     int64
+	UsedBlocks     int
+	UsedBytes      int64
+	AllocatedBytes int64 // slab bytes currently held by the class
+	PeakAllocated  int64
+	// Fragmentation is unused-held memory over peak allocated memory
+	// (Fig. 16's definition: "ratio of unused memory to peak allocated
+	// memory"). Zero when the class never held memory.
+	Fragmentation float64
+}
+
+// Stats returns per-class statistics sorted by label, plus a pool-wide
+// aggregate under the label "All".
+func (p *SlabPool) Stats() []ClassStats {
+	labels := make([]string, 0, len(p.classes))
+	for l := range p.classes {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	out := make([]ClassStats, 0, len(labels)+1)
+	var totUsed int64
+	for _, l := range labels {
+		c := p.classes[l]
+		alloc := c.allocatedBytes(p.slabSize)
+		used := int64(c.used) * c.blockBytes
+		totUsed += used
+		st := ClassStats{
+			Label:          l,
+			BlockBytes:     c.blockBytes,
+			UsedBlocks:     c.used,
+			UsedBytes:      used,
+			AllocatedBytes: alloc,
+			PeakAllocated:  c.peakAllocated,
+		}
+		if c.peakAllocated > 0 {
+			st.Fragmentation = float64(alloc-used) / float64(c.peakAllocated)
+		}
+		out = append(out, st)
+	}
+	all := ClassStats{
+		Label:          "All",
+		UsedBytes:      totUsed,
+		AllocatedBytes: p.allocatedBytes(),
+		PeakAllocated:  p.peakAllocated,
+	}
+	if p.peakAllocated > 0 {
+		all.Fragmentation = float64(all.AllocatedBytes-all.UsedBytes) / float64(p.peakAllocated)
+	}
+	return append(out, all)
+}
+
+// FreeSlabCount returns the number of slabs not assigned to any class.
+func (p *SlabPool) FreeSlabCount() int { return len(p.freeSlabs) }
+
+// SlabSize returns the configured slab size in bytes.
+func (p *SlabPool) SlabSize() int64 { return p.slabSize }
+
+// Capacity returns total pool bytes.
+func (p *SlabPool) Capacity() int64 { return int64(p.slabCount) * p.slabSize }
+
+// UsedBytes returns bytes held in live blocks across all classes.
+func (p *SlabPool) UsedBytes() int64 {
+	var tot int64
+	for _, c := range p.classes {
+		tot += int64(c.used) * c.blockBytes
+	}
+	return tot
+}
+
+// BlocksPerSlab returns how many blocks of the class fit in one slab.
+func (p *SlabPool) BlocksPerSlab(label string) (int, error) {
+	c, ok := p.classes[label]
+	if !ok {
+		return 0, fmt.Errorf("memory: unregistered class %q", label)
+	}
+	return c.blocksPerSlab, nil
+}
+
+// FreeBlocksAvailable returns how many more blocks of the class could be
+// allocated right now (free blocks on its slabs plus blocks in free slabs).
+// O(1): the class free list holds no stale or blocked entries by
+// construction (reclaim purges stale entries; blocked blocks are only
+// re-listed by Unblock).
+func (p *SlabPool) FreeBlocksAvailable(label string) (int, error) {
+	c, ok := p.classes[label]
+	if !ok {
+		return 0, fmt.Errorf("memory: unregistered class %q", label)
+	}
+	return len(c.freeBlocks) + len(p.freeSlabs)*c.blocksPerSlab, nil
+}

@@ -1,0 +1,139 @@
+// Package metastore is the shared-memory metadata service of Fig. 5 (Redis
+// in the paper's deployment): a small key/value store with prefix watches
+// and simulated access latency, used by the proxy layer to synchronize
+// request metadata with serving instances for load balancing and fault
+// tolerance.
+package metastore
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"aegaeon/internal/sim"
+)
+
+// Store is an in-memory key/value store bound to the simulation clock.
+type Store struct {
+	eng     *sim.Engine
+	rtt     time.Duration
+	data    map[string]string
+	version map[string]uint64
+	watches []*watch
+
+	gets, sets, deletes uint64
+}
+
+type watch struct {
+	prefix string
+	fn     func(key, value string)
+	closed bool
+}
+
+// New creates a store with the given simulated round-trip latency per
+// operation (0 for synchronous semantics).
+func New(eng *sim.Engine, rtt time.Duration) *Store {
+	return &Store{
+		eng:     eng,
+		rtt:     rtt,
+		data:    map[string]string{},
+		version: map[string]uint64{},
+	}
+}
+
+// Set writes key=value and notifies watchers after the RTT elapses. done
+// (optional) fires when the write is acknowledged.
+func (s *Store) Set(key, value string, done ...func()) {
+	s.sets++
+	apply := func() {
+		s.data[key] = value
+		s.version[key]++
+		for _, w := range s.watches {
+			if !w.closed && strings.HasPrefix(key, w.prefix) {
+				w.fn(key, value)
+			}
+		}
+		for _, d := range done {
+			d()
+		}
+	}
+	if s.rtt <= 0 {
+		apply()
+		return
+	}
+	s.eng.After(s.rtt, apply)
+}
+
+// Get reads a key via callback after the RTT.
+func (s *Store) Get(key string, fn func(value string, ok bool)) {
+	s.gets++
+	read := func() {
+		v, ok := s.data[key]
+		fn(v, ok)
+	}
+	if s.rtt <= 0 {
+		read()
+		return
+	}
+	s.eng.After(s.rtt, read)
+}
+
+// GetNow reads synchronously (for instance-local bookkeeping and tests).
+func (s *Store) GetNow(key string) (string, bool) {
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Delete removes a key and notifies watchers with an empty value.
+func (s *Store) Delete(key string, done ...func()) {
+	s.deletes++
+	apply := func() {
+		if _, ok := s.data[key]; !ok {
+			for _, d := range done {
+				d()
+			}
+			return
+		}
+		delete(s.data, key)
+		s.version[key]++
+		for _, w := range s.watches {
+			if !w.closed && strings.HasPrefix(key, w.prefix) {
+				w.fn(key, "")
+			}
+		}
+		for _, d := range done {
+			d()
+		}
+	}
+	if s.rtt <= 0 {
+		apply()
+		return
+	}
+	s.eng.After(s.rtt, apply)
+}
+
+// Watch registers fn for every future Set/Delete under prefix; returns a
+// cancel function.
+func (s *Store) Watch(prefix string, fn func(key, value string)) (cancel func()) {
+	w := &watch{prefix: prefix, fn: fn}
+	s.watches = append(s.watches, w)
+	return func() { w.closed = true }
+}
+
+// Keys returns the sorted keys under prefix (synchronous; diagnostics).
+func (s *Store) Keys(prefix string) []string {
+	var out []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Version returns the monotone write counter for a key (0 if never set).
+func (s *Store) Version(key string) uint64 { return s.version[key] }
+
+// Ops returns cumulative (gets, sets, deletes).
+func (s *Store) Ops() (gets, sets, deletes uint64) { return s.gets, s.sets, s.deletes }

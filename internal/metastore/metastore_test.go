@@ -1,0 +1,87 @@
+package metastore
+
+import (
+	"testing"
+	"time"
+
+	"aegaeon/internal/sim"
+)
+
+func TestSetGetSync(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng, 0)
+	s.Set("req/1", "prefill0")
+	if v, ok := s.GetNow("req/1"); !ok || v != "prefill0" {
+		t.Fatalf("GetNow = (%q,%v)", v, ok)
+	}
+}
+
+func TestRTTDelaysVisibility(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng, 2*time.Millisecond)
+	acked := sim.Time(0)
+	s.Set("k", "v", func() { acked = eng.Now() })
+	if _, ok := s.GetNow("k"); ok {
+		t.Fatal("write visible before RTT")
+	}
+	eng.Run()
+	if acked != 2*time.Millisecond {
+		t.Fatalf("ack at %v", acked)
+	}
+	var got string
+	s.Get("k", func(v string, ok bool) { got = v })
+	eng.Run()
+	if got != "v" {
+		t.Fatalf("Get = %q", got)
+	}
+}
+
+func TestWatchPrefix(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng, time.Millisecond)
+	var events []string
+	cancel := s.Watch("req/", func(k, v string) { events = append(events, k+"="+v) })
+	s.Set("req/1", "a")
+	s.Set("other/2", "b")
+	s.Delete("req/1")
+	eng.Run()
+	if len(events) != 2 || events[0] != "req/1=a" || events[1] != "req/1=" {
+		t.Fatalf("events = %v", events)
+	}
+	cancel()
+	s.Set("req/3", "c")
+	eng.Run()
+	if len(events) != 2 {
+		t.Fatal("cancelled watch still fired")
+	}
+}
+
+func TestDeleteMissingKey(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng, 0)
+	done := false
+	s.Delete("ghost", func() { done = true })
+	if !done {
+		t.Fatal("delete of missing key did not ack")
+	}
+}
+
+func TestKeysAndVersion(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng, 0)
+	s.Set("a/2", "x")
+	s.Set("a/1", "y")
+	s.Set("b/1", "z")
+	keys := s.Keys("a/")
+	if len(keys) != 2 || keys[0] != "a/1" || keys[1] != "a/2" {
+		t.Fatalf("keys = %v", keys)
+	}
+	s.Set("a/1", "y2")
+	if s.Version("a/1") != 2 {
+		t.Fatalf("version = %d", s.Version("a/1"))
+	}
+	g, st, d := s.Ops()
+	if g != 0 || st != 4 || d != 0 {
+		t.Fatalf("ops = %d/%d/%d", g, st, d)
+	}
+}

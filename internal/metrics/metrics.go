@@ -1,0 +1,212 @@
+// Package metrics provides the measurement plumbing behind the evaluation
+// figures: streaming CDFs (Figs. 1a, 15), time series samplers (Figs. 1b,
+// 4, 18), and the request latency breakdown accumulator (Fig. 14).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// CDF collects samples and reports quantiles and distribution points.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends a sample.
+func (c *CDF) Add(v float64) {
+	c.samples = append(c.samples, v)
+	c.sorted = false
+}
+
+// AddDuration appends a duration sample in seconds.
+func (c *CDF) AddDuration(d time.Duration) { c.Add(d.Seconds()) }
+
+// N returns the number of samples.
+func (c *CDF) N() int { return len(c.samples) }
+
+func (c *CDF) sortOnce() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the samples; NaN if
+// empty.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.sortOnce()
+	if q <= 0 {
+		return c.samples[0]
+	}
+	if q >= 1 {
+		return c.samples[len(c.samples)-1]
+	}
+	pos := q * float64(len(c.samples)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(c.samples) {
+		return c.samples[lo]
+	}
+	return c.samples[lo]*(1-frac) + c.samples[lo+1]*frac
+}
+
+// Mean returns the sample mean; NaN if empty.
+func (c *CDF) Mean() float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range c.samples {
+		s += v
+	}
+	return s / float64(len(c.samples))
+}
+
+// FractionBelow returns the fraction of samples <= x.
+func (c *CDF) FractionBelow(x float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.sortOnce()
+	i := sort.SearchFloat64s(c.samples, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.samples))
+}
+
+// Points returns n evenly spaced (value, cumulative fraction) points, for
+// rendering a CDF curve.
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.samples) == 0 || n <= 0 {
+		return nil
+	}
+	c.sortOnce()
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		if n == 1 {
+			q = 1
+		}
+		out = append(out, [2]float64{c.Quantile(q), q})
+	}
+	return out
+}
+
+// TimeSeries samples a value at fixed intervals of virtual time.
+type TimeSeries struct {
+	Interval time.Duration
+	Values   []float64
+}
+
+// NewTimeSeries creates a series with the given sampling interval.
+func NewTimeSeries(interval time.Duration) *TimeSeries {
+	if interval <= 0 {
+		panic("metrics: non-positive sampling interval")
+	}
+	return &TimeSeries{Interval: interval}
+}
+
+// Append adds the next sample.
+func (ts *TimeSeries) Append(v float64) { ts.Values = append(ts.Values, v) }
+
+// Mean returns the series mean; NaN if empty.
+func (ts *TimeSeries) Mean() float64 {
+	if len(ts.Values) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range ts.Values {
+		s += v
+	}
+	return s / float64(len(ts.Values))
+}
+
+// Max returns the series maximum; NaN if empty.
+func (ts *TimeSeries) Max() float64 {
+	if len(ts.Values) == 0 {
+		return math.NaN()
+	}
+	m := ts.Values[0]
+	for _, v := range ts.Values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// BreakdownStage identifies one component of request latency (Fig. 14).
+type BreakdownStage int
+
+const (
+	PrefillWaiting BreakdownStage = iota
+	PrefillExecution
+	DecodingWaiting
+	DecodingExecution
+	ControlOverhead
+	DataOverhead
+	numStages
+)
+
+var stageNames = [...]string{
+	"Prefill Waiting", "Prefill Execution", "Decoding Waiting",
+	"Decoding Execution", "Control Overhead", "Data Overhead",
+}
+
+func (s BreakdownStage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// Breakdown accumulates time per latency stage across all requests.
+type Breakdown struct {
+	total [numStages]time.Duration
+}
+
+// Add accrues d to the stage.
+func (b *Breakdown) Add(s BreakdownStage, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	b.total[s] += d
+}
+
+// Fractions returns each stage's share of the total, in stage order.
+func (b *Breakdown) Fractions() []float64 {
+	var sum time.Duration
+	for _, v := range b.total {
+		sum += v
+	}
+	out := make([]float64, numStages)
+	if sum == 0 {
+		return out
+	}
+	for i, v := range b.total {
+		out[i] = float64(v) / float64(sum)
+	}
+	return out
+}
+
+// Total returns the accumulated time for a stage.
+func (b *Breakdown) Total(s BreakdownStage) time.Duration { return b.total[s] }
+
+// Stages returns all stage labels in order.
+func Stages() []string { return append([]string(nil), stageNames[:]...) }
+
+// String renders the breakdown as percentages.
+func (b *Breakdown) String() string {
+	fr := b.Fractions()
+	parts := make([]string, numStages)
+	for i, f := range fr {
+		parts[i] = fmt.Sprintf("%s %.1f%%", stageNames[i], 100*f)
+	}
+	return strings.Join(parts, ", ")
+}

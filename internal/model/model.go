@@ -1,0 +1,203 @@
+// Package model describes the LLMs served in the experiments: their weight
+// footprints, transformer hyperparameters, and KV-cache geometry.
+//
+// The KV-cache shape convention follows Table 1 of the paper:
+// (layers, 2, kv-heads, head-dim) per token, 16-bit elements. The package
+// reproduces the paper's listed per-token sizes exactly (512 KB for Qwen-7B,
+// 128 KB for InternLM2.5-7B-chat, 800 KB for LLaMA-13B, 2560 KB for Qwen-72B).
+package model
+
+import "fmt"
+
+// KVShape is the per-token KV-cache geometry of a model: one K and one V
+// vector per layer, split over KVHeads heads of HeadDim elements each.
+type KVShape struct {
+	Layers       int
+	KVHeads      int
+	HeadDim      int
+	BytesPerElem int
+}
+
+// BytesPerToken returns the KV-cache bytes a single token occupies.
+func (s KVShape) BytesPerToken() int64 {
+	return int64(s.Layers) * 2 * int64(s.KVHeads) * int64(s.HeadDim) * int64(s.BytesPerElem)
+}
+
+// String renders the shape in the paper's (layers, 2, heads, dim) notation.
+func (s KVShape) String() string {
+	return fmt.Sprintf("(%d, 2, %d, %d)", s.Layers, s.KVHeads, s.HeadDim)
+}
+
+// Model is a static description of an LLM.
+type Model struct {
+	Name          string
+	Params        int64 // parameter count
+	BytesPerParam int   // 2 for FP16/BF16
+	Layers        int
+	Hidden        int // hidden size h
+	FFN           int // FFN intermediate size m
+	KVHeads       int // number of KV heads (GQA if < attention heads)
+	HeadDim       int
+	MaxSeqLen     int
+}
+
+// WeightBytes returns the total byte size of the model weights.
+func (m *Model) WeightBytes() int64 { return m.Params * int64(m.BytesPerParam) }
+
+// ShardWeightBytes returns the per-GPU weight bytes under tensor parallelism
+// of degree tp. tp must be >= 1.
+func (m *Model) ShardWeightBytes(tp int) int64 {
+	if tp < 1 {
+		panic("model: tensor parallel degree must be >= 1")
+	}
+	return m.WeightBytes() / int64(tp)
+}
+
+// KVShape returns the per-token KV cache shape of the full model.
+func (m *Model) KVShape() KVShape {
+	return KVShape{Layers: m.Layers, KVHeads: m.KVHeads, HeadDim: m.HeadDim, BytesPerElem: m.BytesPerParam}
+}
+
+// ShardKVShape returns the per-GPU KV shape under tensor parallelism: heads
+// are partitioned across the tp GPUs.
+func (m *Model) ShardKVShape(tp int) KVShape {
+	s := m.KVShape()
+	if tp < 1 {
+		panic("model: tensor parallel degree must be >= 1")
+	}
+	heads := s.KVHeads / tp
+	if heads == 0 {
+		heads = 1
+	}
+	s.KVHeads = heads
+	return s
+}
+
+func (m *Model) String() string { return m.Name }
+
+const (
+	billion = 1_000_000_000
+	million = 1_000_000
+)
+
+// Catalog returns the models used across the paper's experiments, spanning
+// 1.8B to 72B parameters, including the four whose KV shapes appear in
+// Table 1. The slice is freshly allocated on every call.
+func Catalog() []*Model {
+	return []*Model{
+		// Table 1 models.
+		{Name: "Qwen-7B", Params: 7_720 * million, BytesPerParam: 2,
+			Layers: 32, Hidden: 4096, FFN: 11008, KVHeads: 32, HeadDim: 128, MaxSeqLen: 8192},
+		{Name: "InternLM2.5-7B-chat", Params: 7_740 * million, BytesPerParam: 2,
+			Layers: 32, Hidden: 4096, FFN: 14336, KVHeads: 8, HeadDim: 128, MaxSeqLen: 32768},
+		{Name: "LLaMA-13B", Params: 13_000 * million, BytesPerParam: 2,
+			Layers: 40, Hidden: 5120, FFN: 13824, KVHeads: 40, HeadDim: 128, MaxSeqLen: 4096},
+		{Name: "Qwen-72B", Params: 72_700 * million, BytesPerParam: 2,
+			Layers: 80, Hidden: 8192, FFN: 24576, KVHeads: 64, HeadDim: 128, MaxSeqLen: 32768},
+		// Additional market models (§7.1: families Qwen, Llama, InternLM, Yi;
+		// sizes 1.8B to 72B; §7.5: 1.8–7B at TP=1 and 32–72B at TP=4).
+		{Name: "Qwen-1.8B", Params: 1_840 * million, BytesPerParam: 2,
+			Layers: 24, Hidden: 2048, FFN: 5504, KVHeads: 16, HeadDim: 128, MaxSeqLen: 8192},
+		{Name: "Yi-6B", Params: 6_060 * million, BytesPerParam: 2,
+			Layers: 32, Hidden: 4096, FFN: 11008, KVHeads: 4, HeadDim: 128, MaxSeqLen: 4096},
+		{Name: "Llama-2-7B", Params: 6_740 * million, BytesPerParam: 2,
+			Layers: 32, Hidden: 4096, FFN: 11008, KVHeads: 32, HeadDim: 128, MaxSeqLen: 4096},
+		{Name: "Yi-9B", Params: 8_830 * million, BytesPerParam: 2,
+			Layers: 48, Hidden: 4096, FFN: 11008, KVHeads: 4, HeadDim: 128, MaxSeqLen: 4096},
+		{Name: "Qwen-14B", Params: 14_200 * million, BytesPerParam: 2,
+			Layers: 40, Hidden: 5120, FFN: 13696, KVHeads: 40, HeadDim: 128, MaxSeqLen: 8192},
+		{Name: "Yi-34B", Params: 34_400 * million, BytesPerParam: 2,
+			Layers: 60, Hidden: 7168, FFN: 20480, KVHeads: 8, HeadDim: 128, MaxSeqLen: 4096},
+		{Name: "Qwen-32B", Params: 32_500 * million, BytesPerParam: 2,
+			Layers: 64, Hidden: 5120, FFN: 27392, KVHeads: 8, HeadDim: 128, MaxSeqLen: 32768},
+	}
+}
+
+// ByName returns the catalog model with the given name, or an error if no
+// such model exists.
+func ByName(name string) (*Model, error) {
+	for _, m := range Catalog() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("model: unknown model %q", name)
+}
+
+// MarketMix returns n model descriptors drawn round-robin from the 6–14B
+// portion of the catalog (the paper's primary evaluation range), cloned and
+// renamed so each represents a distinct market model (e.g. a fine-tune).
+func MarketMix(n int) []*Model {
+	base := []*Model{}
+	for _, m := range Catalog() {
+		if m.Params >= 6*billion && m.Params <= 15*billion {
+			base = append(base, m)
+		}
+	}
+	out := make([]*Model, n)
+	for i := 0; i < n; i++ {
+		src := base[i%len(base)]
+		clone := *src
+		clone.Name = fmt.Sprintf("%s-ft%03d", src.Name, i)
+		out[i] = &clone
+	}
+	return out
+}
+
+// LargeMix returns n distinct 72B-class models for the TP=4 experiments
+// (§7.4, Fig. 17 right).
+func LargeMix(n int) []*Model {
+	src, err := ByName("Qwen-72B")
+	if err != nil {
+		panic(err)
+	}
+	out := make([]*Model, n)
+	for i := 0; i < n; i++ {
+		clone := *src
+		clone.Name = fmt.Sprintf("%s-ft%03d", src.Name, i)
+		out[i] = &clone
+	}
+	return out
+}
+
+// SmallMix returns n models in the 6–7B range for the A10 experiments
+// (§7.4, Fig. 17 left).
+func SmallMix(n int) []*Model {
+	base := []*Model{}
+	for _, m := range Catalog() {
+		if m.Params >= 6*billion && m.Params < 8*billion {
+			base = append(base, m)
+		}
+	}
+	out := make([]*Model, n)
+	for i := 0; i < n; i++ {
+		src := base[i%len(base)]
+		clone := *src
+		clone.Name = fmt.Sprintf("%s-ft%03d", src.Name, i)
+		out[i] = &clone
+	}
+	return out
+}
+
+// DeploymentMix reproduces the production deployment population of §7.5:
+// twenty-eight 1.8–7B models (TP=1) and nineteen 32–72B models (TP=4).
+// It returns the models plus a parallel slice of TP degrees.
+func DeploymentMix() (models []*Model, tps []int) {
+	small := []string{"Qwen-1.8B", "Yi-6B", "Llama-2-7B", "Qwen-7B", "InternLM2.5-7B-chat"}
+	large := []string{"Qwen-32B", "Yi-34B", "Qwen-72B"}
+	for i := 0; i < 28; i++ {
+		src, _ := ByName(small[i%len(small)])
+		clone := *src
+		clone.Name = fmt.Sprintf("%s-prod%02d", src.Name, i)
+		models = append(models, &clone)
+		tps = append(tps, 1)
+	}
+	for i := 0; i < 19; i++ {
+		src, _ := ByName(large[i%len(large)])
+		clone := *src
+		clone.Name = fmt.Sprintf("%s-prod%02d", src.Name, i)
+		models = append(models, &clone)
+		tps = append(tps, 4)
+	}
+	return models, tps
+}

@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleFire(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Microsecond, func() {})
+		e.Step()
+	}
+}
+
+func BenchmarkEventChurn(b *testing.B) {
+	// A deep timer wheel: 1k outstanding events at all times.
+	e := NewEngine(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(time.Millisecond, tick)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		e.After(time.Duration(i)*time.Microsecond, tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}

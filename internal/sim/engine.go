@@ -1,0 +1,164 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All Aegaeon components are written against a virtual clock owned by an
+// Engine. Events are executed in strictly non-decreasing time order; ties are
+// broken by scheduling order, which makes every simulation run bit-for-bit
+// reproducible for a fixed seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured from the start of the simulation.
+type Time = time.Duration
+
+// Event is a scheduled callback. It may be cancelled before it fires.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 once fired or cancelled
+	cancel bool
+}
+
+// At returns the virtual time at which the event is (or was) scheduled.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+// Cancelled reports whether Cancel has been called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation executor with a virtual clock.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	pq      eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	running bool
+	fired   uint64
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose random
+// source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed returns the number of events fired so far.
+func (e *Engine) Processed() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	e.RunUntil(maxTime)
+}
+
+const maxTime = Time(1<<63 - 1)
+
+// RunUntil executes events with timestamps <= horizon and advances the clock
+// to horizon (or to the last event time if the queue empties first; the clock
+// never moves past horizon).
+func (e *Engine) RunUntil(horizon Time) {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.pq) > 0 {
+		next := e.pq[0]
+		if next.at > horizon {
+			break
+		}
+		heap.Pop(&e.pq)
+		if next.cancel {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	if horizon != maxTime && horizon > e.now {
+		e.now = horizon
+	}
+}
+
+// Step fires exactly one pending (non-cancelled) event and returns true, or
+// returns false if the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		next := heap.Pop(&e.pq).(*Event)
+		if next.cancel {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn()
+		return true
+	}
+	return false
+}

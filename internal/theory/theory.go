@@ -1,0 +1,83 @@
+// Package theory implements the active-model analysis of §3.1 and
+// Appendix A.1: Theorem 3.1's closed form E[m] = M·(1 − e^{−λT}) for the
+// expected number of active models, plus a Monte-Carlo simulation of the
+// active-model-count process (Fig. 4) to validate it.
+package theory
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// ExpectedActiveModels returns E[m] per Theorem 3.1 for M models, each with
+// Poisson arrival rate lambda (req/s) and mean service time T.
+func ExpectedActiveModels(M int, lambda float64, T time.Duration) float64 {
+	return float64(M) * (1 - math.Exp(-lambda*T.Seconds()))
+}
+
+// PoolingBound returns the models-per-GPU ceiling implied by request-level
+// auto-scaling (§3.1): M / E[m]. Request-level systems must reserve one
+// instance per active model, so this bounds their pooling effectiveness.
+func PoolingBound(M int, lambda float64, T time.Duration) float64 {
+	em := ExpectedActiveModels(M, lambda, T)
+	if em == 0 {
+		return math.Inf(1)
+	}
+	return float64(M) / em
+}
+
+// SimulateActiveModels runs the Fig. 4 experiment: M independent M/M/∞
+// model queues with arrival rate lambda and mean (exponential) service time
+// T, sampled every interval over the horizon. It returns the active-model
+// count time series.
+func SimulateActiveModels(rng *rand.Rand, M int, lambda float64, T, horizon, interval time.Duration) []int {
+	type event struct {
+		at    float64
+		model int
+		start bool
+	}
+	// Generate per-model arrivals and departures, then sweep.
+	var events []event
+	end := horizon.Seconds()
+	meanSvc := T.Seconds()
+	for m := 0; m < M; m++ {
+		t := 0.0
+		for {
+			t += rng.ExpFloat64() / lambda
+			if t >= end {
+				break
+			}
+			svc := rng.ExpFloat64() * meanSvc
+			events = append(events, event{at: t, model: m, start: true})
+			events = append(events, event{at: t + svc, model: m, start: false})
+		}
+	}
+	// Sort events by time (departures are interleaved out of order).
+	sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+
+	inFlight := make([]int, M) // requests in service per model
+	active := 0
+	samples := make([]int, 0, int(horizon/interval)+1)
+	next := 0
+	for at := interval.Seconds(); at <= end; at += interval.Seconds() {
+		for next < len(events) && events[next].at <= at {
+			e := events[next]
+			next++
+			if e.start {
+				if inFlight[e.model] == 0 {
+					active++
+				}
+				inFlight[e.model]++
+			} else {
+				inFlight[e.model]--
+				if inFlight[e.model] == 0 {
+					active--
+				}
+			}
+		}
+		samples = append(samples, active)
+	}
+	return samples
+}

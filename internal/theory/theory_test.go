@@ -1,0 +1,80 @@
+package theory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// §3.1's worked example: M=100, λ=0.037, T=16.79s gives E[m] ≈ 46.55.
+// (The exact formula with those rounded inputs yields 46.27; the paper's
+// 46.55 reflects unrounded λ and T, so we allow ±0.5.)
+func TestTheorem31Anchor(t *testing.T) {
+	got := ExpectedActiveModels(100, 0.037, 16790*time.Millisecond)
+	if math.Abs(got-46.55) > 0.5 {
+		t.Fatalf("E[m] = %.2f, paper reports 46.55", got)
+	}
+}
+
+func TestPoolingBoundAnchor(t *testing.T) {
+	// §3.1: request-level pooling is bounded below 3 models per GPU.
+	got := PoolingBound(100, 0.037, 16790*time.Millisecond)
+	if got >= 3 || got < 2 {
+		t.Fatalf("pooling bound = %.2f, want 100/46.55 ≈ 2.15 (< 3)", got)
+	}
+}
+
+func TestExpectedActiveModelsLimits(t *testing.T) {
+	if got := ExpectedActiveModels(100, 0, time.Second); got != 0 {
+		t.Errorf("zero-rate E[m] = %v", got)
+	}
+	if got := ExpectedActiveModels(100, 1000, time.Hour); math.Abs(got-100) > 1e-6 {
+		t.Errorf("saturated E[m] = %v, want 100", got)
+	}
+	if !math.IsInf(PoolingBound(100, 0, time.Second), 1) {
+		t.Error("pooling bound with no load must be +Inf")
+	}
+}
+
+// Fig. 4: the simulated active-model count fluctuates around E[m].
+func TestSimulationMatchesTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := SimulateActiveModels(rng, 100, 0.037, 16790*time.Millisecond,
+		2000*time.Second, time.Second)
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	// Discard a warm-up prefix (the process starts empty).
+	warm := samples[120:]
+	var sum float64
+	for _, v := range warm {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(warm))
+	want := ExpectedActiveModels(100, 0.037, 16790*time.Millisecond)
+	if math.Abs(mean-want) > 3 {
+		t.Fatalf("simulated mean active models = %.2f, theorem gives %.2f", mean, want)
+	}
+	for _, v := range samples {
+		if v < 0 || v > 100 {
+			t.Fatalf("active count %d outside [0,100]", v)
+		}
+	}
+}
+
+func TestSimulationMonotoneInRate(t *testing.T) {
+	mean := func(lambda float64) float64 {
+		rng := rand.New(rand.NewSource(7))
+		s := SimulateActiveModels(rng, 50, lambda, 10*time.Second, 1000*time.Second, time.Second)
+		var sum float64
+		for _, v := range s[100:] {
+			sum += float64(v)
+		}
+		return sum / float64(len(s)-100)
+	}
+	lo, hi := mean(0.02), mean(0.2)
+	if lo >= hi {
+		t.Fatalf("active models not increasing in rate: %.2f vs %.2f", lo, hi)
+	}
+}

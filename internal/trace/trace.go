@@ -1,0 +1,192 @@
+// Package trace provides structured, low-overhead event tracing for the
+// scheduler and data plane: a fixed-capacity ring buffer of typed events
+// with virtual timestamps, filterable dumps, and per-kind counters. Tracing
+// is optional: a nil *Tracer is valid everywhere and records nothing.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds emitted by the serving stack.
+const (
+	KindArrival Kind = iota
+	KindPrefillEnqueue
+	KindPrefillStart
+	KindPrefillDone
+	KindDecodeEnqueue
+	KindTurnStart
+	KindTurnEnd
+	KindSwitchStart
+	KindSwitchDone
+	KindSwapOut
+	KindSwapIn
+	KindTokenBatch
+	KindRequestDone
+	KindEvict
+	KindFailure
+	numKinds
+)
+
+var kindNames = [...]string{
+	"arrival", "prefill-enqueue", "prefill-start", "prefill-done",
+	"decode-enqueue", "turn-start", "turn-end", "switch-start",
+	"switch-done", "swap-out", "swap-in", "token-batch", "request-done",
+	"evict", "failure",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	At       time.Duration // virtual time
+	Kind     Kind
+	Instance string // instance name ("" for system-level events)
+	Subject  string // request id or model name
+	Detail   string // free-form; keep short
+}
+
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12.6fs %-16s", e.At.Seconds(), e.Kind)
+	if e.Instance != "" {
+		fmt.Fprintf(&b, " %-10s", e.Instance)
+	}
+	if e.Subject != "" {
+		fmt.Fprintf(&b, " %s", e.Subject)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	return b.String()
+}
+
+// Tracer is a fixed-size ring of events. The zero value is unusable;
+// construct with New. A nil Tracer is a valid no-op sink.
+type Tracer struct {
+	buf    []Event
+	next   int
+	total  uint64
+	counts [numKinds]uint64
+}
+
+// New returns a tracer retaining the most recent capacity events.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		panic("trace: non-positive capacity")
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Emit records an event. Nil-safe.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.total++
+	if int(e.Kind) < len(t.counts) {
+		t.counts[e.Kind]++
+	}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+		return
+	}
+	t.buf[t.next] = e
+	t.next = (t.next + 1) % cap(t.buf)
+}
+
+// Emitf is Emit with a formatted detail string. Nil-safe; the format is not
+// evaluated when the tracer is nil.
+func (t *Tracer) Emitf(at time.Duration, k Kind, instance, subject, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{At: at, Kind: k, Instance: instance, Subject: subject,
+		Detail: fmt.Sprintf(format, args...)})
+}
+
+// Total returns the number of events ever emitted (including evicted ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Count returns how many events of kind k were emitted.
+func (t *Tracer) Count(k Kind) uint64 {
+	if t == nil || int(k) >= len(t.counts) {
+		return 0
+	}
+	return t.counts[k]
+}
+
+// Events returns the retained events in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if len(t.buf) < cap(t.buf) {
+		out := make([]Event, len(t.buf))
+		copy(out, t.buf)
+		return out
+	}
+	out := make([]Event, 0, cap(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Filter returns retained events matching every non-zero criterion.
+func (t *Tracer) Filter(kind *Kind, instance, subject string) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if kind != nil && e.Kind != *kind {
+			continue
+		}
+		if instance != "" && e.Instance != instance {
+			continue
+		}
+		if subject != "" && e.Subject != subject {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Dump writes the retained events, one per line.
+func (t *Tracer) Dump(w io.Writer) error {
+	for _, e := range t.Events() {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders per-kind counters.
+func (t *Tracer) Summary() string {
+	if t == nil {
+		return "trace: disabled"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events total", t.total)
+	for k := Kind(0); k < numKinds; k++ {
+		if t.counts[k] > 0 {
+			fmt.Fprintf(&b, ", %s=%d", k, t.counts[k])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: KindArrival})
+	tr.Emitf(0, KindTurnStart, "d0", "m", "x=%d", 1)
+	if tr.Total() != 0 || tr.Count(KindArrival) != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer recorded something")
+	}
+	if tr.Summary() != "trace: disabled" {
+		t.Fatalf("nil summary = %q", tr.Summary())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{At: time.Duration(i) * time.Second, Kind: KindTokenBatch})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	// Oldest retained is event 6 (0-indexed), newest is 9, in order.
+	for i, e := range evs {
+		if want := time.Duration(6+i) * time.Second; e.At != want {
+			t.Fatalf("event %d at %v, want %v", i, e.At, want)
+		}
+	}
+	if tr.Total() != 10 || tr.Count(KindTokenBatch) != 10 {
+		t.Fatalf("counters = %d/%d", tr.Total(), tr.Count(KindTokenBatch))
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := New(16)
+	tr.Emit(Event{Kind: KindSwitchStart, Instance: "d0", Subject: "m1"})
+	tr.Emit(Event{Kind: KindSwitchDone, Instance: "d0", Subject: "m1"})
+	tr.Emit(Event{Kind: KindSwitchStart, Instance: "d1", Subject: "m2"})
+	k := KindSwitchStart
+	if got := tr.Filter(&k, "", ""); len(got) != 2 {
+		t.Fatalf("kind filter = %d events", len(got))
+	}
+	if got := tr.Filter(nil, "d0", ""); len(got) != 2 {
+		t.Fatalf("instance filter = %d events", len(got))
+	}
+	if got := tr.Filter(&k, "d1", "m2"); len(got) != 1 {
+		t.Fatalf("combined filter = %d events", len(got))
+	}
+}
+
+func TestDumpAndSummary(t *testing.T) {
+	tr := New(8)
+	tr.Emitf(1500*time.Millisecond, KindTurnStart, "decode0", "Qwen-7B", "%d reqs", 3)
+	var b strings.Builder
+	if err := tr.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"1.500000s", "turn-start", "decode0", "Qwen-7B", "(3 reqs)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q: %s", want, out)
+		}
+	}
+	if !strings.Contains(tr.Summary(), "turn-start=1") {
+		t.Errorf("summary = %q", tr.Summary())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindArrival.String() != "arrival" || KindFailure.String() != "failure" {
+		t.Fatal("kind names wrong")
+	}
+	if !strings.HasPrefix(Kind(200).String(), "kind(") {
+		t.Fatal("unknown kind rendering")
+	}
+}
+
+func TestNewPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,19 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func BenchmarkPoissonTrace(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	names := make([]string, 40)
+	for i := range names {
+		names[i] = "m"
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = PoissonTrace(rng, names, 0.1, time.Minute, ShareGPT())
+	}
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Trace files are JSON Lines: one Request object per line, with arrival
+// expressed in seconds. The format round-trips exactly and is convenient
+// for external tooling (jq, pandas).
+
+type wireRequest struct {
+	ID       string  `json:"id"`
+	Model    string  `json:"model"`
+	ArrivalS float64 `json:"arrival_s"`
+	Input    int     `json:"input_tokens"`
+	Output   int     `json:"output_tokens"`
+}
+
+// WriteTrace encodes the trace as JSON Lines.
+func WriteTrace(w io.Writer, trace []Request) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, r := range trace {
+		if err := enc.Encode(wireRequest{
+			ID:       r.ID,
+			Model:    r.Model,
+			ArrivalS: r.Arrival.Seconds(),
+			Input:    r.InputTokens,
+			Output:   r.OutputTokens,
+		}); err != nil {
+			return fmt.Errorf("workload: encoding request %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace decodes a JSON Lines trace, validating each record. Requests
+// are returned sorted by arrival (re-sorting if the file is unordered).
+func ReadTrace(r io.Reader) ([]Request, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []Request
+	for i := 0; ; i++ {
+		var wr wireRequest
+		if err := dec.Decode(&wr); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("workload: decoding line %d: %w", i+1, err)
+		}
+		if wr.Model == "" {
+			return nil, fmt.Errorf("workload: line %d: missing model", i+1)
+		}
+		if wr.ArrivalS < 0 {
+			return nil, fmt.Errorf("workload: line %d: negative arrival %f", i+1, wr.ArrivalS)
+		}
+		if wr.Input < 0 || wr.Output < 1 {
+			return nil, fmt.Errorf("workload: line %d: invalid lengths in=%d out=%d",
+				i+1, wr.Input, wr.Output)
+		}
+		out = append(out, Request{
+			ID:           wr.ID,
+			Model:        wr.Model,
+			Arrival:      time.Duration(wr.ArrivalS * float64(time.Second)),
+			InputTokens:  wr.Input,
+			OutputTokens: wr.Output,
+		})
+	}
+	sortAndNumberPreservingIDs(out)
+	return out, nil
+}
+
+// sortAndNumberPreservingIDs sorts by arrival and assigns IDs only where
+// absent.
+func sortAndNumberPreservingIDs(reqs []Request) {
+	sortStable(reqs)
+	for i := range reqs {
+		if reqs[i].ID == "" {
+			reqs[i].ID = fmt.Sprintf("r%06d", i)
+		}
+	}
+}
+
+func sortStable(reqs []Request) {
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+}

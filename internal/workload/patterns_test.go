@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDiurnalShape(t *testing.T) {
+	f := Diurnal(24*time.Hour, 0.2)
+	var min, max float64 = 2, -1
+	for h := 0; h < 24; h++ {
+		v := f(time.Duration(h) * time.Hour)
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("rate fraction %f outside [0,1] at hour %d", v, h)
+		}
+	}
+	if math.Abs(min-0.2) > 0.05 || math.Abs(max-1.0) > 0.05 {
+		t.Fatalf("diurnal range [%.2f, %.2f], want [0.2, 1.0]", min, max)
+	}
+}
+
+func TestDiurnalClamping(t *testing.T) {
+	if v := Diurnal(time.Hour, -1)(0); v < 0 || v > 1 {
+		t.Fatalf("clamped trough gave %f", v)
+	}
+	if v := Diurnal(time.Hour, 2)(0); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("trough>1 should flatten at 1, got %f", v)
+	}
+}
+
+func TestDiurnalPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero period accepted")
+		}
+	}()
+	Diurnal(0, 0.5)
+}
+
+func TestModulatedPoissonThinning(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	period := 2 * time.Hour
+	trace := ModulatedPoissonTrace(rng, []string{"m"}, 1.0, Diurnal(period, 0.1),
+		4*time.Hour, Fixed(10, 10))
+	// Count arrivals in the peak vs trough quarters of each period.
+	peak, trough := 0, 0
+	for _, r := range trace {
+		phase := float64(r.Arrival%period) / float64(period)
+		switch {
+		case phase >= 0.125 && phase < 0.375: // around the sinusoid's max
+			peak++
+		case phase >= 0.625 && phase < 0.875: // around the min
+			trough++
+		}
+	}
+	if peak < 4*trough {
+		t.Fatalf("thinning too weak: %d peak vs %d trough arrivals", peak, trough)
+	}
+	// Constant modulation reduces to plain Poisson at the peak rate.
+	rng2 := rand.New(rand.NewSource(1))
+	flat := ModulatedPoissonTrace(rng2, []string{"m"}, 1.0, Constant(), time.Hour, Fixed(10, 10))
+	if n := float64(len(flat)); math.Abs(n-3600)/3600 > 0.1 {
+		t.Fatalf("constant-modulated count %d, want ~3600", len(flat))
+	}
+}
+
+func TestSessionTraceContextGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	trace := SessionTrace(rng, []string{"m"}, 0.01, SessionConfig{
+		MeanTurns: 4,
+		MeanThink: 10 * time.Second,
+	}, 2*time.Hour, Fixed(100, 50))
+	if len(trace) == 0 {
+		t.Fatal("empty session trace")
+	}
+	// Mean turns per session ~4 => requests ≈ 4 x sessions; and with fixed
+	// lengths, inputs take values 100, 250, 400, ... (context accumulation).
+	longer := 0
+	for _, r := range trace {
+		if r.InputTokens > 100 {
+			longer++
+			if (r.InputTokens-100)%150 != 0 {
+				t.Fatalf("input %d does not follow 100+150k context growth", r.InputTokens)
+			}
+		}
+	}
+	if longer == 0 {
+		t.Fatal("no multi-turn requests generated")
+	}
+	// Arrivals sorted and later turns strictly after their predecessors
+	// (think time + service estimate are positive).
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Arrival < trace[i-1].Arrival {
+			t.Fatal("session trace not sorted")
+		}
+	}
+	frac := float64(longer) / float64(len(trace))
+	if frac < 0.5 { // mean 4 turns => ~75% of requests are follow-ups
+		t.Fatalf("only %.0f%% follow-up turns for mean 4", 100*frac)
+	}
+}
+
+func TestSessionTraceDefaultsAndSingleTurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	trace := SessionTrace(rng, []string{"m"}, 0.05, SessionConfig{MeanTurns: 0.5},
+		time.Hour, Fixed(10, 10))
+	for _, r := range trace {
+		if r.InputTokens != 10 {
+			t.Fatalf("MeanTurns<1 must clamp to single-turn sessions, got input %d", r.InputTokens)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPoissonTraceRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	models := []string{"m0", "m1", "m2", "m3"}
+	horizon := 2 * time.Hour
+	reqs := PoissonTrace(rng, models, 0.1, horizon, ShareGPT())
+	want := 0.1 * 4 * horizon.Seconds()
+	got := float64(len(reqs))
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("trace has %d requests, want ~%.0f", len(reqs), want)
+	}
+	// Sorted by arrival, IDs sequential.
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival < reqs[i-1].Arrival {
+			t.Fatal("trace not sorted by arrival")
+		}
+	}
+	if reqs[0].ID != "r000000" {
+		t.Fatalf("first ID = %q", reqs[0].ID)
+	}
+}
+
+func TestPoissonTracePerModelBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	models := []string{"a", "b"}
+	reqs := PoissonTrace(rng, models, 0.5, time.Hour, Fixed(100, 100))
+	count := map[string]int{}
+	for _, r := range reqs {
+		count[r.Model]++
+	}
+	ra, rb := float64(count["a"]), float64(count["b"])
+	if math.Abs(ra-rb)/(ra+rb) > 0.1 {
+		t.Fatalf("unbalanced per-model rates: %v", count)
+	}
+}
+
+func TestShareGPTLengthsReasonable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	st := Summarize(PoissonTrace(rng, []string{"m"}, 1, time.Hour, ShareGPT()))
+	if st.MeanIn < 100 || st.MeanIn > 700 {
+		t.Errorf("mean input %.0f outside ShareGPT-like range", st.MeanIn)
+	}
+	if st.MeanOut < 150 || st.MeanOut > 700 {
+		t.Errorf("mean output %.0f outside ShareGPT-like range", st.MeanOut)
+	}
+}
+
+func TestScaledDatasets(t *testing.T) {
+	rng := func() *rand.Rand { return rand.New(rand.NewSource(4)) }
+	base := Summarize(PoissonTrace(rng(), []string{"m"}, 1, time.Hour, ShareGPT()))
+	ix2 := Summarize(PoissonTrace(rng(), []string{"m"}, 1, time.Hour, ShareGPTIx2()))
+	ox2 := Summarize(PoissonTrace(rng(), []string{"m"}, 1, time.Hour, ShareGPTOx2()))
+	if r := ix2.MeanIn / base.MeanIn; r < 1.7 || r > 2.3 {
+		t.Errorf("ix2 input scale = %.2f, want ~2 (clipping tolerated)", r)
+	}
+	if r := ox2.MeanOut / base.MeanOut; r < 1.6 || r > 2.3 {
+		t.Errorf("ox2 output scale = %.2f, want ~2", r)
+	}
+	if math.Abs(ix2.MeanOut-base.MeanOut)/base.MeanOut > 0.05 {
+		t.Error("ix2 must not change outputs")
+	}
+}
+
+// Fig. 1(a) anchor: with Zipf(s=2) popularity over 779 models, the bottom
+// 94.1% of models receive on the order of 1–2% of requests.
+func TestZipfMarketSkew(t *testing.T) {
+	w := ZipfWeights(779, 2)
+	cdf := MarketCDF(w)
+	topFrac := 1 - 0.941
+	tailShare := 1 - cdf(topFrac)
+	if tailShare < 0.005 || tailShare > 0.03 {
+		t.Errorf("tail 94.1%% of models receive %.2f%% of requests, want ~1.35%%",
+			100*tailShare)
+	}
+}
+
+func TestMarketCDFMonotone(t *testing.T) {
+	w := ZipfWeights(100, 1.5)
+	cdf := MarketCDF(w)
+	prev := 0.0
+	for f := 0.0; f <= 1.0; f += 0.05 {
+		v := cdf(f)
+		if v < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %.2f: %f < %f", f, v, prev)
+		}
+		prev = v
+	}
+	if cdf(1) < 0.999 {
+		t.Errorf("cdf(1) = %f", cdf(1))
+	}
+}
+
+func TestWeightedPoissonTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	models := []string{"hot", "cold"}
+	reqs := WeightedPoissonTrace(rng, models, []float64{9, 1}, 1.0, 2*time.Hour, Fixed(10, 10))
+	count := map[string]int{}
+	for _, r := range reqs {
+		count[r.Model]++
+	}
+	ratio := float64(count["hot"]) / float64(count["cold"]+1)
+	if ratio < 6 || ratio > 13 {
+		t.Fatalf("hot:cold ratio = %.1f, want ~9", ratio)
+	}
+}
+
+func TestBurstTraceExceedsBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	_, rates := BurstTrace(rng, "hot", 600, 850, 60*time.Second, 20*time.Second,
+		700*time.Second, Fixed(100, 100))
+	if len(rates) != 700 {
+		t.Fatalf("rate timeline has %d points", len(rates))
+	}
+	var max, sum float64
+	for _, r := range rates {
+		if r > max {
+			max = r
+		}
+		sum += r
+	}
+	mean := sum / float64(len(rates))
+	// Bursts must push the observed rate well above the base rate (Fig. 1b's
+	// "Burst" region above the "Reserved" line).
+	if max < 700 {
+		t.Errorf("peak rate %.0f does not exceed reserved 700", max)
+	}
+	if mean < 550 || mean > 750 {
+		t.Errorf("mean rate %.0f implausible for 600/850 MMPP", mean)
+	}
+}
+
+func TestMergeSortsAndRenumbers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := PoissonTrace(rng, []string{"a"}, 0.5, time.Minute, Fixed(1, 1))
+	b := PoissonTrace(rng, []string{"b"}, 0.5, time.Minute, Fixed(1, 1))
+	m := Merge(a, b)
+	if len(m) != len(a)+len(b) {
+		t.Fatalf("merge lost requests: %d != %d+%d", len(m), len(a), len(b))
+	}
+	seen := map[string]bool{}
+	for i, r := range m {
+		if i > 0 && r.Arrival < m[i-1].Arrival {
+			t.Fatal("merge not sorted")
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate ID %s after merge", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	st := Summarize(nil)
+	if st.Requests != 0 || st.TotalRate != 0 {
+		t.Fatalf("empty summary = %+v", st)
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	gen := func() []Request {
+		rng := rand.New(rand.NewSource(42))
+		return PoissonTrace(rng, []string{"a", "b"}, 0.2, time.Hour, ShareGPT())
+	}
+	a, b := gen(), gen()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic trace length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
