@@ -1,0 +1,110 @@
+// Command aegaeon-gateway serves live traffic against an Aegaeon cluster:
+// the deterministic simulation core replays against the wall clock while
+// HTTP clients stream completions token by token.
+//
+//	POST /v1/completions   {"model":"...","max_tokens":16,"stream":true} → SSE
+//	GET  /v1/models        served model catalog with deployment routing
+//	GET  /metrics          Prometheus text metrics
+//	GET  /healthz          liveness (503 while draining)
+//
+// Example:
+//
+//	aegaeon-gateway -addr :8080 -models 8 -speedup 10 &
+//	curl -sN localhost:8080/v1/completions \
+//	    -d '{"model":"'$(curl -s localhost:8080/v1/models | jq -r .data[0].id)'","max_tokens":8,"stream":true}'
+//
+// SIGINT/SIGTERM drain gracefully: admission stops (503), in-flight decodes
+// finish at full simulation speed, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aegaeon/internal/cluster"
+	"aegaeon/internal/gateway"
+	"aegaeon/internal/latency"
+	"aegaeon/internal/model"
+	"aegaeon/internal/sim"
+	"aegaeon/internal/slo"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	gpu := flag.String("gpu", "H800", "GPU profile: H800, A10, H20")
+	tp := flag.Int("tp", 1, "tensor parallel degree")
+	numModels := flag.Int("models", 8, "number of market models to serve")
+	prefill := flag.Int("prefill", 2, "prefill instances")
+	decode := flag.Int("decode", 4, "decoding instances")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	speedup := flag.Float64("speedup", 1, "virtual seconds per wall second")
+	rate := flag.Float64("rate", 0, "admission rate limit in req/s (0 = unlimited)")
+	burst := flag.Int("burst", 16, "admission rate limit burst")
+	maxQueue := flag.Int("max-queue", 256, "max admitted requests per model")
+	maxInflight := flag.Int("max-inflight", 1024, "max admitted requests total")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline")
+	flag.Parse()
+
+	prof, err := latency.ProfileByName(*gpu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	se := sim.NewEngine(*seed)
+	cl, err := cluster.New(se, cluster.Config{
+		Prof: prof,
+		SLO:  slo.Default(),
+		Deployments: []cluster.DeploymentConfig{{
+			Name:       "live",
+			TP:         *tp,
+			NumPrefill: *prefill,
+			NumDecode:  *decode,
+			Models:     model.MarketMix(*numModels),
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	drv := sim.NewDriver(se, *speedup)
+	gw := gateway.New(drv, cl, gateway.Options{
+		Speedup:          *speedup,
+		MaxQueuePerModel: *maxQueue,
+		MaxInFlight:      *maxInflight,
+		RatePerSec:       *rate,
+		Burst:            *burst,
+	})
+	gw.Start()
+
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     gw.Handler(),
+		ReadTimeout: 30 * time.Second,
+		// No write timeout: SSE streams are long-lived by design.
+	}
+	go func() {
+		log.Printf("aegaeon-gateway listening on %s (%d models, speedup %gx)",
+			*addr, *numModels, *speedup)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Printf("draining (deadline %v)...", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := gw.Shutdown(drainCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	httpCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	_ = srv.Shutdown(httpCtx)
+	log.Printf("gateway stopped")
+}

@@ -127,6 +127,58 @@ func (c *Cluster) Submit(trace []workload.Request) error {
 	return nil
 }
 
+// SubmitLive routes one live request through the proxy at the current
+// virtual time: the assignment is recorded in the metadata store (and
+// cleared on completion, mirroring Fig. 5's status sync) and the request is
+// forwarded to the owning deployment. Must run on the simulation goroutine.
+func (c *Cluster) SubmitLive(wr workload.Request, onToken func(i int, at sim.Time), onDone func(*core.Request)) (*core.Request, error) {
+	dep, ok := c.route[wr.Model]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no deployment serves model %q", wr.Model)
+	}
+	c.store.Set("req/"+wr.ID, dep.Name)
+	return dep.System.SubmitLive(wr, onToken, func(r *core.Request) {
+		c.store.Delete("req/" + wr.ID)
+		if onDone != nil {
+			onDone(r)
+		}
+	})
+}
+
+// Routes returns the model -> deployment routing table (copy).
+func (c *Cluster) Routes() map[string]string {
+	out := make(map[string]string, len(c.route))
+	for m, d := range c.route {
+		out[m] = d.Name
+	}
+	return out
+}
+
+// Switches sums preemptive auto-scaling switch counts across all instances
+// of all deployments.
+func (c *Cluster) Switches() uint64 {
+	var n uint64
+	for _, d := range c.deps {
+		for _, e := range d.System.Engines() {
+			n += e.Stats().Switches
+		}
+	}
+	return n
+}
+
+// VirtualNow returns the simulation clock. Must run on the simulation
+// goroutine.
+func (c *Cluster) VirtualNow() time.Duration { return c.eng.Now() }
+
+// LiveInFlight sums live-submitted, not-yet-finished requests.
+func (c *Cluster) LiveInFlight() int {
+	n := 0
+	for _, d := range c.deps {
+		n += d.System.LiveInFlight()
+	}
+	return n
+}
+
 // Finalize finalizes all deployments at end.
 func (c *Cluster) Finalize(end sim.Time) {
 	for _, d := range c.deps {

@@ -637,7 +637,7 @@ func (d *decodeInstance) stepLoop(b *dbatch, turnEnd sim.Time, stepped bool) {
 		stepDur := d.eng.Sim().Now() - stepStart
 		finishedAny := false
 		for _, r := range stepReqs {
-			r.TokenTimes = append(r.TokenTimes, d.eng.Sim().Now())
+			r.recordToken(d.eng.Sim().Now())
 			r.decodeExec += stepDur
 			if len(r.TokenTimes) >= r.OutputTokens {
 				if err := d.eng.KV().Free(r.Seq); err != nil {

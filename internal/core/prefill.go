@@ -171,7 +171,7 @@ func (p *prefillInstance) runPrefill(r *Request, attempt int) {
 			Instance: p.eng.Name, Subject: r.ID})
 		r.prefillEnd = now
 		if r.Generated() == 0 {
-			r.TokenTimes = append(r.TokenTimes, now) // token 0
+			r.recordToken(now) // token 0
 		}
 		if r.RemainingTokens() <= 0 {
 			// Nothing to decode: the request is complete.

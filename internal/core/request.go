@@ -30,6 +30,19 @@ type Request struct {
 	Seq  *kvcache.Sequence
 	Done bool
 
+	// OnToken, when non-nil, is invoked synchronously on the simulation
+	// goroutine as each token's completion time is recorded: token 0 from
+	// prefill, the rest from decoding steps. Callbacks must not block —
+	// the live gateway hands tokens off to a buffered channel.
+	OnToken func(i int, at sim.Time)
+	// OnDone, when non-nil, is invoked once when the request finishes.
+	OnDone func(r *Request)
+
+	// live marks requests admitted via SubmitLive: they are not retained
+	// for batch Finalize reporting; their SLO observation folds into the
+	// tracker at completion so a long-running server stays bounded.
+	live bool
+
 	// Latency breakdown bookkeeping (Fig. 14).
 	prefillStart sim.Time
 	prefillEnd   sim.Time
@@ -44,6 +57,16 @@ func newRequest(wr workload.Request, m *model.Model) *Request {
 		Arrival:      wr.Arrival,
 		InputTokens:  wr.InputTokens,
 		OutputTokens: wr.OutputTokens,
+	}
+}
+
+// recordToken appends a token completion time and fires the OnToken hook.
+// All token emission funnels through here so live streaming observes every
+// token exactly once, in order.
+func (r *Request) recordToken(at sim.Time) {
+	r.TokenTimes = append(r.TokenTimes, at)
+	if r.OnToken != nil {
+		r.OnToken(len(r.TokenTimes)-1, at)
 	}
 }
 

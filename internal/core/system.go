@@ -166,6 +166,7 @@ type System struct {
 	breakdown *metrics.Breakdown
 	requests  []*Request
 	completed int
+	liveOpen  int // live-submitted requests not yet finished
 
 	// Per-request decode waiting is derived at finish time.
 	kvSyncPerReq metrics.CDF // Fig. 15 right
@@ -246,6 +247,35 @@ func (s *System) Submit(trace []workload.Request) error {
 	return nil
 }
 
+// SubmitLive admits one request at the current virtual time and dispatches
+// it immediately — the live-serving entry point used by the gateway. It
+// must be called on the simulation goroutine (via the sim.Driver injection
+// API); the hooks fire there too, as tokens are produced. Unlike Submit,
+// live requests are not retained for batch Finalize reporting: their SLO
+// observation folds into the tracker at completion, so a long-running
+// gateway does not accumulate per-request state.
+func (s *System) SubmitLive(wr workload.Request, onToken func(i int, at sim.Time), onDone func(*Request)) (*Request, error) {
+	m, ok := s.models[wr.Model]
+	if !ok {
+		return nil, fmt.Errorf("core: request %s targets unknown model %q", wr.ID, wr.Model)
+	}
+	if wr.InputTokens < 1 || wr.OutputTokens < 1 {
+		return nil, fmt.Errorf("core: request %s has non-positive token counts", wr.ID)
+	}
+	wr.Arrival = s.eng.Now()
+	r := newRequest(wr, m)
+	r.live = true
+	r.OnToken = onToken
+	r.OnDone = onDone
+	s.liveOpen++
+	s.dispatchPrefill(r)
+	return r, nil
+}
+
+// LiveInFlight returns the number of live-submitted requests not yet
+// finished.
+func (s *System) LiveInFlight() int { return s.liveOpen }
+
 // dispatchPrefill implements Algorithm 1's arrival event: join an existing
 // same-model group anywhere in the pool if one has room; otherwise open a
 // new group on the least-loaded prefill instance.
@@ -314,6 +344,13 @@ func (s *System) finishRequest(r *Request) {
 	r.Done = true
 	r.finished = s.eng.Now()
 	s.completed++
+	if r.live {
+		s.liveOpen--
+		s.tracker.ObserveRequest(s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
+	}
+	if r.OnDone != nil {
+		r.OnDone(r)
+	}
 }
 
 // Completed returns the number of fully served requests.

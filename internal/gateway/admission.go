@@ -1,0 +1,35 @@
+package gateway
+
+import "time"
+
+// tokenBucket is a classic refill-on-read rate limiter guarding admission.
+// Callers must hold the gateway mutex; the bucket itself is not locked.
+type tokenBucket struct {
+	rate   float64 // tokens per second (0 = unlimited)
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) tokenBucket {
+	return tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// allow consumes one token if available, refilling by elapsed wall time.
+func (b *tokenBucket) allow(now time.Time) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

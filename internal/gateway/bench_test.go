@@ -1,0 +1,60 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkGatewayAdmission measures the admission-control hot path — the
+// per-request cost every live request pays before touching the simulation:
+// draining/saturation checks, per-model queue accounting, and the token
+// bucket. This is the gateway-side throughput ceiling.
+func BenchmarkGatewayAdmission(b *testing.B) {
+	gw, names := newTestGateway(b, Options{Speedup: 1e-6, RatePerSec: 1e12, Burst: 1 << 20})
+	defer gw.drv.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := names[i%len(names)]
+		ok, code, reason := gw.tryAdmit(m)
+		if !ok {
+			b.Fatalf("admission rejected: %d %s", code, reason)
+		}
+		gw.releaseAdmission(m)
+	}
+}
+
+// BenchmarkGatewayAdmissionParallel is the same path under goroutine
+// contention, the realistic serving regime.
+func BenchmarkGatewayAdmissionParallel(b *testing.B) {
+	gw, names := newTestGateway(b, Options{Speedup: 1e-6, RatePerSec: 1e12, Burst: 1 << 20})
+	defer gw.drv.Stop()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			m := names[i%len(names)]
+			i++
+			if ok, _, _ := gw.tryAdmit(m); ok {
+				gw.releaseAdmission(m)
+			}
+		}
+	})
+}
+
+var sinkStatus int
+
+// BenchmarkGatewayReject measures the shed path: a saturated gateway must
+// turn requests away cheaply.
+func BenchmarkGatewayReject(b *testing.B) {
+	gw, names := newTestGateway(b, Options{Speedup: 1e-6, MaxInFlight: 1})
+	defer gw.drv.Stop()
+	if ok, _, _ := gw.tryAdmit(names[0]); !ok {
+		b.Fatal("seed admission failed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, code, _ := gw.tryAdmit(names[0])
+		sinkStatus = code
+	}
+	_ = fmt.Sprint(sinkStatus)
+}

@@ -1,0 +1,549 @@
+// Package gateway is the live serving front end of Fig. 5's proxy layer:
+// an OpenAI-style HTTP API that bridges wall-clock concurrency to the
+// deterministic simulation core. HTTP goroutines inject requests into the
+// single-threaded event loop through a sim.Driver, tokens stream back to
+// clients over SSE as the token-level scheduler emits them, and admission
+// control (bounded per-model queues, a token-bucket rate limit, and
+// saturation backpressure) sheds load with 429/503 instead of letting
+// queues grow without bound. Shutdown drains gracefully: admission stops,
+// in-flight decodes finish (accelerated to full simulation speed), and only
+// then does the event loop stop.
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aegaeon/internal/cluster"
+	"aegaeon/internal/core"
+	"aegaeon/internal/metrics"
+	"aegaeon/internal/sim"
+	"aegaeon/internal/workload"
+)
+
+// Options tunes the gateway.
+type Options struct {
+	// Speedup is the virtual-per-wall time factor handed to the sim
+	// driver (default 1: real time).
+	Speedup float64
+	// MaxQueuePerModel bounds admitted-but-unfinished requests per model;
+	// beyond it the gateway answers 429 (default 256).
+	MaxQueuePerModel int
+	// MaxInFlight bounds total admitted requests — the proxy for VRAM/KV
+	// pool saturation; beyond it the gateway answers 503 (default 1024).
+	MaxInFlight int
+	// RatePerSec refills the admission token bucket (0 = unlimited).
+	RatePerSec float64
+	// Burst is the token bucket capacity (default 16).
+	Burst int
+	// MaxTokensCap caps per-request max_tokens (default 4096).
+	MaxTokensCap int
+	// QuantileSamples bounds the TTFT/TBT reservoirs (default 8192).
+	QuantileSamples int
+}
+
+func (o *Options) defaults() {
+	if o.Speedup <= 0 {
+		o.Speedup = 1
+	}
+	if o.MaxQueuePerModel <= 0 {
+		o.MaxQueuePerModel = 256
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 1024
+	}
+	if o.Burst <= 0 {
+		o.Burst = 16
+	}
+	if o.MaxTokensCap <= 0 {
+		o.MaxTokensCap = 4096
+	}
+	if o.QuantileSamples <= 0 {
+		o.QuantileSamples = 8192
+	}
+}
+
+// Gateway serves live traffic against a cluster running on a sim.Driver.
+type Gateway struct {
+	drv  *sim.Driver
+	cl   *cluster.Cluster
+	opts Options
+
+	nextID atomic.Uint64
+	tokens atomic.Uint64 // tokens streamed to clients
+
+	mu        sync.Mutex
+	draining  bool
+	inflight  int
+	queued    map[string]int // model -> admitted-but-unfinished
+	admitted  uint64
+	completed uint64
+	rejected  map[string]uint64 // reason -> count
+	statuses  map[int]uint64    // HTTP code -> responses
+	bucket    tokenBucket
+	drained   chan struct{}
+	drainOnce sync.Once
+
+	// Snapshot cache for /metrics after the driver has stopped.
+	lastSwitches uint64
+	lastVirtual  time.Duration
+
+	ttft *metrics.SafeCDF
+	tbt  *metrics.SafeCDF
+}
+
+// New builds a gateway over a cluster whose engine is owned by drv. Start
+// must be called before serving traffic.
+func New(drv *sim.Driver, cl *cluster.Cluster, opts Options) *Gateway {
+	opts.defaults()
+	return &Gateway{
+		drv:      drv,
+		cl:       cl,
+		opts:     opts,
+		queued:   map[string]int{},
+		rejected: map[string]uint64{},
+		statuses: map[int]uint64{},
+		bucket:   newTokenBucket(opts.RatePerSec, opts.Burst),
+		drained:  make(chan struct{}),
+		ttft:     metrics.NewSafeCDF(opts.QuantileSamples),
+		tbt:      metrics.NewSafeCDF(opts.QuantileSamples),
+	}
+}
+
+// Start launches the real-time event loop.
+func (g *Gateway) Start() { g.drv.Start() }
+
+// Handler returns the gateway's HTTP mux:
+//
+//	POST /v1/completions   serve a completion (SSE stream or JSON)
+//	GET  /v1/models        the served model catalog
+//	GET  /metrics          Prometheus text exposition
+//	GET  /healthz          liveness (503 while draining)
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/completions", g.handleCompletions)
+	mux.HandleFunc("/v1/models", g.handleModels)
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	mux.HandleFunc("/healthz", g.handleHealthz)
+	return mux
+}
+
+// Shutdown drains gracefully: stop admitting, accelerate the simulation so
+// in-flight decodes finish at full speed, wait for the last request, then
+// stop the event loop. Returns ctx.Err() if the deadline expires first (the
+// loop is stopped regardless).
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.mu.Lock()
+	g.draining = true
+	if g.inflight == 0 {
+		g.closeDrained()
+	}
+	g.mu.Unlock()
+	g.drv.Accelerate()
+	var err error
+	select {
+	case <-g.drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	g.drv.Stop()
+	return err
+}
+
+// closeDrained must be called with g.mu held.
+func (g *Gateway) closeDrained() {
+	g.drainOnce.Do(func() { close(g.drained) })
+}
+
+// InFlight returns the number of admitted, unfinished requests.
+func (g *Gateway) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight
+}
+
+// Admitted returns the total number of requests ever admitted.
+func (g *Gateway) Admitted() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.admitted
+}
+
+// tryAdmit runs admission control for one request to model. On success the
+// caller owns one admission slot and must release it via finish (normal
+// completion) or releaseAdmission (submission failure).
+func (g *Gateway) tryAdmit(model string) (ok bool, code int, reason string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch {
+	case g.draining:
+		code, reason = http.StatusServiceUnavailable, "draining"
+	case g.inflight >= g.opts.MaxInFlight:
+		code, reason = http.StatusServiceUnavailable, "saturated"
+	case g.queued[model] >= g.opts.MaxQueuePerModel:
+		code, reason = http.StatusTooManyRequests, "queue_full"
+	case !g.bucket.allow(time.Now()):
+		code, reason = http.StatusTooManyRequests, "rate_limited"
+	default:
+		g.inflight++
+		g.queued[model]++
+		g.admitted++
+		return true, http.StatusOK, ""
+	}
+	g.rejected[reason]++
+	return false, code, reason
+}
+
+// releaseAdmission undoes tryAdmit without recording a completion.
+func (g *Gateway) releaseAdmission(model string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.inflight--
+	g.queued[model]--
+	if g.draining && g.inflight == 0 {
+		g.closeDrained()
+	}
+}
+
+// finish records a completed request. Runs on the simulation goroutine.
+func (g *Gateway) finish(model string, r *core.Request) {
+	if n := len(r.TokenTimes); n > 0 {
+		g.ttft.AddDuration(r.TokenTimes[0] - r.Arrival)
+		for i := 1; i < n; i++ {
+			g.tbt.AddDuration(r.TokenTimes[i] - r.TokenTimes[i-1])
+		}
+	}
+	g.mu.Lock()
+	g.inflight--
+	g.queued[model]--
+	g.completed++
+	if g.draining && g.inflight == 0 {
+		g.closeDrained()
+	}
+	g.mu.Unlock()
+}
+
+func (g *Gateway) countStatus(code int) {
+	g.mu.Lock()
+	g.statuses[code]++
+	g.mu.Unlock()
+}
+
+func writeJSONError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]any{"message": fmt.Sprintf(format, args...), "code": code},
+	})
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	draining := g.draining
+	g.mu.Unlock()
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (g *Gateway) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSONError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	type entry struct {
+		ID         string `json:"id"`
+		Object     string `json:"object"`
+		Deployment string `json:"deployment"`
+	}
+	routes := g.cl.Routes()
+	out := make([]entry, 0, len(routes))
+	for m, dep := range routes {
+		out = append(out, entry{ID: m, Object: "model", Deployment: dep})
+	}
+	// Deterministic listing order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"object": "list", "data": out})
+}
+
+// completionRequest is the body of POST /v1/completions (OpenAI-style).
+type completionRequest struct {
+	Model  string `json:"model"`
+	Prompt string `json:"prompt"`
+	// MaxTokens is the number of tokens to generate (default 64).
+	MaxTokens int `json:"max_tokens"`
+	// InputTokens overrides the prompt-length estimate.
+	InputTokens int  `json:"input_tokens"`
+	Stream      bool `json:"stream"`
+}
+
+type completionChoice struct {
+	Index        int     `json:"index"`
+	Text         string  `json:"text"`
+	FinishReason *string `json:"finish_reason"`
+}
+
+// completionChunk is one SSE event of a streamed completion.
+type completionChunk struct {
+	ID      string             `json:"id"`
+	Object  string             `json:"object"`
+	Model   string             `json:"model"`
+	Choices []completionChoice `json:"choices"`
+	// TokenIndex orders the stream (-1 on the terminal chunk).
+	TokenIndex int `json:"token_index"`
+	// VirtualTimeS is the virtual emission time of the token.
+	VirtualTimeS float64 `json:"virtual_time_s"`
+}
+
+type tokenEvent struct {
+	i  int
+	at sim.Time
+}
+
+func (g *Gateway) handleCompletions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		g.countStatus(http.StatusMethodNotAllowed)
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req completionRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		g.countStatus(http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if req.Model == "" {
+		g.countStatus(http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, "model is required")
+		return
+	}
+	if _, ok := g.cl.Routes()[req.Model]; !ok {
+		g.countStatus(http.StatusNotFound)
+		writeJSONError(w, http.StatusNotFound, "unknown model %q", req.Model)
+		return
+	}
+	if req.MaxTokens < 0 || req.InputTokens < 0 {
+		g.countStatus(http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, "max_tokens and input_tokens must be non-negative")
+		return
+	}
+	outTok := req.MaxTokens
+	if outTok == 0 {
+		outTok = 64
+	}
+	if outTok > g.opts.MaxTokensCap {
+		outTok = g.opts.MaxTokensCap
+	}
+	inTok := req.InputTokens
+	if inTok <= 0 {
+		// Crude tokenizer stand-in: ~4 bytes per token.
+		inTok = len(req.Prompt) / 4
+	}
+	if inTok <= 0 {
+		inTok = 1
+	}
+	if inTok > 16384 {
+		g.countStatus(http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, "input too long (%d tokens)", inTok)
+		return
+	}
+
+	ok, code, reason := g.tryAdmit(req.Model)
+	if !ok {
+		g.countStatus(code)
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSONError(w, code, "request rejected: %s", reason)
+		return
+	}
+
+	id := fmt.Sprintf("cmpl-%d", g.nextID.Add(1))
+	// The channel holds every token the request can produce, so the
+	// simulation goroutine never blocks on a slow client.
+	tokens := make(chan tokenEvent, outTok)
+	done := make(chan struct{})
+	errCh := make(chan error, 1)
+	err := g.drv.Post(func() {
+		_, err := g.cl.SubmitLive(
+			workload.Request{ID: id, Model: req.Model, InputTokens: inTok, OutputTokens: outTok},
+			func(i int, at sim.Time) {
+				select {
+				case tokens <- tokenEvent{i, at}:
+				default: // never reached: the buffer covers all tokens
+				}
+			},
+			func(cr *core.Request) {
+				g.finish(req.Model, cr)
+				close(done)
+			},
+		)
+		if err != nil {
+			g.releaseAdmission(req.Model)
+			errCh <- err
+		}
+	})
+	if err != nil {
+		g.releaseAdmission(req.Model)
+		g.countStatus(http.StatusServiceUnavailable)
+		writeJSONError(w, http.StatusServiceUnavailable, "gateway stopped")
+		return
+	}
+
+	if req.Stream {
+		g.streamCompletion(w, r, id, req.Model, outTok, tokens, done, errCh)
+		return
+	}
+	g.collectCompletion(w, r, id, req.Model, inTok, outTok, tokens, done, errCh)
+}
+
+// tokenText synthesizes the i-th token's text. The simulator models timing,
+// not language; the placeholder keeps streams self-describing.
+func tokenText(i int) string { return fmt.Sprintf(" token%d", i) }
+
+func (g *Gateway) streamCompletion(w http.ResponseWriter, r *http.Request, id, model string,
+	outTok int, tokens <-chan tokenEvent, done <-chan struct{}, errCh <-chan error) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		g.countStatus(http.StatusInternalServerError)
+		writeJSONError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	g.countStatus(http.StatusOK)
+	enc := json.NewEncoder(w)
+
+	writeChunk := func(t tokenEvent) {
+		fmt.Fprintf(w, "data: ")
+		_ = enc.Encode(completionChunk{
+			ID: id, Object: "text_completion.chunk", Model: model,
+			Choices:    []completionChoice{{Index: 0, Text: tokenText(t.i)}},
+			TokenIndex: t.i, VirtualTimeS: time.Duration(t.at).Seconds(),
+		})
+		fmt.Fprint(w, "\n")
+		flusher.Flush()
+		g.tokens.Add(1)
+	}
+
+	received := 0
+loop:
+	for received < outTok {
+		select {
+		case t := <-tokens:
+			writeChunk(t)
+			received++
+		case <-done:
+			// Completion raced ahead of our reads: drain what's buffered.
+			for {
+				select {
+				case t := <-tokens:
+					writeChunk(t)
+					received++
+				default:
+					break loop
+				}
+			}
+		case err := <-errCh:
+			fmt.Fprintf(w, "data: {\"error\":%q}\n\n", err.Error())
+			flusher.Flush()
+			return
+		case <-r.Context().Done():
+			// Client went away; the simulated request still runs to
+			// completion and releases its admission slot in finish.
+			return
+		}
+	}
+	stop := "stop"
+	fmt.Fprintf(w, "data: ")
+	_ = enc.Encode(completionChunk{
+		ID: id, Object: "text_completion.chunk", Model: model,
+		Choices:    []completionChoice{{Index: 0, FinishReason: &stop}},
+		TokenIndex: -1,
+	})
+	fmt.Fprint(w, "\ndata: [DONE]\n\n")
+	flusher.Flush()
+}
+
+func (g *Gateway) collectCompletion(w http.ResponseWriter, r *http.Request, id, model string,
+	inTok, outTok int, tokens <-chan tokenEvent, done <-chan struct{}, errCh <-chan error) {
+	var first, last sim.Time
+	received := 0
+	var text strings.Builder
+	for received < outTok {
+		select {
+		case t := <-tokens:
+			if received == 0 {
+				first = t.at
+			}
+			last = t.at
+			text.WriteString(tokenText(t.i))
+			received++
+		case <-done:
+			for {
+				select {
+				case t := <-tokens:
+					if received == 0 {
+						first = t.at
+					}
+					last = t.at
+					text.WriteString(tokenText(t.i))
+					received++
+					continue
+				default:
+				}
+				break
+			}
+			if received < outTok {
+				g.countStatus(http.StatusInternalServerError)
+				writeJSONError(w, http.StatusInternalServerError,
+					"request finished with %d/%d tokens", received, outTok)
+				return
+			}
+		case err := <-errCh:
+			g.countStatus(http.StatusInternalServerError)
+			writeJSONError(w, http.StatusInternalServerError, "%v", err)
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+	g.tokens.Add(uint64(received))
+	stop := "stop"
+	g.countStatus(http.StatusOK)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"id":      id,
+		"object":  "text_completion",
+		"created": time.Now().Unix(),
+		"model":   model,
+		"choices": []completionChoice{{Index: 0, Text: text.String(), FinishReason: &stop}},
+		"usage": map[string]int{
+			"prompt_tokens":     inTok,
+			"completion_tokens": received,
+			"total_tokens":      inTok + received,
+		},
+		"timing": map[string]float64{
+			"first_token_virtual_s": time.Duration(first).Seconds(),
+			"last_token_virtual_s":  time.Duration(last).Seconds(),
+		},
+	})
+}

@@ -1,0 +1,362 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aegaeon/internal/cluster"
+	"aegaeon/internal/latency"
+	"aegaeon/internal/model"
+	"aegaeon/internal/sim"
+	"aegaeon/internal/slo"
+)
+
+// newTestGateway builds a small live cluster (4 market models, 2 prefill +
+// 2 decode GPUs) on a fresh driver. The caller owns shutdown.
+func newTestGateway(t testing.TB, opts Options) (*Gateway, []string) {
+	t.Helper()
+	prof, err := latency.ProfileByName("H800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := model.MarketMix(4)
+	se := sim.NewEngine(1)
+	cl, err := cluster.New(se, cluster.Config{
+		Prof: prof,
+		SLO:  slo.Default(),
+		Deployments: []cluster.DeploymentConfig{{
+			Name: "live", TP: 1, NumPrefill: 2, NumDecode: 2, Models: models,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := New(sim.NewDriver(se, opts.Speedup), cl, opts)
+	gw.Start()
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	return gw, names
+}
+
+func postCompletion(h http.Handler, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/v1/completions", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// parseStream extracts the token indices of a recorded SSE body and whether
+// the terminal [DONE] marker arrived.
+func parseStream(t *testing.T, body *bytes.Buffer) (indices []int, done bool) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "data: [DONE]" {
+			done = true
+			continue
+		}
+		if !strings.HasPrefix(line, "data: {") {
+			continue
+		}
+		var chunk completionChunk
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &chunk); err != nil {
+			t.Fatalf("bad SSE chunk %q: %v", line, err)
+		}
+		if chunk.TokenIndex >= 0 {
+			indices = append(indices, chunk.TokenIndex)
+		}
+	}
+	return indices, done
+}
+
+// TestGatewayConcurrentStreamsAndDrain is the acceptance scenario: 32
+// concurrent clients open SSE streams, the gateway is shut down while they
+// are in flight, and every client still receives its full token sequence in
+// order — graceful drain must not drop tokens.
+func TestGatewayConcurrentStreamsAndDrain(t *testing.T) {
+	// Speedup 1: requests take many wall-seconds, so all 32 are guaranteed
+	// in flight when Shutdown fires; drain acceleration finishes them fast.
+	gw, names := newTestGateway(t, Options{Speedup: 1})
+	h := gw.Handler()
+
+	const clients = 32
+	const wantTokens = 6
+	results := make([]*httptest.ResponseRecorder, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = postCompletion(h, fmt.Sprintf(
+				`{"model":%q,"input_tokens":32,"max_tokens":%d,"stream":true}`,
+				names[i%len(names)], wantTokens))
+		}(i)
+	}
+
+	// Wait until every client has passed admission, then drain under load.
+	deadline := time.Now().Add(10 * time.Second)
+	for gw.Admitted() < clients {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d clients admitted", gw.Admitted(), clients)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if fl := gw.InFlight(); fl != clients {
+		t.Fatalf("in flight = %d before drain, want %d", fl, clients)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := gw.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+
+	for i, w := range results {
+		if w.Code != http.StatusOK {
+			t.Fatalf("client %d: status %d, body %s", i, w.Code, w.Body.String())
+		}
+		indices, done := parseStream(t, w.Body)
+		if len(indices) != wantTokens {
+			t.Fatalf("client %d: got %d tokens, want %d", i, len(indices), wantTokens)
+		}
+		for j, idx := range indices {
+			if idx != j {
+				t.Fatalf("client %d: token %d has index %d (out of order)", i, j, idx)
+			}
+		}
+		if !done {
+			t.Fatalf("client %d: no [DONE] terminator", i)
+		}
+	}
+	if fl := gw.InFlight(); fl != 0 {
+		t.Fatalf("in flight = %d after drain, want 0", fl)
+	}
+
+	// Post-drain admission must be refused with 503.
+	w := postCompletion(h, fmt.Sprintf(`{"model":%q,"max_tokens":1}`, names[0]))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: status %d, want 503", w.Code)
+	}
+}
+
+// TestGatewayStreamCompletesUnderPacing serves a stream with no shutdown:
+// tokens must arrive through the paced loop alone.
+func TestGatewayStreamCompletesUnderPacing(t *testing.T) {
+	gw, names := newTestGateway(t, Options{Speedup: 50000})
+	defer gw.Shutdown(context.Background())
+	w := postCompletion(gw.Handler(), fmt.Sprintf(
+		`{"model":%q,"input_tokens":16,"max_tokens":4,"stream":true}`, names[0]))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", w.Code, w.Body.String())
+	}
+	indices, done := parseStream(t, w.Body)
+	if len(indices) != 4 || !done {
+		t.Fatalf("got %d tokens (done=%v), want 4 with [DONE]", len(indices), done)
+	}
+}
+
+// TestGatewayNonStreaming exercises the JSON (stream=false) path.
+func TestGatewayNonStreaming(t *testing.T) {
+	gw, names := newTestGateway(t, Options{Speedup: 50000})
+	defer gw.Shutdown(context.Background())
+	w := postCompletion(gw.Handler(), fmt.Sprintf(
+		`{"model":%q,"prompt":"hello live serving world","max_tokens":3}`, names[1]))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Choices []struct {
+			Text         string  `json:"text"`
+			FinishReason *string `json:"finish_reason"`
+		} `json:"choices"`
+		Usage struct {
+			CompletionTokens int `json:"completion_tokens"`
+		} `json:"usage"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Choices) != 1 || resp.Usage.CompletionTokens != 3 {
+		t.Fatalf("unexpected response: %s", w.Body.String())
+	}
+	if resp.Choices[0].FinishReason == nil || *resp.Choices[0].FinishReason != "stop" {
+		t.Fatalf("finish_reason = %v", resp.Choices[0].FinishReason)
+	}
+}
+
+// TestGatewayAdmissionBounds covers the 4xx/5xx shedding paths: per-model
+// queue bound and rate limit.
+func TestGatewayAdmissionBounds(t *testing.T) {
+	// Near-frozen pacing: admitted requests stay in flight for the whole
+	// test, so bounds are hit deterministically.
+	gw, names := newTestGateway(t, Options{Speedup: 1e-6, MaxQueuePerModel: 1})
+	h := gw.Handler()
+
+	first := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		first <- postCompletion(h, fmt.Sprintf(`{"model":%q,"max_tokens":2,"stream":true}`, names[0]))
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.Admitted() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Same model again: queue full → 429.
+	if w := postCompletion(h, fmt.Sprintf(`{"model":%q,"max_tokens":1}`, names[0])); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("queue-full request: status %d, want 429", w.Code)
+	}
+	// Unknown model → 404.
+	if w := postCompletion(h, `{"model":"no-such-model","max_tokens":1}`); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown model: status %d, want 404", w.Code)
+	}
+	// Missing model → 400.
+	if w := postCompletion(h, `{"max_tokens":1}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("missing model: status %d, want 400", w.Code)
+	}
+
+	// Drain: the in-flight request must still complete with all tokens.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := gw.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	w := <-first
+	indices, done := parseStream(t, w.Body)
+	if len(indices) != 2 || !done {
+		t.Fatalf("in-flight stream after drain: %d tokens (done=%v), want 2", len(indices), done)
+	}
+}
+
+func TestGatewayRateLimit(t *testing.T) {
+	gw, names := newTestGateway(t, Options{Speedup: 1e-6, RatePerSec: 1e-9, Burst: 1})
+	h := gw.Handler()
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		done <- postCompletion(h, fmt.Sprintf(`{"model":%q,"max_tokens":1,"stream":true}`, names[0]))
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.Admitted() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w := postCompletion(h, fmt.Sprintf(`{"model":%q,"max_tokens":1}`, names[1]))
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited request: status %d, want 429", w.Code)
+	}
+	if ra := w.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := gw.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+// TestGatewayMetricsAndHealth checks the observability endpoints: required
+// series present, healthz flips to 503 on drain.
+func TestGatewayMetricsAndHealth(t *testing.T) {
+	gw, names := newTestGateway(t, Options{Speedup: 50000})
+	h := gw.Handler()
+
+	if w := get(h, "/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d, want 200", w.Code)
+	}
+
+	// Serve a few completions so quantiles and counters are non-trivial.
+	for i := 0; i < 3; i++ {
+		w := postCompletion(h, fmt.Sprintf(
+			`{"model":%q,"input_tokens":8,"max_tokens":3,"stream":true}`, names[i%len(names)]))
+		if w.Code != http.StatusOK {
+			t.Fatalf("completion %d: status %d", i, w.Code)
+		}
+	}
+
+	w := get(h, "/metrics")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics: status %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		`aegaeon_gateway_requests_total{code="200"} `,
+		"aegaeon_gateway_admitted_total 3",
+		"aegaeon_gateway_completions_total 3",
+		"aegaeon_gateway_tokens_streamed_total 9",
+		`aegaeon_gateway_queue_depth`,
+		`aegaeon_gateway_ttft_seconds{quantile="0.99"} `,
+		"aegaeon_gateway_ttft_seconds_count 3",
+		"aegaeon_gateway_tbt_seconds_count 6",
+		"aegaeon_model_switches_total ",
+		"aegaeon_gateway_inflight 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := gw.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if w := get(h, "/healthz"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while drained: status %d, want 503", w.Code)
+	}
+	// Metrics must still render from the cached snapshot after stop.
+	if w := get(h, "/metrics"); w.Code != http.StatusOK {
+		t.Fatalf("metrics after stop: status %d", w.Code)
+	}
+}
+
+func get(h http.Handler, path string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// TestGatewayModelsEndpoint checks the catalog listing.
+func TestGatewayModelsEndpoint(t *testing.T) {
+	gw, names := newTestGateway(t, Options{Speedup: 1000})
+	defer gw.Shutdown(context.Background())
+	w := get(gw.Handler(), "/v1/models")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	var resp struct {
+		Data []struct {
+			ID         string `json:"id"`
+			Deployment string `json:"deployment"`
+		} `json:"data"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Data) != len(names) {
+		t.Fatalf("listed %d models, want %d", len(resp.Data), len(names))
+	}
+	for _, m := range resp.Data {
+		if m.Deployment != "live" {
+			t.Fatalf("model %s routed to %q", m.ID, m.Deployment)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package gateway
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"aegaeon/internal/metrics"
+)
+
+// handleMetrics renders Prometheus text exposition format (hand-rolled; the
+// repo deliberately has no dependencies). Simulation-side counters (model
+// switches, virtual clock) are snapshotted on the event-loop goroutine via
+// a synchronous driver call; once the driver has stopped, the last
+// successful snapshot is served.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSONError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	var switches uint64
+	var virtual time.Duration
+	var storeGets, storeSets, storeDeletes uint64
+	err := g.drv.Call(func() {
+		switches = g.cl.Switches()
+		virtual = g.cl.VirtualNow()
+		storeGets, storeSets, storeDeletes = g.cl.Store().Ops()
+	})
+	g.mu.Lock()
+	if err == nil {
+		g.lastSwitches, g.lastVirtual = switches, virtual
+	} else {
+		switches, virtual = g.lastSwitches, g.lastVirtual
+	}
+	inflight := g.inflight
+	admitted := g.admitted
+	completed := g.completed
+	queued := make(map[string]int, len(g.queued))
+	for m, n := range g.queued {
+		queued[m] = n
+	}
+	rejected := make(map[string]uint64, len(g.rejected))
+	for reason, n := range g.rejected {
+		rejected[reason] = n
+	}
+	statuses := make(map[int]uint64, len(g.statuses))
+	for code, n := range g.statuses {
+		statuses[code] = n
+	}
+	g.mu.Unlock()
+
+	var b strings.Builder
+	counter := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+
+	counter("aegaeon_gateway_requests_total", "HTTP responses by status code.")
+	for _, code := range sortedIntKeys(statuses) {
+		fmt.Fprintf(&b, "aegaeon_gateway_requests_total{code=\"%d\"} %d\n", code, statuses[code])
+	}
+	counter("aegaeon_gateway_admitted_total", "Requests past admission control.")
+	fmt.Fprintf(&b, "aegaeon_gateway_admitted_total %d\n", admitted)
+	counter("aegaeon_gateway_completions_total", "Requests fully served.")
+	fmt.Fprintf(&b, "aegaeon_gateway_completions_total %d\n", completed)
+	counter("aegaeon_gateway_rejected_total", "Requests shed by admission control, by reason.")
+	for _, reason := range sortedStringKeys(rejected) {
+		fmt.Fprintf(&b, "aegaeon_gateway_rejected_total{reason=%q} %d\n", reason, rejected[reason])
+	}
+	counter("aegaeon_gateway_tokens_streamed_total", "Tokens delivered to clients.")
+	fmt.Fprintf(&b, "aegaeon_gateway_tokens_streamed_total %d\n", g.tokens.Load())
+
+	gauge("aegaeon_gateway_inflight", "Admitted requests not yet finished.")
+	fmt.Fprintf(&b, "aegaeon_gateway_inflight %d\n", inflight)
+	gauge("aegaeon_gateway_queue_depth", "Admitted-but-unfinished requests per model.")
+	for _, m := range sortedStringKeys(queued) {
+		fmt.Fprintf(&b, "aegaeon_gateway_queue_depth{model=%q} %d\n", m, queued[m])
+	}
+	gauge("aegaeon_gateway_virtual_time_seconds", "Virtual clock of the serving simulation.")
+	fmt.Fprintf(&b, "aegaeon_gateway_virtual_time_seconds %g\n", virtual.Seconds())
+
+	writeSummary(&b, "aegaeon_gateway_ttft_seconds", "Time to first token (virtual).", g.ttft)
+	writeSummary(&b, "aegaeon_gateway_tbt_seconds", "Time between tokens (virtual).", g.tbt)
+
+	counter("aegaeon_model_switches_total", "Preemptive auto-scaling model switches across instances.")
+	fmt.Fprintf(&b, "aegaeon_model_switches_total %d\n", switches)
+	counter("aegaeon_metastore_ops_total", "Metadata store operations by kind.")
+	fmt.Fprintf(&b, "aegaeon_metastore_ops_total{op=\"get\"} %d\n", storeGets)
+	fmt.Fprintf(&b, "aegaeon_metastore_ops_total{op=\"set\"} %d\n", storeSets)
+	fmt.Fprintf(&b, "aegaeon_metastore_ops_total{op=\"delete\"} %d\n", storeDeletes)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeSummary renders a SafeCDF as a Prometheus summary.
+func writeSummary(b *strings.Builder, name, help string, c *metrics.SafeCDF) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
+	if c.N() > 0 {
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			v := c.Quantile(q)
+			if !math.IsNaN(v) {
+				fmt.Fprintf(b, "%s{quantile=\"%g\"} %g\n", name, q, v)
+			}
+		}
+	}
+	fmt.Fprintf(b, "%s_count %d\n", name, c.Seen())
+}
+
+func sortedStringKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedIntKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -8,10 +8,12 @@ package httpapi
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"time"
 
 	"aegaeon"
+	"aegaeon/internal/latency"
 	"aegaeon/internal/workload"
 )
 
@@ -84,6 +86,64 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// badFloat reports values that would poison a simulation: NaN and ±Inf
+// survive JSON decoding of "1e308"-style inputs combined with arithmetic,
+// and must never reach the virtual clock.
+func badFloat(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
+// validKinds are the serving systems handleSimulate accepts.
+var validKinds = map[string]bool{
+	"": true, "aegaeon": true, "serverlessllm": true, "serverlessllm+": true, "muxserve": true,
+}
+
+// validate rejects malformed simulation specs up front, before any system
+// is built: garbage values must produce an HTTP 400, not a panic inside a
+// simulation event or a nonsense report.
+func (req *SimRequest) validate() error {
+	if badFloat(req.RPS) || req.RPS < 0 {
+		return fmt.Errorf("rps must be a finite non-negative number")
+	}
+	if req.RPS > 1000 {
+		return fmt.Errorf("rps out of range [0, 1000]")
+	}
+	if badFloat(req.HorizonSec) || req.HorizonSec < 0 || req.HorizonSec > 7200 {
+		return fmt.Errorf("horizon_sec out of range (0, 7200]")
+	}
+	if badFloat(req.SLOScale) || req.SLOScale < 0 {
+		return fmt.Errorf("slo_scale must be a finite non-negative number")
+	}
+	if req.TP < 0 || req.PrefillGPUs < 0 || req.DecodeGPUs < 0 {
+		return fmt.Errorf("tp, prefill_gpus and decode_gpus must be non-negative")
+	}
+	if req.NumModels < 0 || req.NumModels > 512 {
+		return fmt.Errorf("num_models out of range (0, 512]")
+	}
+	if req.GPU != "" {
+		if _, err := latency.ProfileByName(req.GPU); err != nil {
+			return fmt.Errorf("unknown gpu %q", req.GPU)
+		}
+	}
+	if !validKinds[req.System] {
+		return fmt.Errorf("unknown system %q", req.System)
+	}
+	if badFloat(req.FailDecodeAtSec) || req.FailDecodeAtSec < 0 {
+		return fmt.Errorf("fail_decode_at_sec must be a finite non-negative number")
+	}
+	if req.FailDecodeAtSec > 0 {
+		decodes := req.DecodeGPUs
+		if decodes == 0 {
+			decodes = 10 // the aegaeon.New default
+		}
+		if req.FailDecodeIdx < 0 || req.FailDecodeIdx >= decodes {
+			return fmt.Errorf("fail_decode_idx %d out of range [0, %d)", req.FailDecodeIdx, decodes)
+		}
+		if req.System != "" && req.System != "aegaeon" {
+			return fmt.Errorf("fault injection requires the aegaeon system")
+		}
+	}
+	return nil
+}
+
 func handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST only")
@@ -94,25 +154,21 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
+	if err := req.validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if req.RPS == 0 {
 		req.RPS = 0.1
 	}
 	if req.HorizonSec == 0 {
 		req.HorizonSec = 300
 	}
-	if req.HorizonSec < 0 || req.HorizonSec > 7200 {
-		writeErr(w, http.StatusBadRequest, "horizon_sec out of range (0, 7200]")
-		return
-	}
 	if req.SLOScale == 0 {
 		req.SLOScale = 1
 	}
 	if req.NumModels == 0 {
 		req.NumModels = 8
-	}
-	if req.NumModels < 0 || req.NumModels > 512 {
-		writeErr(w, http.StatusBadRequest, "num_models out of range (0, 512]")
-		return
 	}
 	var ds aegaeon.Dataset
 	switch req.Dataset {
@@ -143,10 +199,7 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.FailDecodeAtSec > 0 {
-		if req.System != "" && req.System != "aegaeon" {
-			writeErr(w, http.StatusBadRequest, "fault injection requires the aegaeon system")
-			return
-		}
+		// validate() bounds the index and pins the system to aegaeon.
 		sys.InjectDecodeFailure(time.Duration(req.FailDecodeAtSec*float64(time.Second)), req.FailDecodeIdx)
 	}
 

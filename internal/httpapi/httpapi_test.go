@@ -198,3 +198,48 @@ func TestSimulateColocateAndFailure(t *testing.T) {
 		t.Fatalf("baseline fault injection: status %d", w2.Code)
 	}
 }
+
+// TestSimulateValidationHardened covers the hardened request validation:
+// negative and non-finite numerics, out-of-range fault-injection indices,
+// and unknown enum values must all return 400 with a JSON error body —
+// fast, before any simulation is built.
+func TestSimulateValidationHardened(t *testing.T) {
+	h := Handler()
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"negative rps", SimRequest{NumModels: 4, RPS: -1}},
+		{"huge rps", SimRequest{NumModels: 4, RPS: 5000}},
+		{"negative horizon", SimRequest{NumModels: 4, HorizonSec: -5}},
+		{"negative slo_scale", SimRequest{NumModels: 4, SLOScale: -0.5}},
+		{"negative tp", SimRequest{NumModels: 4, TP: -1}},
+		{"negative prefill_gpus", SimRequest{NumModels: 4, PrefillGPUs: -2}},
+		{"negative decode_gpus", SimRequest{NumModels: 4, DecodeGPUs: -2}},
+		{"negative fail time", SimRequest{NumModels: 4, FailDecodeAtSec: -1}},
+		{"fail idx out of range", SimRequest{NumModels: 4, DecodeGPUs: 2,
+			FailDecodeAtSec: 1, FailDecodeIdx: 2}},
+		{"fail idx negative", SimRequest{NumModels: 4, DecodeGPUs: 2,
+			FailDecodeAtSec: 1, FailDecodeIdx: -1}},
+		{"fault injection on baseline", SimRequest{NumModels: 4, System: "muxserve",
+			FailDecodeAtSec: 1}},
+		{"unknown gpu", SimRequest{NumModels: 4, GPU: "TPU-v5"}},
+		{"unknown system", SimRequest{NumModels: 4, System: "sglang"}},
+		{"unknown dataset", SimRequest{NumModels: 4, Dataset: "alpaca"}},
+		// Non-finite floats arrive as raw JSON that encoding/json rejects;
+		// the endpoint must still answer 400, not 500.
+		{"inf rps", `{"rps": 1e999}`},
+		{"nan-ish horizon", `{"horizon_sec": "NaN"}`},
+	}
+	for _, c := range cases {
+		w := post(t, h, "/v1/simulate", c.body)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, w.Code, w.Body)
+			continue
+		}
+		var errBody map[string]string
+		if err := json.NewDecoder(w.Body).Decode(&errBody); err != nil || errBody["error"] == "" {
+			t.Errorf("%s: error body missing (decode err %v)", c.name, err)
+		}
+	}
+}

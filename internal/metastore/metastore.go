@@ -112,13 +112,34 @@ func (s *Store) Delete(key string, done ...func()) {
 	s.eng.After(s.rtt, apply)
 }
 
-// Watch registers fn for every future Set/Delete under prefix; returns a
-// cancel function.
+// Watch registers fn for every future Set/Delete under prefix; returns an
+// idempotent cancel function. Cancelling removes the watch from the store
+// — long-running servers register and cancel watches continuously, so a
+// closed watch must not pin its callback forever.
 func (s *Store) Watch(prefix string, fn func(key, value string)) (cancel func()) {
 	w := &watch{prefix: prefix, fn: fn}
 	s.watches = append(s.watches, w)
-	return func() { w.closed = true }
+	return func() {
+		if w.closed {
+			return
+		}
+		w.closed = true
+		// Compact into a fresh slice: a notification sweep may be ranging
+		// over the old backing array right now (a callback can cancel its
+		// own or a sibling watch), and the closed flag keeps that sweep
+		// correct while this rebuild keeps the store from leaking.
+		kept := make([]*watch, 0, len(s.watches)-1)
+		for _, x := range s.watches {
+			if !x.closed {
+				kept = append(kept, x)
+			}
+		}
+		s.watches = kept
+	}
 }
+
+// Watches returns the number of registered (non-cancelled) watches.
+func (s *Store) Watches() int { return len(s.watches) }
 
 // Keys returns the sorted keys under prefix (synchronous; diagnostics).
 func (s *Store) Keys(prefix string) []string {

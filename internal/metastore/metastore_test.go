@@ -85,3 +85,51 @@ func TestKeysAndVersion(t *testing.T) {
 		t.Fatalf("ops = %d/%d/%d", g, st, d)
 	}
 }
+
+// TestWatchCancelCompacts is the regression test for the watch lifecycle
+// leak: cancelled watches must be removed from the store, not merely
+// flagged, or a long-running gateway accumulates dead callbacks.
+func TestWatchCancelCompacts(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng, 0)
+	var cancels []func()
+	for i := 0; i < 64; i++ {
+		cancels = append(cancels, s.Watch("k/", func(string, string) {}))
+	}
+	if got := s.Watches(); got != 64 {
+		t.Fatalf("Watches() = %d, want 64", got)
+	}
+	for _, c := range cancels {
+		c()
+		c() // idempotent
+	}
+	if got := s.Watches(); got != 0 {
+		t.Fatalf("Watches() = %d after cancelling all, want 0", got)
+	}
+}
+
+// TestWatchCancelDuringSweep cancels a watch from inside its own callback
+// while a notification sweep is iterating: the sweep must complete and the
+// store must still compact.
+func TestWatchCancelDuringSweep(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng, 0)
+	fired := map[string]int{}
+	var cancelSelf func()
+	cancelSelf = s.Watch("a/", func(k, _ string) {
+		fired["self"]++
+		cancelSelf()
+	})
+	s.Watch("a/", func(k, _ string) { fired["sibling"]++ })
+	s.Set("a/x", "1")
+	s.Set("a/y", "2")
+	if fired["self"] != 1 {
+		t.Fatalf("self-cancelling watch fired %d times, want 1", fired["self"])
+	}
+	if fired["sibling"] != 2 {
+		t.Fatalf("sibling watch fired %d times, want 2", fired["sibling"])
+	}
+	if got := s.Watches(); got != 1 {
+		t.Fatalf("Watches() = %d, want 1", got)
+	}
+}

@@ -6,8 +6,10 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -96,6 +98,71 @@ func (c *CDF) Points(n int) [][2]float64 {
 		out = append(out, [2]float64{c.Quantile(q), q})
 	}
 	return out
+}
+
+// SafeCDF is a concurrency-safe quantile tracker for live telemetry (the
+// gateway's TTFT/TBT export): a mutex-guarded CDF with optional reservoir
+// subsampling (algorithm R) so a long-running server's memory stays
+// bounded. The zero value is usable and unbounded.
+type SafeCDF struct {
+	mu   sync.Mutex
+	cdf  CDF
+	max  int
+	seen uint64
+}
+
+// NewSafeCDF returns a tracker retaining at most maxSamples via uniform
+// reservoir sampling (maxSamples <= 0 means unbounded).
+func NewSafeCDF(maxSamples int) *SafeCDF { return &SafeCDF{max: maxSamples} }
+
+// Add records a sample.
+func (s *SafeCDF) Add(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen++
+	if s.max <= 0 || len(s.cdf.samples) < s.max {
+		s.cdf.Add(v)
+		return
+	}
+	// Reservoir replacement: v displaces a uniformly chosen retained
+	// sample with probability max/seen. The reservoir's ordering is
+	// irrelevant (Quantile sorts), so replacing any slot is unbiased.
+	if j := rand.Int63n(int64(s.seen)); j < int64(s.max) {
+		s.cdf.samples[j] = v
+		s.cdf.sorted = false
+	}
+}
+
+// AddDuration records a duration sample in seconds.
+func (s *SafeCDF) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the number of retained samples.
+func (s *SafeCDF) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cdf.samples)
+}
+
+// Seen returns the number of samples ever recorded (including subsampled
+// ones).
+func (s *SafeCDF) Seen() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen
+}
+
+// Quantile returns the q-th quantile of the retained samples; NaN if empty.
+func (s *SafeCDF) Quantile(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cdf.Quantile(q)
+}
+
+// Mean returns the retained-sample mean; NaN if empty.
+func (s *SafeCDF) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cdf.Mean()
 }
 
 // TimeSeries samples a value at fixed intervals of virtual time.

@@ -113,6 +113,15 @@ func (e *Engine) After(d time.Duration, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
+// NextEventTime returns the virtual time of the earliest scheduled event.
+// A cancelled event may still be reported; it is discarded when reached.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if len(e.pq) == 0 {
+		return 0, false
+	}
+	return e.pq[0].at, true
+}
+
 // Run executes events until the queue is empty.
 func (e *Engine) Run() {
 	e.RunUntil(maxTime)
