@@ -31,6 +31,7 @@ import (
 	"aegaeon/internal/latency"
 	"aegaeon/internal/metrics"
 	"aegaeon/internal/model"
+	"aegaeon/internal/obs"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
 	"aegaeon/internal/workload"
@@ -91,6 +92,11 @@ type Config struct {
 	// resident and switch between them with ~1ms activations (weights
 	// residency trades against KV capacity; see the §8 ablation).
 	Colocate bool
+	// Tracing enables the observability collector: per-request span
+	// timelines, per-device-engine op timelines, and switch-cost
+	// attribution, exportable as Perfetto-loadable Chrome trace JSON via
+	// WritePerfetto. Off by default; the disabled path adds no overhead.
+	Tracing bool
 }
 
 // System is a ready-to-serve Aegaeon deployment in virtual time.
@@ -140,6 +146,10 @@ func New(cfg Config) (*System, error) {
 	}
 	opts.Colocate = cfg.Colocate
 	se := sim.NewEngine(cfg.Seed)
+	var col *obs.Collector
+	if cfg.Tracing {
+		col = obs.New(obs.Options{})
+	}
 	sys := core.NewSystem(se, core.Config{
 		Prof:       prof,
 		TP:         cfg.TP,
@@ -148,6 +158,7 @@ func New(cfg Config) (*System, error) {
 		NumDecode:  cfg.DecodeGPUs,
 		Models:     models,
 		SLO:        cfg.SLO,
+		Obs:        col,
 	})
 	return &System{cfg: cfg, eng: se, sys: sys, models: models}, nil
 }
@@ -238,6 +249,21 @@ func (s *System) Serve(trace []Request) (Report, error) {
 
 // Breakdown returns the request latency breakdown after Serve (Fig. 14).
 func (s *System) Breakdown() *metrics.Breakdown { return s.sys.Breakdown() }
+
+// Collector returns the observability collector, or nil unless the system
+// was built with Config.Tracing.
+func (s *System) Collector() *obs.Collector { return s.sys.Collector() }
+
+// WritePerfetto exports everything the collector captured — request span
+// trees, per-device-engine op timelines, and stage-attributed model
+// switches — as Chrome trace-event JSON loadable at ui.perfetto.dev.
+func (s *System) WritePerfetto(w io.Writer) error {
+	c := s.sys.Collector()
+	if c == nil {
+		return fmt.Errorf("aegaeon: tracing disabled; build the system with Config.Tracing")
+	}
+	return c.WritePerfetto(w)
+}
 
 // InjectDecodeFailure schedules a crash of decoding instance idx at the
 // given virtual time (before calling Serve). The instance's requests are

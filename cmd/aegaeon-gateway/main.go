@@ -6,6 +6,10 @@
 //	GET  /v1/models        served model catalog with deployment routing
 //	GET  /metrics          Prometheus text metrics
 //	GET  /healthz          liveness (503 while draining)
+//	GET  /debug/trace      recent events, request timelines, switch records
+//	GET  /debug/requests/X one request's span tree
+//	GET  /debug/gpus       per-engine utilization and occupant models
+//	GET  /debug/perfetto   Chrome trace-event JSON export
 //
 // Example:
 //
@@ -31,6 +35,7 @@ import (
 	"aegaeon/internal/gateway"
 	"aegaeon/internal/latency"
 	"aegaeon/internal/model"
+	"aegaeon/internal/obs"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
 )
@@ -49,16 +54,22 @@ func main() {
 	maxQueue := flag.Int("max-queue", 256, "max admitted requests per model")
 	maxInflight := flag.Int("max-inflight", 1024, "max admitted requests total")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline")
+	noTrace := flag.Bool("no-trace", false, "disable the observability collector and /debug endpoints")
 	flag.Parse()
 
 	prof, err := latency.ProfileByName(*gpu)
 	if err != nil {
 		log.Fatal(err)
 	}
+	var col *obs.Collector
+	if !*noTrace {
+		col = obs.New(obs.Options{})
+	}
 	se := sim.NewEngine(*seed)
 	cl, err := cluster.New(se, cluster.Config{
 		Prof: prof,
 		SLO:  slo.Default(),
+		Obs:  col,
 		Deployments: []cluster.DeploymentConfig{{
 			Name:       "live",
 			TP:         *tp,
@@ -77,6 +88,7 @@ func main() {
 		MaxInFlight:      *maxInflight,
 		RatePerSec:       *rate,
 		Burst:            *burst,
+		Obs:              col,
 	})
 	gw.Start()
 

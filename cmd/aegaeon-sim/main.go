@@ -34,8 +34,13 @@ func main() {
 		ttftScale = flag.Float64("ttft-scale", 1, "scale the TTFT target")
 		tbtScale  = flag.Float64("tbt-scale", 1, "scale the TBT target")
 		unopt     = flag.Bool("unoptimized", false, "disable the §5 auto-scaling optimizations")
+		perfetto  = flag.String("perfetto", "", "write a Perfetto-loadable trace JSON to this file (aegaeon system only)")
 	)
 	flag.Parse()
+	if *perfetto != "" && *system != "aegaeon" {
+		fmt.Fprintln(os.Stderr, "-perfetto requires -system aegaeon (baselines are not instrumented)")
+		os.Exit(2)
+	}
 
 	var ds aegaeon.Dataset
 	switch *dataset {
@@ -60,6 +65,7 @@ func main() {
 		SLO:                  slo,
 		Seed:                 *seed,
 		DisableOptimizations: *unopt,
+		Tracing:              *perfetto != "",
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -97,4 +103,18 @@ func main() {
 		fmt.Printf("latency breakdown %v\n", sys.Breakdown())
 	}
 	fmt.Printf("virtual duration  %v\n", rep.VirtualDuration.Round(time.Second))
+
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.WritePerfetto(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("perfetto trace    %s (open at https://ui.perfetto.dev)\n", *perfetto)
+	}
 }

@@ -1,7 +1,8 @@
 // Command aegaeon-trace generates and characterizes market workload traces:
 // the Fig. 1(a) popularity CDF, the Fig. 1(b) burst timeline, and summary
 // statistics of synthesized Poisson traces, optionally emitting the trace
-// as CSV for external tools.
+// as CSV for external tools. It also validates Perfetto execution traces
+// exported by aegaeon-sim (-mode validate -perfetto trace.json).
 package main
 
 import (
@@ -11,19 +12,21 @@ import (
 	"os"
 	"time"
 
+	"aegaeon/internal/obs"
 	"aegaeon/internal/theory"
 	"aegaeon/internal/workload"
 )
 
 func main() {
 	var (
-		mode    = flag.String("mode", "market", "market, burst, poisson")
-		nModels = flag.Int("models", 779, "number of models")
-		zipfS   = flag.Float64("zipf", 2.0, "Zipf exponent for market popularity")
-		rps     = flag.Float64("rps", 0.1, "per-model rate for poisson mode")
-		horizon = flag.Duration("horizon", 10*time.Minute, "trace length")
-		seed    = flag.Int64("seed", 1, "random seed")
-		csv     = flag.Bool("csv", false, "emit the trace as CSV on stdout")
+		mode     = flag.String("mode", "market", "market, burst, poisson, validate")
+		nModels  = flag.Int("models", 779, "number of models")
+		zipfS    = flag.Float64("zipf", 2.0, "Zipf exponent for market popularity")
+		rps      = flag.Float64("rps", 0.1, "per-model rate for poisson mode")
+		horizon  = flag.Duration("horizon", 10*time.Minute, "trace length")
+		seed     = flag.Int64("seed", 1, "random seed")
+		csv      = flag.Bool("csv", false, "emit the trace as CSV on stdout")
+		perfetto = flag.String("perfetto", "", "Perfetto JSON to check in validate mode")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
@@ -81,6 +84,23 @@ func main() {
 				fmt.Printf("%s,%s,%.3f,%d,%d\n", r.ID, r.Model, r.Arrival.Seconds(), r.InputTokens, r.OutputTokens)
 			}
 		}
+
+	case "validate":
+		if *perfetto == "" {
+			fmt.Fprintln(os.Stderr, "validate mode needs -perfetto trace.json")
+			os.Exit(2)
+		}
+		f, err := os.Open(*perfetto)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := obs.ValidatePerfetto(f); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: invalid: %v\n", *perfetto, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid Chrome trace-event JSON\n", *perfetto)
 
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)

@@ -13,6 +13,7 @@ import (
 	"aegaeon/internal/latency"
 	"aegaeon/internal/metastore"
 	"aegaeon/internal/model"
+	"aegaeon/internal/obs"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
 	"aegaeon/internal/workload"
@@ -46,6 +47,10 @@ type Config struct {
 	SLO         slo.SLO
 	Deployments []DeploymentConfig
 	StoreRTT    time.Duration // metadata store round trip (default 1ms)
+
+	// Obs, when non-nil, collects span timelines, device op timelines, and
+	// switch-cost attribution across every deployment.
+	Obs *obs.Collector
 }
 
 // Cluster is the proxy plus its deployments.
@@ -81,6 +86,7 @@ func New(se *sim.Engine, cfg Config) (*Cluster, error) {
 			NumDecode:  dc.NumDecode,
 			Models:     dc.Models,
 			SLO:        cfg.SLO,
+			Obs:        cfg.Obs,
 		})
 		dep := &Deployment{Name: dc.Name, TP: dc.TP, System: sys, models: map[string]bool{}}
 		for _, m := range dc.Models {
@@ -169,6 +175,30 @@ func (c *Cluster) Switches() uint64 {
 // VirtualNow returns the simulation clock. Must run on the simulation
 // goroutine.
 func (c *Cluster) VirtualNow() time.Duration { return c.eng.Now() }
+
+// GPUInfo describes one instance's device for the debug endpoints.
+type GPUInfo struct {
+	Deployment string `json:"deployment"`
+	Instance   string `json:"instance"`
+	Model      string `json:"model"` // currently resident model ("" if none)
+	Switches   uint64 `json:"switches_total"`
+}
+
+// GPUInfos lists every instance's device with its current occupant model.
+// Must run on the simulation goroutine.
+func (c *Cluster) GPUInfos() []GPUInfo {
+	var out []GPUInfo
+	for _, d := range c.deps {
+		for _, e := range d.System.Engines() {
+			info := GPUInfo{Deployment: d.Name, Instance: e.Name, Switches: e.Stats().Switches}
+			if m := e.Current(); m != nil {
+				info.Model = m.Name
+			}
+			out = append(out, info)
+		}
+	}
+	return out
+}
 
 // LiveInFlight sums live-submitted, not-yet-finished requests.
 func (c *Cluster) LiveInFlight() int {

@@ -10,7 +10,6 @@ import (
 	"aegaeon/internal/memory"
 	"aegaeon/internal/model"
 	"aegaeon/internal/sim"
-	"aegaeon/internal/trace"
 )
 
 // dbatch is one decoding batch: same-model requests decoded together under
@@ -399,8 +398,9 @@ func (d *decodeInstance) runTurn() {
 	proceed := func() {
 		d.resident = b
 		b.lastRun = d.eng.Sim().Now()
-		d.sys.tracer.Emitf(b.lastRun, trace.KindTurnStart, d.eng.Name, b.model,
-			"%d reqs, quota %.2fs", len(b.reqs), b.quota.Seconds())
+		if d.sys.obs != nil {
+			d.sys.obs.TurnStart(d.eng.Name, b.model, b.lastRun, b.quota, requestIDs(b.reqs))
+		}
 		m := d.sys.models[b.model]
 		if cur := d.eng.Current(); cur == nil || cur.Name != m.Name {
 			d.eng.SwitchTo(m, func() {
@@ -409,6 +409,11 @@ func (d *decodeInstance) runTurn() {
 				d.prefetchUpcoming()
 				d.beginDecoding(b)
 			})
+			// The batch stalls until the scale-up completes: it is the
+			// switch's victim set.
+			if d.sys.obs != nil {
+				d.sys.obs.SwitchVictims(d.eng.Name, requestIDs(b.reqs))
+			}
 			return
 		}
 		d.prefetchUpcoming()
@@ -420,12 +425,25 @@ func (d *decodeInstance) runTurn() {
 		// engine (the naive synchronization of §3.2).
 		start := d.eng.Sim().Now()
 		gpu.AfterAll(d.eng.Sim(), outgoing...).OnComplete(func() {
-			d.chargeWait(b, d.eng.Sim().Now()-start)
+			now := d.eng.Sim().Now()
+			d.chargeWait(b, now-start)
+			d.sys.obs.SwitchStage(d.eng.Name, "kv-sync", start, now)
 			proceed()
 		})
 		return
 	}
 	proceed()
+}
+
+// requestIDs collects the ids of a batch's requests (observability only;
+// callers nil-check the collector first so the disabled path never
+// allocates).
+func requestIDs(reqs []*Request) []string {
+	ids := make([]string, len(reqs))
+	for i, r := range reqs {
+		ids[i] = r.ID
+	}
+	return ids
 }
 
 // swapOutBatch offloads every GPU-resident sequence of the batch, returning
@@ -483,8 +501,10 @@ func (d *decodeInstance) beginDecoding(b *dbatch) {
 	if !d.eng.Options().FineGrainedSync && len(incoming) > 0 {
 		start := d.eng.Sim().Now()
 		gpu.AfterAll(d.eng.Sim(), incoming...).OnComplete(func() {
-			d.chargeWait(b, d.eng.Sim().Now()-start)
-			d.stepLoop(b, turnEnd+d.eng.Sim().Now()-start, false)
+			now := d.eng.Sim().Now()
+			d.chargeWait(b, now-start)
+			d.sys.obs.SwitchStage(d.eng.Name, "kv-sync", start, now)
+			d.stepLoop(b, turnEnd+now-start, false)
 		})
 		return
 	}
@@ -540,8 +560,7 @@ func (d *decodeInstance) evictKVFor(cur *dbatch) {
 		}
 	}
 	if victim != nil {
-		d.sys.tracer.Emit(trace.Event{At: d.eng.Sim().Now(), Kind: trace.KindEvict,
-			Instance: d.eng.Name, Subject: victim.model})
+		d.sys.obs.Evicted(d.eng.Name, victim.model, d.eng.Sim().Now())
 		d.swapOutBatch(victim)
 	}
 }
@@ -609,6 +628,7 @@ func (d *decodeInstance) stepLoop(b *dbatch, turnEnd sim.Time, stepped bool) {
 			for _, r := range waiting {
 				r.Seq.AddTransferWait(w)
 			}
+			d.sys.obs.SwitchStage(d.eng.Name, "kv-sync", waitStart, d.eng.Sim().Now())
 			// The readiness wait does not consume quota.
 			d.stepLoop(b, turnEnd+w, stepped)
 		})
@@ -635,6 +655,9 @@ func (d *decodeInstance) stepLoop(b *dbatch, turnEnd sim.Time, stepped bool) {
 	stepStart := d.eng.Sim().Now()
 	d.eng.DecodeStep(ctx, func() {
 		stepDur := d.eng.Sim().Now() - stepStart
+		if d.sys.obs != nil {
+			d.sys.obs.TokenBatch(d.eng.Name, b.model, d.eng.Sim().Now(), requestIDs(stepReqs))
+		}
 		finishedAny := false
 		for _, r := range stepReqs {
 			r.recordToken(d.eng.Sim().Now())
@@ -663,8 +686,7 @@ func (d *decodeInstance) stepLoop(b *dbatch, turnEnd sim.Time, stepped bool) {
 func (d *decodeInstance) endTurn() {
 	dbgTurn(d, "end-turn", d.current)
 	if d.current != nil {
-		d.sys.tracer.Emit(trace.Event{At: d.eng.Sim().Now(), Kind: trace.KindTurnEnd,
-			Instance: d.eng.Name, Subject: d.current.model})
+		d.sys.obs.TurnEnd(d.eng.Name, d.current.model, d.eng.Sim().Now())
 	}
 	d.current = nil
 	d.turnIdx++

@@ -8,7 +8,6 @@ import (
 	"aegaeon/internal/kvcache"
 	"aegaeon/internal/memory"
 	"aegaeon/internal/sim"
-	"aegaeon/internal/trace"
 )
 
 // group is one prefill scheduling unit of Algorithm 1: up to MAX_GPSIZE
@@ -106,15 +105,19 @@ func (p *prefillInstance) step() {
 		// Preemptive scale-up for the front group. The next group's model is
 		// prefetched only after the on-demand load completes, so the
 		// prefetch overlaps this group's execution instead of delaying the
-		// load on the DMA engine.
-		p.sys.tracer.Emit(trace.Event{At: p.eng.Sim().Now(), Kind: trace.KindSwitchStart,
-			Instance: p.eng.Name, Subject: m.Name})
+		// load on the DMA engine. The engine emits the switch events and the
+		// stage breakdown; we attribute the stall to the waiting group.
 		p.eng.SwitchTo(m, func() {
-			p.sys.tracer.Emit(trace.Event{At: p.eng.Sim().Now(), Kind: trace.KindSwitchDone,
-				Instance: p.eng.Name, Subject: m.Name})
 			p.prefetchNext(1)
 			p.step()
 		})
+		if p.sys.obs != nil {
+			ids := make([]string, 0, len(g.reqs))
+			for _, wr := range g.reqs {
+				ids = append(ids, wr.ID)
+			}
+			p.sys.obs.SwitchVictims(p.eng.Name, ids)
+		}
 		return
 	}
 	r := g.reqs[0]
@@ -158,20 +161,19 @@ func (p *prefillInstance) runPrefill(r *Request, attempt int) {
 	}
 	r.Seq = seq
 	r.prefillStart = p.eng.Sim().Now()
-	p.sys.tracer.Emit(trace.Event{At: r.prefillStart, Kind: trace.KindPrefillStart,
-		Instance: p.eng.Name, Subject: r.ID})
+	p.sys.obs.PrefillStart(p.eng.Name, r.ID, r.prefillStart)
 	p.prefetchNextIfGroupEnding()
-	p.eng.Prefill(ctx, func() {
+	p.eng.PrefillFor(r.ID, ctx, func() {
 		if p.dead {
 			return // the request was re-dispatched by crash recovery
 		}
 		p.inflight = nil
 		now := p.eng.Sim().Now()
-		p.sys.tracer.Emit(trace.Event{At: now, Kind: trace.KindPrefillDone,
-			Instance: p.eng.Name, Subject: r.ID})
+		p.sys.obs.PrefillDone(p.eng.Name, r.ID, now)
 		r.prefillEnd = now
 		if r.Generated() == 0 {
 			r.recordToken(now) // token 0
+			p.sys.obs.Token(r.ID, now)
 		}
 		if r.RemainingTokens() <= 0 {
 			// Nothing to decode: the request is complete.
@@ -207,9 +209,12 @@ func (p *prefillInstance) handoff(r *Request, seq *kvcache.Sequence, prefillEnd 
 		p.step()
 		return
 	}
-	// Blocking path: the handoff waits for the full transfer.
+	// Blocking path: the handoff waits for the full transfer; the exposed
+	// wait is §5.3's synchronization cost, attributed to the last switch.
 	seq.LastTransfer().OnComplete(func() {
-		seq.AddTransferWait(p.eng.Sim().Now() - prefillEnd)
+		now := p.eng.Sim().Now()
+		seq.AddTransferWait(now - prefillEnd)
+		p.sys.obs.SwitchStage(p.eng.Name, "kv-sync", prefillEnd, now)
 		p.sys.dispatchDecode(r)
 	})
 	seq.LastTransfer().OnComplete(p.step)

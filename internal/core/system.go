@@ -10,6 +10,7 @@ import (
 	"aegaeon/internal/memory"
 	"aegaeon/internal/metrics"
 	"aegaeon/internal/model"
+	"aegaeon/internal/obs"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
 	"aegaeon/internal/trace"
@@ -53,8 +54,15 @@ type Config struct {
 	NodeGPUs int
 
 	// Tracer, when non-nil, records structured scheduler events (arrivals,
-	// switches, turns, swaps, completions) into a ring buffer.
+	// switches, turns, swaps, completions) into a ring buffer. When Obs is
+	// nil, a Collector is created around this ring so flat events and span
+	// timelines share one event model.
 	Tracer *trace.Tracer
+
+	// Obs, when non-nil, is the observability collector receiving request
+	// span timelines, device op timelines, and switch-cost attribution. Both
+	// nil leaves observability off with zero overhead.
+	Obs *obs.Collector
 
 	// FixedQuota disables the Eq. 2 quota formula and gives every decoding
 	// batch a flat QMax turn — the ablation for §4.3's weighted scheme.
@@ -163,6 +171,7 @@ type System struct {
 
 	tracker   *slo.Tracker
 	tracer    *trace.Tracer
+	obs       *obs.Collector
 	breakdown *metrics.Breakdown
 	requests  []*Request
 	completed int
@@ -177,6 +186,14 @@ func NewSystem(se *sim.Engine, cfg Config) *System {
 	cfg.applyDefaults()
 	if cfg.NumPrefill < 1 || cfg.NumDecode < 1 {
 		panic("core: need at least one prefill and one decode instance")
+	}
+	// One event model: a configured Tracer becomes the collector's backing
+	// ring, so flat events and span timelines never diverge.
+	if cfg.Obs == nil && cfg.Tracer != nil {
+		cfg.Obs = obs.New(obs.Options{Ring: cfg.Tracer})
+	}
+	if cfg.Tracer == nil && cfg.Obs != nil {
+		cfg.Tracer = cfg.Obs.Ring()
 	}
 	// The pool spans ceil(totalGPUs / NodeGPUs) physical nodes; the model
 	// cache and unified CPU KV cache aggregate their DRAM (Fig. 5 shows one
@@ -196,6 +213,7 @@ func NewSystem(se *sim.Engine, cfg Config) *System {
 		models:    map[string]*model.Model{},
 		tracker:   slo.NewTracker(),
 		tracer:    cfg.Tracer,
+		obs:       cfg.Obs,
 		breakdown: &metrics.Breakdown{},
 	}
 	for _, m := range cfg.Models {
@@ -216,6 +234,7 @@ func NewSystem(se *sim.Engine, cfg Config) *System {
 			ModelCache:         s.modelCache,
 			CPUKV:              s.cpuKV,
 			DaemonPoll:         cfg.DaemonPoll,
+			Obs:                cfg.Obs,
 		})
 	}
 	for i := 0; i < cfg.NumPrefill; i++ {
@@ -280,8 +299,7 @@ func (s *System) LiveInFlight() int { return s.liveOpen }
 // same-model group anywhere in the pool if one has room; otherwise open a
 // new group on the least-loaded prefill instance.
 func (s *System) dispatchPrefill(r *Request) {
-	s.tracer.Emit(trace.Event{At: s.eng.Now(), Kind: trace.KindArrival,
-		Subject: r.ID, Detail: r.Model.Name})
+	s.obs.RequestArrived(r.ID, r.Model.Name, s.eng.Now())
 	for _, p := range s.prefills {
 		if !p.dead && p.tryJoinGroup(r) {
 			return
@@ -340,7 +358,7 @@ func (s *System) sloFor(modelName string) slo.SLO {
 
 // finishRequest records completion.
 func (s *System) finishRequest(r *Request) {
-	s.tracer.Emit(trace.Event{At: s.eng.Now(), Kind: trace.KindRequestDone, Subject: r.ID})
+	s.obs.RequestDone(r.ID, s.eng.Now())
 	r.Done = true
 	r.finished = s.eng.Now()
 	s.completed++
@@ -458,6 +476,9 @@ func (s *System) Engines() []*engine.Engine {
 
 // Tracer returns the configured tracer (nil when tracing is disabled).
 func (s *System) Tracer() *trace.Tracer { return s.tracer }
+
+// Collector returns the observability collector (nil when disabled).
+func (s *System) Collector() *obs.Collector { return s.obs }
 
 // CPUKVStats returns the unified CPU KV cache fragmentation stats (Fig. 16).
 func (s *System) CPUKVStats() []memory.ClassStats { return s.cpuKV.Pool().Stats() }

@@ -22,6 +22,7 @@ import (
 	"aegaeon/internal/memory"
 	"aegaeon/internal/metrics"
 	"aegaeon/internal/model"
+	"aegaeon/internal/obs"
 	"aegaeon/internal/sim"
 )
 
@@ -86,6 +87,10 @@ type Config struct {
 
 	// Move-list daemon poll interval (0 = reclaim on completion).
 	DaemonPoll time.Duration
+
+	// Obs receives device op timelines and switch-cost attribution. Nil
+	// disables capture at zero overhead.
+	Obs *obs.Collector
 }
 
 // Stats aggregates engine activity.
@@ -139,17 +144,17 @@ const loadChunk = 25 * time.Millisecond
 
 // submitChunked splits a long H2D transfer into loadChunk-sized operations
 // and returns the event of the last chunk.
-func submitChunked(st *gpu.Stream, total time.Duration, tag string, done func()) *gpu.Event {
+func submitChunked(st *gpu.Stream, total time.Duration, info gpu.OpInfo, done func()) *gpu.Event {
 	if total <= loadChunk {
-		return st.Submit(gpu.H2D, total, tag, done)
+		return st.SubmitOp(gpu.H2D, total, info, done)
 	}
 	n := int(total / loadChunk)
 	rem := total - time.Duration(n)*loadChunk
 	for i := 0; i < n-1; i++ {
-		st.Submit(gpu.H2D, loadChunk, tag)
+		st.SubmitOp(gpu.H2D, loadChunk, info)
 	}
 	last := loadChunk + rem
-	return st.Submit(gpu.H2D, last, tag, done)
+	return st.SubmitOp(gpu.H2D, last, info, done)
 }
 
 // New constructs an engine on a fresh device.
@@ -184,6 +189,7 @@ func New(se *sim.Engine, name string, cfg Config) *Engine {
 	}
 	gpuKV := kvcache.NewCache(name+"/kv", cfg.KVRegionBytes, cfg.KVSlabBytes, cfg.BlockTokens)
 	e.kv = kvcache.NewManager(dev, cfg.Prof, gpuKV, cfg.CPUKV, cfg.DaemonPoll)
+	cfg.Obs.ObserveDevice(dev)
 	return e
 }
 
@@ -230,11 +236,18 @@ func (e *Engine) switchColocated(m *model.Model, start sim.Time, done func()) {
 			r.lastUsed = e.eng.Now()
 		}
 		e.stats.SwitchLatency.AddDuration(e.eng.Now() - start)
+		e.cfg.Obs.EndSwitch(e.Name, e.eng.Now())
 		done()
 	}
 	if r, ok := e.residents[m.Name]; ok {
 		// Resident (possibly still streaming in): activate once loaded.
-		run := func() { e.eng.After(activationDelay, finish) }
+		run := func() {
+			as := e.eng.Now()
+			e.eng.After(activationDelay, func() {
+				e.cfg.Obs.SwitchStage(e.Name, "activate", as, e.eng.Now())
+				finish()
+			})
+		}
 		if r.loading != nil && !r.loading.Query() {
 			e.stats.PrefetchHits++
 			r.loading.OnComplete(run)
@@ -269,20 +282,31 @@ func (e *Engine) switchColocated(m *model.Model, start sim.Time, done func()) {
 			_ = e.cfg.ModelCache.Insert(m.Name, m.WeightBytes())
 			dur = e.CostFor(m).Switch() + fetch
 		}
-		r.loading = submitChunked(e.loader, dur, "load "+m.Name, func() {
+		ls := e.eng.Now()
+		r.loading = submitChunked(e.loader, dur, gpu.OpInfo{Tag: "load " + m.Name, Model: m.Name}, func() {
 			r.loading = nil
+			e.cfg.Obs.SwitchStage(e.Name, "weight-load", ls, e.eng.Now())
 			finish()
 		})
 	}
 	if compactDur > 0 {
 		inner := load
-		load = func() { e.compute.Submit(gpu.Compute, compactDur, "compact residents", inner) }
+		load = func() {
+			cs := e.eng.Now()
+			e.compute.SubmitOp(gpu.Compute, compactDur,
+				gpu.OpInfo{Tag: "compact residents", Model: m.Name}, func() {
+					e.cfg.Obs.SwitchStage(e.Name, "compact", cs, e.eng.Now())
+					inner()
+				})
+		}
 	}
 	if !e.booted || !e.cfg.Opts.ComponentReuse {
 		e.stats.Reinits++
 		p := e.cfg.Prof
+		reinitStart := e.eng.Now()
 		e.eng.After(p.DistExecInit+p.ProfileOpt+p.KVInit+p.MiscInit, func() {
 			e.booted = true
+			e.cfg.Obs.SwitchStage(e.Name, "reinit", reinitStart, e.eng.Now())
 			load()
 		})
 		return
@@ -450,6 +474,11 @@ func (e *Engine) SwitchTo(m *model.Model, done func()) {
 	e.switching = true
 	start := e.eng.Now()
 	e.stats.Switches++
+	from := ""
+	if e.current != nil {
+		from = e.current.Name
+	}
+	e.cfg.Obs.BeginSwitch(e.Name, from, m.Name, start, e.booted && e.cfg.Opts.ComponentReuse)
 
 	if e.cfg.Opts.Colocate {
 		e.switchColocated(m, start, done)
@@ -460,6 +489,7 @@ func (e *Engine) SwitchTo(m *model.Model, done func()) {
 		e.switching = false
 		e.current = m
 		e.stats.SwitchLatency.AddDuration(e.eng.Now() - start)
+		e.cfg.Obs.EndSwitch(e.Name, e.eng.Now())
 		done()
 	}
 
@@ -470,8 +500,10 @@ func (e *Engine) SwitchTo(m *model.Model, done func()) {
 			e.stats.Reinits++
 			p := e.cfg.Prof
 			reinit := p.DistExecInit + p.ProfileOpt + p.KVInit + p.MiscInit
+			reinitStart := e.eng.Now()
 			e.eng.After(reinit, func() {
 				e.booted = true
+				e.cfg.Obs.SwitchStage(e.Name, "reinit", reinitStart, e.eng.Now())
 				e.loadWeights(m, finish)
 			})
 			return
@@ -495,7 +527,11 @@ func (e *Engine) SwitchTo(m *model.Model, done func()) {
 	// Tensor-library path: a garbage collection pass reclaims VRAM.
 	e.stats.GCPauses++
 	e.weights.Reset()
-	e.eng.After(e.cfg.Prof.GCPause, afterUnload)
+	gcStart := e.eng.Now()
+	e.eng.After(e.cfg.Prof.GCPause, func() {
+		e.cfg.Obs.SwitchStage(e.Name, "gc-pause", gcStart, e.eng.Now())
+		afterUnload()
+	})
 }
 
 // loadWeights brings m's weights into VRAM and calls done.
@@ -515,7 +551,12 @@ func (e *Engine) loadWeights(m *model.Model, done func()) {
 			if _, err := e.weights.Alloc(shard, 256); err != nil {
 				panic(fmt.Sprintf("engine %s: weights region cannot hold compacted model: %v", e.Name, err))
 			}
-			e.compute.Submit(gpu.Compute, copyDur, "compact "+m.Name, done)
+			cs := e.eng.Now()
+			e.compute.SubmitOp(gpu.Compute, copyDur,
+				gpu.OpInfo{Tag: "compact " + m.Name, Model: m.Name}, func() {
+					e.cfg.Obs.SwitchStage(e.Name, "compact", cs, e.eng.Now())
+					done()
+				})
 		}
 		if ready.Query() {
 			run()
@@ -539,7 +580,11 @@ func (e *Engine) loadWeights(m *model.Model, done func()) {
 			// Naive engine loading path (Fig. 7: 2.83 GB/s).
 			dur = cost.NaiveLoad()
 		}
-		submitChunked(e.loader, dur, "load "+m.Name, done)
+		ls := e.eng.Now()
+		submitChunked(e.loader, dur, gpu.OpInfo{Tag: "load " + m.Name, Model: m.Name}, func() {
+			e.cfg.Obs.SwitchStage(e.Name, "weight-load", ls, e.eng.Now())
+			done()
+		})
 	}
 
 	if e.cfg.ModelCache != nil {
@@ -550,7 +595,9 @@ func (e *Engine) loadWeights(m *model.Model, done func()) {
 		// Remote registry fetch, then cached in host memory.
 		e.stats.CacheMisses++
 		fetch := time.Duration(float64(m.WeightBytes()) / e.cfg.RemoteLoadBPS * float64(time.Second))
+		fs := e.eng.Now()
 		e.eng.After(fetch, func() {
+			e.cfg.Obs.SwitchStage(e.Name, "fetch", fs, e.eng.Now())
 			// A full cache is tolerable: the fetched weights stream through
 			// the stage buffer regardless; only future hits are lost.
 			_ = e.cfg.ModelCache.Insert(m.Name, m.WeightBytes())
@@ -607,9 +654,10 @@ func (e *Engine) StartPrefetch(m *model.Model) bool {
 		_ = e.cfg.ModelCache.Insert(m.Name, m.WeightBytes())
 	}
 	e.prefetchPending = true
-	e.prefetchReady = submitChunked(e.prefetch, dur, "prefetch "+m.Name, func() {
-		e.prefetchPending = false
-	})
+	e.prefetchReady = submitChunked(e.prefetch, dur,
+		gpu.OpInfo{Tag: "prefetch " + m.Name, Model: m.Name}, func() {
+			e.prefetchPending = false
+		})
 	e.prefetched = m
 	return true
 }
@@ -642,9 +690,10 @@ func (e *Engine) prefetchColocated(m *model.Model) bool {
 			time.Duration(float64(m.WeightBytes())/e.cfg.RemoteLoadBPS*float64(time.Second))
 		_ = e.cfg.ModelCache.Insert(m.Name, m.WeightBytes())
 	}
-	r.loading = submitChunked(e.prefetch, dur, "prefetch "+m.Name, func() {
-		r.loading = nil
-	})
+	r.loading = submitChunked(e.prefetch, dur,
+		gpu.OpInfo{Tag: "prefetch " + m.Name, Model: m.Name}, func() {
+			r.loading = nil
+		})
 	return true
 }
 
@@ -654,12 +703,19 @@ func (e *Engine) Prefetched() *model.Model { return e.prefetched }
 // Prefill executes one prefill job (batch size 1, §4.2) for the current
 // model and fires done on completion.
 func (e *Engine) Prefill(promptTokens int, done func()) {
+	e.PrefillFor("", promptTokens, done)
+}
+
+// PrefillFor is Prefill with request attribution: the compute op carries the
+// request id so the device timeline links kernels to requests.
+func (e *Engine) PrefillFor(reqID string, promptTokens int, done func()) {
 	if e.current == nil {
 		panic("engine: Prefill with no model loaded")
 	}
 	e.stats.PrefillJobs++
 	dur := e.CostFor(e.current).Prefill(promptTokens)
-	e.compute.Submit(gpu.Compute, dur, "prefill", done)
+	e.compute.SubmitOp(gpu.Compute, dur,
+		gpu.OpInfo{Tag: "prefill", Model: e.current.Name, Request: reqID}, done)
 }
 
 // DecodeStep executes one decoding iteration over a batch with the given
@@ -670,7 +726,8 @@ func (e *Engine) DecodeStep(contextTokens int64, done func()) {
 	}
 	e.stats.DecodeSteps++
 	dur := e.CostFor(e.current).DecodeStep(contextTokens)
-	e.compute.Submit(gpu.Compute, dur, "decode", done)
+	e.compute.SubmitOp(gpu.Compute, dur,
+		gpu.OpInfo{Tag: "decode", Model: e.current.Name}, done)
 }
 
 // DecodeStepEstimate returns the t_k of Eq. 2 for a batch of the model with

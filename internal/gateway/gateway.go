@@ -23,6 +23,7 @@ import (
 	"aegaeon/internal/cluster"
 	"aegaeon/internal/core"
 	"aegaeon/internal/metrics"
+	"aegaeon/internal/obs"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/workload"
 )
@@ -46,6 +47,10 @@ type Options struct {
 	MaxTokensCap int
 	// QuantileSamples bounds the TTFT/TBT reservoirs (default 8192).
 	QuantileSamples int
+	// Obs, when non-nil, is the observability collector backing the /debug
+	// endpoints. A nil collector keeps the serving hot path allocation-free
+	// and makes /debug/* answer 404.
+	Obs *obs.Collector
 }
 
 func (o *Options) defaults() {
@@ -96,6 +101,10 @@ type Gateway struct {
 
 	ttft *metrics.SafeCDF
 	tbt  *metrics.SafeCDF
+	// Exact-count histograms alongside the reservoir quantiles: scrape-based
+	// SLO alerting needs cumulative buckets, not subsampled percentiles.
+	ttftHist *metrics.Histogram
+	tbtHist  *metrics.Histogram
 }
 
 // New builds a gateway over a cluster whose engine is owned by drv. Start
@@ -113,6 +122,10 @@ func New(drv *sim.Driver, cl *cluster.Cluster, opts Options) *Gateway {
 		drained:  make(chan struct{}),
 		ttft:     metrics.NewSafeCDF(opts.QuantileSamples),
 		tbt:      metrics.NewSafeCDF(opts.QuantileSamples),
+		// 10ms..~41s and 2.5ms..~10s: wide enough to bucket both snappy
+		// token streams and deeply queued overload tails.
+		ttftHist: metrics.NewHistogram(metrics.ExponentialBounds(0.01, 2, 12)...),
+		tbtHist:  metrics.NewHistogram(metrics.ExponentialBounds(0.0025, 2, 12)...),
 	}
 }
 
@@ -131,6 +144,10 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/v1/models", g.handleModels)
 	mux.HandleFunc("/metrics", g.handleMetrics)
 	mux.HandleFunc("/healthz", g.handleHealthz)
+	mux.HandleFunc("/debug/trace", g.handleDebugTrace)
+	mux.HandleFunc("/debug/requests/", g.handleDebugRequest)
+	mux.HandleFunc("/debug/gpus", g.handleDebugGPUs)
+	mux.HandleFunc("/debug/perfetto", g.handleDebugPerfetto)
 	return mux
 }
 
@@ -215,8 +232,10 @@ func (g *Gateway) releaseAdmission(model string) {
 func (g *Gateway) finish(model string, r *core.Request) {
 	if n := len(r.TokenTimes); n > 0 {
 		g.ttft.AddDuration(r.TokenTimes[0] - r.Arrival)
+		g.ttftHist.ObserveDuration(r.TokenTimes[0] - r.Arrival)
 		for i := 1; i < n; i++ {
 			g.tbt.AddDuration(r.TokenTimes[i] - r.TokenTimes[i-1])
+			g.tbtHist.ObserveDuration(r.TokenTimes[i] - r.TokenTimes[i-1])
 		}
 	}
 	g.mu.Lock()

@@ -86,6 +86,8 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	writeSummary(&b, "aegaeon_gateway_ttft_seconds", "Time to first token (virtual).", g.ttft)
 	writeSummary(&b, "aegaeon_gateway_tbt_seconds", "Time between tokens (virtual).", g.tbt)
+	writeHistogram(&b, "aegaeon_gateway_ttft_hist_seconds", "Time to first token (virtual), exact bucket counts.", g.ttftHist)
+	writeHistogram(&b, "aegaeon_gateway_tbt_hist_seconds", "Time between tokens (virtual), exact bucket counts.", g.tbtHist)
 
 	counter("aegaeon_model_switches_total", "Preemptive auto-scaling model switches across instances.")
 	fmt.Fprintf(&b, "aegaeon_model_switches_total %d\n", switches)
@@ -96,6 +98,20 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeHistogram renders exact cumulative buckets in the Prometheus
+// histogram convention: `_bucket{le="..."}` lines ascending, a final
+// `le="+Inf"` equal to `_count`, then `_sum` and `_count`.
+func writeHistogram(b *strings.Builder, name, help string, h *metrics.Histogram) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	s := h.Snapshot()
+	for i, bound := range s.Bounds {
+		fmt.Fprintf(b, "%s_bucket{le=\"%g\"} %d\n", name, bound, s.Cumulative[i])
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(b, "%s_sum %g\n", name, s.Sum)
+	fmt.Fprintf(b, "%s_count %d\n", name, s.Count)
 }
 
 // writeSummary renders a SafeCDF as a Prometheus summary.

@@ -49,13 +49,38 @@ func (k EngineKind) String() string {
 	return fmt.Sprintf("engine(%d)", int(k))
 }
 
+// OpInfo labels one engine operation for timeline capture: the free-form
+// tag plus optional model and request attribution. Submit fills only Tag;
+// callers that know which model or request an op serves use SubmitOp so the
+// observability layer can build per-model and per-request device timelines.
+type OpInfo struct {
+	Tag     string
+	Model   string
+	Request string
+}
+
+// OpRecord is one completed engine interval, reported to the device's
+// observer: [Start, End) of exclusive occupancy of one hardware engine.
+type OpRecord struct {
+	Engine EngineKind
+	Info   OpInfo
+	Start  sim.Time
+	End    sim.Time
+}
+
+// OpObserver receives every completed engine operation on a device. It runs
+// synchronously on the simulation goroutine as each op retires; it must not
+// re-enter the device.
+type OpObserver func(d *Device, r OpRecord)
+
 // Device is one simulated GPU.
 type Device struct {
 	Name string
 
-	eng     *sim.Engine
-	engines [3]*executor
-	streams []*Stream
+	eng      *sim.Engine
+	engines  [3]*executor
+	streams  []*Stream
+	observer OpObserver
 }
 
 // NewDevice creates a device attached to the simulation engine.
@@ -66,6 +91,11 @@ func NewDevice(eng *sim.Engine, name string) *Device {
 	}
 	return d
 }
+
+// Observe registers fn to receive every completed engine operation (nil
+// disables capture). At most one observer is active; the hot path pays a
+// single nil check when none is registered.
+func (d *Device) Observe(fn OpObserver) { d.observer = fn }
 
 // NewStream creates an asynchronous work queue on the device.
 func (d *Device) NewStream(name string) *Stream {
@@ -80,13 +110,23 @@ func (d *Device) BusyTime(k EngineKind) time.Duration {
 	return d.engines[k].busyTotal(d.eng.Now())
 }
 
-// Utilization returns the busy fraction of the engine over [since, now].
+// Utilization returns the busy fraction of the engine over [since, now],
+// clamped to [0, 1]: when since falls inside a running op, or when the
+// caller's busyAtSince snapshot predates the window, the raw ratio can
+// stray outside the unit interval even though occupancy cannot.
 func (d *Device) Utilization(k EngineKind, since sim.Time, busyAtSince time.Duration) float64 {
 	window := d.eng.Now() - since
 	if window <= 0 {
 		return 0
 	}
-	return float64(d.BusyTime(k)-busyAtSince) / float64(window)
+	u := float64(d.BusyTime(k)-busyAtSince) / float64(window)
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
 }
 
 // Sim returns the simulation engine the device is attached to.
@@ -97,7 +137,7 @@ type op struct {
 	stream  *Stream
 	kind    EngineKind
 	dur     time.Duration
-	tag     string
+	info    OpInfo
 	onDone  []func()
 	barrier *Event // non-nil: wait-for-event op (no engine time)
 	marker  *Event // non-nil: completes when the op completes
@@ -125,11 +165,18 @@ func (s *Stream) Device() *Device { return s.dev }
 // the operation's completion (equivalent to Submit followed by Record, but
 // cheaper and common enough to fold in).
 func (s *Stream) Submit(k EngineKind, dur time.Duration, tag string, onDone ...func()) *Event {
+	return s.SubmitOp(k, dur, OpInfo{Tag: tag}, onDone...)
+}
+
+// SubmitOp is Submit with full op attribution (model and request labels) for
+// the device timeline. Callers that know which model or request the op
+// serves should prefer it; plain Submit labels the op with only a tag.
+func (s *Stream) SubmitOp(k EngineKind, dur time.Duration, info OpInfo, onDone ...func()) *Event {
 	if dur < 0 {
-		panic(fmt.Sprintf("gpu: negative op duration %v (%s)", dur, tag))
+		panic(fmt.Sprintf("gpu: negative op duration %v (%s)", dur, info.Tag))
 	}
 	ev := newEvent(s.dev.eng)
-	o := &op{stream: s, kind: k, dur: dur, tag: tag, onDone: onDone, marker: ev}
+	o := &op{stream: s, kind: k, dur: dur, info: info, onDone: onDone, marker: ev}
 	s.queue = append(s.queue, o)
 	s.pump()
 	return ev
@@ -237,6 +284,9 @@ func (x *executor) kick() {
 	x.eng.After(o.dur, func() {
 		x.busy = false
 		x.busyAccum += x.eng.Now() - x.busySince
+		if obs := x.dev.observer; obs != nil {
+			obs(x.dev, OpRecord{Engine: x.kind, Info: o.info, Start: x.busySince, End: x.eng.Now()})
+		}
 		o.stream.complete(o)
 		x.kick()
 	})

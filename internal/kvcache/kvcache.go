@@ -334,19 +334,20 @@ func (m *Manager) SwapOut(seq *Sequence) (*gpu.Event, error) {
 	gpuBlocks := seq.gpuBlocks
 	srcCache := seq.gpuCache
 	seq.gpuBlocks = nil
-	ev := m.kvOut.Submit(gpu.D2H, m.prof.PCIeCopy(bytes), "kv-out "+seq.ID, func() {
-		// Source GPU blocks are safe to release once the copy has read them.
-		for _, b := range gpuBlocks {
-			if err := srcCache.pool.Free(b); err != nil {
-				panic(fmt.Sprintf("kvcache: gpu free after swap-out: %v", err))
+	ev := m.kvOut.SubmitOp(gpu.D2H, m.prof.PCIeCopy(bytes),
+		gpu.OpInfo{Tag: "kv-out " + seq.ID, Request: seq.ID}, func() {
+			// Source GPU blocks are safe to release once the copy has read them.
+			for _, b := range gpuBlocks {
+				if err := srcCache.pool.Free(b); err != nil {
+					panic(fmt.Sprintf("kvcache: gpu free after swap-out: %v", err))
+				}
 			}
-		}
-		// A swap-in may already have been issued against this sequence
-		// (Fig. 10's overlapped handoff); do not clobber its state.
-		if seq.state == StateSwappingOut {
-			seq.state = StateCPU
-		}
-	})
+			// A swap-in may already have been issued against this sequence
+			// (Fig. 10's overlapped handoff); do not clobber its state.
+			if seq.state == StateSwappingOut {
+				seq.state = StateCPU
+			}
+		})
 	seq.lastXfer = ev
 	m.stats.SwapOuts++
 	m.stats.BytesOut += bytes
@@ -380,12 +381,13 @@ func (m *Manager) SwapIn(seq *Sequence) (*gpu.Event, error) {
 	bytes := seq.Bytes()
 	cpuBlocks := seq.cpuBlocks
 	seq.cpuBlocks = nil
-	ev := m.kvIn.Submit(gpu.H2D, m.prof.PCIeCopy(bytes), "kv-in "+seq.ID, func() {
-		// Guard against a crash-recovery Abandon racing the transfer.
-		if seq.state == StateSwappingIn {
-			seq.state = StateGPU
-		}
-	})
+	ev := m.kvIn.SubmitOp(gpu.H2D, m.prof.PCIeCopy(bytes),
+		gpu.OpInfo{Tag: "kv-in " + seq.ID, Request: seq.ID}, func() {
+			// Guard against a crash-recovery Abandon racing the transfer.
+			if seq.state == StateSwappingIn {
+				seq.state = StateGPU
+			}
+		})
 	// Rule ❸: the CPU copies become garbage once read, but they must not be
 	// reallocated until the read completes. Park them in the move list.
 	for _, b := range cpuBlocks {

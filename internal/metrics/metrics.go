@@ -39,9 +39,9 @@ func (c *CDF) sortOnce() {
 }
 
 // Quantile returns the q-th quantile (0 <= q <= 1) of the samples; NaN if
-// empty.
+// empty or if q is NaN.
 func (c *CDF) Quantile(q float64) float64 {
-	if len(c.samples) == 0 {
+	if len(c.samples) == 0 || math.IsNaN(q) {
 		return math.NaN()
 	}
 	c.sortOnce()
@@ -83,18 +83,19 @@ func (c *CDF) FractionBelow(x float64) float64 {
 }
 
 // Points returns n evenly spaced (value, cumulative fraction) points, for
-// rendering a CDF curve.
+// rendering a CDF curve. n <= 0 returns nil; n == 1 returns the single
+// (max, 1) point rather than dividing by n-1.
 func (c *CDF) Points(n int) [][2]float64 {
 	if len(c.samples) == 0 || n <= 0 {
 		return nil
 	}
 	c.sortOnce()
+	if n == 1 {
+		return [][2]float64{{c.samples[len(c.samples)-1], 1}}
+	}
 	out := make([][2]float64, 0, n)
 	for i := 0; i < n; i++ {
 		q := float64(i) / float64(n-1)
-		if n == 1 {
-			q = 1
-		}
 		out = append(out, [2]float64{c.Quantile(q), q})
 	}
 	return out
@@ -246,7 +247,8 @@ func (b *Breakdown) Add(s BreakdownStage, d time.Duration) {
 	b.total[s] += d
 }
 
-// Fractions returns each stage's share of the total, in stage order.
+// Fractions returns each stage's share of the total, in stage order. With a
+// zero total (no time accrued anywhere) every share is 0, never NaN.
 func (b *Breakdown) Fractions() []float64 {
 	var sum time.Duration
 	for _, v := range b.total {
@@ -267,6 +269,94 @@ func (b *Breakdown) Total(s BreakdownStage) time.Duration { return b.total[s] }
 
 // Stages returns all stage labels in order.
 func Stages() []string { return append([]string(nil), stageNames[:]...) }
+
+// Histogram is a concurrency-safe fixed-bucket histogram in the Prometheus
+// style: cumulative bucket counts over sorted upper bounds plus a +Inf
+// overflow, a running sum, and a total count. Unlike SafeCDF's reservoir it
+// never subsamples, so exported bucket counts are exact — what a scrape-based
+// TTFT/TBT SLO burn-rate alert needs.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds, exclusive of +Inf
+	counts []uint64  // per-bucket (non-cumulative); len(bounds)+1 with overflow
+	sum    float64
+	total  uint64
+}
+
+// NewHistogram builds a histogram over the given bucket upper bounds, which
+// must be sorted ascending and non-empty.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending at %d", i))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample. NaN samples are dropped (they would poison the
+// sum and fit no bucket).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: le-style buckets
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// ObserveDuration records a duration sample in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a consistent view of a histogram for export.
+type HistogramSnapshot struct {
+	Bounds     []float64 // upper bounds, ascending (no +Inf entry)
+	Cumulative []uint64  // cumulative counts per bound; same length as Bounds
+	Sum        float64
+	Count      uint64
+}
+
+// Snapshot returns the cumulative bucket counts, sum, and total count.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Bounds:     append([]float64(nil), h.bounds...),
+		Cumulative: make([]uint64, len(h.bounds)),
+		Sum:        h.sum,
+		Count:      h.total,
+	}
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.counts[i]
+		s.Cumulative[i] = cum
+	}
+	return s
+}
+
+// ExponentialBounds returns n bucket bounds starting at start, each factor
+// times the previous — the standard latency bucket layout.
+func ExponentialBounds(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("metrics: invalid exponential bucket spec")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
 
 // String renders the breakdown as percentages.
 func (b *Breakdown) String() string {

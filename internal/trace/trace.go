@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -74,7 +75,13 @@ func (e Event) String() string {
 
 // Tracer is a fixed-size ring of events. The zero value is unusable;
 // construct with New. A nil Tracer is a valid no-op sink.
+//
+// A Tracer is safe for concurrent use: the simulation goroutine emits while
+// gateway debug handlers snapshot, so the ring serializes access with a
+// mutex (uncontended in batch simulations, where everything runs on one
+// goroutine).
 type Tracer struct {
+	mu     sync.Mutex
 	buf    []Event
 	next   int
 	total  uint64
@@ -94,6 +101,8 @@ func (t *Tracer) Emit(e Event) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.total++
 	if int(e.Kind) < len(t.counts) {
 		t.counts[e.Kind]++
@@ -121,6 +130,8 @@ func (t *Tracer) Total() uint64 {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.total
 }
 
@@ -129,6 +140,8 @@ func (t *Tracer) Count(k Kind) uint64 {
 	if t == nil || int(k) >= len(t.counts) {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.counts[k]
 }
 
@@ -137,6 +150,8 @@ func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(t.buf) < cap(t.buf) {
 		out := make([]Event, len(t.buf))
 		copy(out, t.buf)
@@ -181,6 +196,8 @@ func (t *Tracer) Summary() string {
 	if t == nil {
 		return "trace: disabled"
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "trace: %d events total", t.total)
 	for k := Kind(0); k < numKinds; k++ {
