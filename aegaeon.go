@@ -23,11 +23,13 @@ package aegaeon
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"aegaeon/internal/baselines"
 	"aegaeon/internal/core"
 	"aegaeon/internal/engine"
+	"aegaeon/internal/fault"
 	"aegaeon/internal/latency"
 	"aegaeon/internal/metrics"
 	"aegaeon/internal/model"
@@ -45,6 +47,9 @@ type SLO = slo.SLO
 
 // Request re-exports the workload request type.
 type Request = workload.Request
+
+// FaultStats re-exports the fault-injection and recovery counters.
+type FaultStats = fault.Stats
 
 // Dataset re-exports the length-distribution interface.
 type Dataset = workload.Dataset
@@ -97,15 +102,27 @@ type Config struct {
 	// attribution, exportable as Perfetto-loadable Chrome trace JSON via
 	// WritePerfetto. Off by default; the disabled path adds no overhead.
 	Tracing bool
+	// Faults is a fault schedule injected during Serve, as a comma-separated
+	// spec of "kind@at[+dur][*factor][:target]" items — e.g.
+	// "crash@40s:decode0,xfer@60s+5s,fetchslow@90s+30s*4". Kinds: crash,
+	// xfer, fetchfail, fetchslow, partition, storeslow (the store kinds need
+	// the cluster proxy and are rejected here). Crashed instances are
+	// detected after a fixed delay, then their in-flight requests recover
+	// onto survivors: host-resident KV resumes decoding, the rest recompute
+	// via prefill. Empty disables fault injection entirely.
+	Faults string
 }
 
 // System is a ready-to-serve Aegaeon deployment in virtual time.
 type System struct {
-	cfg    Config
-	eng    *sim.Engine
-	sys    *core.System
-	models []*Model
-	served bool
+	cfg      Config
+	eng      *sim.Engine
+	sys      *core.System
+	models   []*Model
+	served   bool
+	flt      *fault.Faults
+	sched    []fault.Fault
+	injector *fault.Injector
 }
 
 // New builds a system.
@@ -150,6 +167,16 @@ func New(cfg Config) (*System, error) {
 	if cfg.Tracing {
 		col = obs.New(obs.Options{})
 	}
+	var flt *fault.Faults
+	var sched []fault.Fault
+	if cfg.Faults != "" {
+		var err error
+		sched, err = fault.ParseSpec(cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		flt = fault.New(se, cfg.Seed)
+	}
 	sys := core.NewSystem(se, core.Config{
 		Prof:       prof,
 		TP:         cfg.TP,
@@ -159,8 +186,9 @@ func New(cfg Config) (*System, error) {
 		Models:     models,
 		SLO:        cfg.SLO,
 		Obs:        col,
+		Faults:     flt,
 	})
-	return &System{cfg: cfg, eng: se, sys: sys, models: models}, nil
+	return &System{cfg: cfg, eng: se, sys: sys, models: models, flt: flt, sched: sched}, nil
 }
 
 // Models returns the models the system serves.
@@ -210,6 +238,13 @@ type Report struct {
 	SwitchP50, SwitchP99 time.Duration
 	// Switches counts preemptive model scale-ups across instances.
 	Switches uint64
+	// Failed counts requests that ended cleanly rejected (only possible
+	// under fault injection, e.g. when every decode instance is dead).
+	Failed int
+	// FaultsInjected is how many scheduled faults fired; Faults holds the
+	// full fault and recovery accounting. Both are zero without Config.Faults.
+	FaultsInjected int
+	Faults         FaultStats
 }
 
 // Serve runs the trace to completion in virtual time and reports. A System
@@ -221,6 +256,10 @@ func (s *System) Serve(trace []Request) (Report, error) {
 	s.served = true
 	if err := s.sys.Submit(trace); err != nil {
 		return Report{}, err
+	}
+	if len(s.sched) > 0 {
+		s.injector = fault.NewInjector(s.eng, sysSurface{s}, s.sched)
+		s.injector.Arm()
 	}
 	s.eng.Run()
 	s.sys.Finalize(s.eng.Now())
@@ -239,6 +278,16 @@ func (s *System) Serve(trace []Request) (Report, error) {
 		Requests:        len(trace),
 		VirtualDuration: s.eng.Now(),
 		Switches:        switches,
+		Failed:          s.sys.FailedRequests(),
+	}
+	if s.flt != nil {
+		rep.Faults = s.flt.Snapshot()
+	}
+	if s.injector != nil {
+		rep.FaultsInjected = s.injector.Injected()
+		if errs := s.injector.Errors(); len(errs) > 0 {
+			return rep, fmt.Errorf("aegaeon: %d faults failed to inject, first: %w", len(errs), errs[0])
+		}
 	}
 	if cdf.N() > 0 {
 		rep.SwitchP50 = time.Duration(cdf.Quantile(0.5) * float64(time.Second))
@@ -263,6 +312,54 @@ func (s *System) WritePerfetto(w io.Writer) error {
 		return fmt.Errorf("aegaeon: tracing disabled; build the system with Config.Tracing")
 	}
 	return c.WritePerfetto(w)
+}
+
+// crashDetectionDelay emulates the proxy's health-lease detection window
+// when running single-system (no cluster in front): a crashed instance's
+// orphans sit undispatched this long before recovery begins.
+const crashDetectionDelay = time.Second
+
+// sysSurface adapts a single System to the fault injector. Store faults
+// (partition, storeslow) need the cluster proxy's metadata store and are
+// rejected; everything else maps onto the core runtime directly.
+type sysSurface struct{ s *System }
+
+func (ss sysSurface) Crash(target string) error {
+	// Accept cluster-style "deployment/instance" targets for spec reuse.
+	if _, inst, ok := strings.Cut(target, "/"); ok {
+		target = inst
+	}
+	if err := ss.s.sys.CrashInstanceNamed(target); err != nil {
+		return err
+	}
+	name := target
+	ss.s.eng.After(crashDetectionDelay, func() {
+		ss.s.sys.RecoverOrphansOf(name)
+	})
+	return nil
+}
+
+func (ss sysSurface) FailTransfers(target string, d sim.Time) error {
+	ss.s.flt.FailTransfers(target, d)
+	return nil
+}
+
+func (ss sysSurface) FailFetch(model string, d sim.Time) error {
+	ss.s.flt.FailFetch(model, d)
+	return nil
+}
+
+func (ss sysSurface) SlowFetch(factor float64, d sim.Time) error {
+	ss.s.flt.SlowFetch(factor, d)
+	return nil
+}
+
+func (ss sysSurface) PartitionStore(sim.Time) error {
+	return fmt.Errorf("no metadata store in single-system mode; partition faults need the cluster gateway")
+}
+
+func (ss sysSurface) SlowStore(float64, sim.Time) error {
+	return fmt.Errorf("no metadata store in single-system mode; storeslow faults need the cluster gateway")
 }
 
 // InjectDecodeFailure schedules a crash of decoding instance idx at the

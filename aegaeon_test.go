@@ -108,3 +108,48 @@ func TestCatalogExposed(t *testing.T) {
 		t.Fatalf("catalog has %d models", len(Catalog()))
 	}
 }
+
+func TestFaultSpecServe(t *testing.T) {
+	sys, err := New(Config{
+		PrefillGPUs: 1, DecodeGPUs: 2, NumModels: 4,
+		Faults: "crash@40s:decode0,fetchslow@60s+20s*4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := sys.GenerateTrace(TraceSpec{RatePerModel: 0.1, Horizon: 2 * time.Minute})
+	rep, err := sys.Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FaultsInjected != 2 {
+		t.Fatalf("injected %d faults, want 2", rep.FaultsInjected)
+	}
+	if rep.Faults.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", rep.Faults.Crashes)
+	}
+	// One decode survivor remains: the crash recovers, nothing is lost.
+	if rep.Completed+rep.Failed != rep.Requests {
+		t.Fatalf("completed %d + failed %d != %d requests", rep.Completed, rep.Failed, rep.Requests)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("failed %d requests despite a surviving decode instance", rep.Failed)
+	}
+}
+
+func TestBadFaultSpecRejected(t *testing.T) {
+	if _, err := New(Config{Faults: "explode@now"}); err == nil {
+		t.Fatal("bad fault spec accepted")
+	}
+}
+
+func TestStoreFaultNeedsCluster(t *testing.T) {
+	sys, err := New(Config{PrefillGPUs: 1, DecodeGPUs: 1, NumModels: 1, Faults: "partition@10s+5s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := sys.GenerateTrace(TraceSpec{RatePerModel: 0.05, Horizon: 30 * time.Second})
+	if _, err := sys.Serve(trace); err == nil {
+		t.Fatal("partition fault injected with no metadata store to partition")
+	}
+}

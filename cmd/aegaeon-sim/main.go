@@ -35,10 +35,15 @@ func main() {
 		tbtScale  = flag.Float64("tbt-scale", 1, "scale the TBT target")
 		unopt     = flag.Bool("unoptimized", false, "disable the §5 auto-scaling optimizations")
 		perfetto  = flag.String("perfetto", "", "write a Perfetto-loadable trace JSON to this file (aegaeon system only)")
+		faults    = flag.String("faults", "", `fault schedule: "kind@at[+dur][*factor][:target]", comma-separated — e.g. "crash@40s:decode0,fetchslow@60s+30s*4" (aegaeon system only)`)
 	)
 	flag.Parse()
 	if *perfetto != "" && *system != "aegaeon" {
 		fmt.Fprintln(os.Stderr, "-perfetto requires -system aegaeon (baselines are not instrumented)")
+		os.Exit(2)
+	}
+	if *faults != "" && *system != "aegaeon" {
+		fmt.Fprintln(os.Stderr, "-faults requires -system aegaeon (baselines have no fault model)")
 		os.Exit(2)
 	}
 
@@ -66,6 +71,7 @@ func main() {
 		Seed:                 *seed,
 		DisableOptimizations: *unopt,
 		Tracing:              *perfetto != "",
+		Faults:               *faults,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -101,6 +107,14 @@ func main() {
 		fmt.Printf("model switches    %d (p50 %v, p99 %v)\n",
 			rep.Switches, rep.SwitchP50.Round(time.Millisecond), rep.SwitchP99.Round(time.Millisecond))
 		fmt.Printf("latency breakdown %v\n", sys.Breakdown())
+	}
+	if *faults != "" {
+		fs := rep.Faults
+		fmt.Printf("faults injected   %d (%s)\n", rep.FaultsInjected, *faults)
+		fmt.Printf("crash recovery    %d crashed, %d resumed from CPU KV, %d recomputed, %d rejected\n",
+			fs.Crashes, fs.Resumed, fs.Recomputed, fs.Rejected)
+		fmt.Printf("retries           fetch %d (%d exhausted), transfer %d, store %d\n",
+			fs.FetchRetries, fs.FetchExhausted, fs.TransferRetries, fs.StoreRetries)
 	}
 	fmt.Printf("virtual duration  %v\n", rep.VirtualDuration.Round(time.Second))
 

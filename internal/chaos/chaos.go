@@ -1,0 +1,216 @@
+// Package chaos is the fault-injection harness: it runs a cluster under a
+// seeded fault schedule — instance crashes, transfer and fetch failures,
+// metadata-store partitions — with the proxy's health-lease failover active,
+// then audits the end state against the recovery invariants: every request
+// reaches exactly one terminal state, completed streams are gap-free, no KV
+// is leaked on surviving instances, and fault accounting is consistent.
+// Schedules are deterministic given a seed, so a chaos run is a reproducible
+// regression, not a flake generator.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"aegaeon/internal/cluster"
+	"aegaeon/internal/fault"
+	"aegaeon/internal/latency"
+	"aegaeon/internal/model"
+	"aegaeon/internal/sim"
+	"aegaeon/internal/slo"
+	"aegaeon/internal/workload"
+)
+
+// Config parameterizes one chaos run.
+type Config struct {
+	Seed int64
+	// Models is the market size (default 4, small models).
+	Models int
+	// Rate is the Poisson arrival rate in requests/s (default 0.15).
+	Rate float64
+	// Horizon is the arrival window (default 120s); faults land inside it
+	// and the run continues until the system drains.
+	Horizon time.Duration
+	// NumPrefill / NumDecode size the single deployment (defaults 2 / 2, so
+	// single-instance crashes have somewhere to fail over to).
+	NumPrefill int
+	NumDecode  int
+	// Spec is an explicit fault schedule ("kind@at[+dur][*factor][:target]",
+	// comma-separated). Empty draws RandomFaults faults from the seed.
+	Spec string
+	// RandomFaults is the number of randomly drawn faults when Spec is empty
+	// (default 4).
+	RandomFaults int
+}
+
+func (c *Config) defaults() {
+	if c.Models <= 0 {
+		c.Models = 4
+	}
+	if c.Rate <= 0 {
+		c.Rate = 0.15
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 120 * time.Second
+	}
+	if c.NumPrefill <= 0 {
+		c.NumPrefill = 2
+	}
+	if c.NumDecode <= 0 {
+		c.NumDecode = 2
+	}
+	if c.RandomFaults <= 0 {
+		c.RandomFaults = 4
+	}
+}
+
+// Result summarizes a chaos run.
+type Result struct {
+	Spec       string // the schedule that ran, formatted
+	Requests   int
+	Completed  int
+	Failed     int
+	Injected   int
+	InjectErrs []error
+	Failovers  int
+	Attainment float64
+	Stats      fault.Stats
+	// Violations lists every broken invariant (empty on a clean run).
+	Violations []string
+}
+
+// Run executes one seeded chaos scenario and audits the invariants.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+	se := sim.NewEngine(cfg.Seed)
+	f := fault.New(se, cfg.Seed+1)
+	models := model.SmallMix(cfg.Models)
+	c, err := cluster.New(se, cluster.Config{
+		Prof:   latency.H800(),
+		SLO:    slo.Default(),
+		Faults: f,
+		Deployments: []cluster.DeploymentConfig{{
+			Name: "chaos", TP: 1,
+			NumPrefill: cfg.NumPrefill, NumDecode: cfg.NumDecode,
+			Models: models,
+		}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	trace := workload.PoissonTrace(rand.New(rand.NewSource(cfg.Seed+2)),
+		names, cfg.Rate, cfg.Horizon, workload.ShareGPT())
+	if err := c.Submit(trace); err != nil {
+		return nil, err
+	}
+
+	sched, err := schedule(cfg, c, names)
+	if err != nil {
+		return nil, err
+	}
+	in := fault.NewInjector(se, c, sched)
+	in.Arm()
+
+	se.At(0, c.StartHealth)
+	// Long enough for failover of the latest possible crash; serving
+	// continues past it if the tail is still draining.
+	se.At(2*cfg.Horizon+60*time.Second, c.StopHealth)
+	se.Run()
+	c.Finalize(se.Now())
+
+	sys := c.Deployments()[0].System
+	res := &Result{
+		Spec:       fault.FormatSpec(sched),
+		Requests:   len(trace),
+		Completed:  c.Completed(),
+		Failed:     sys.FailedRequests(),
+		Injected:   in.Injected(),
+		InjectErrs: in.Errors(),
+		Failovers:  c.Failovers(),
+		Attainment: c.Attainment(),
+		Stats:      c.FaultStats(),
+		Violations: VerifyInvariants(c),
+	}
+	return res, nil
+}
+
+// schedule resolves the fault schedule for a run: the explicit spec, or a
+// seeded random draw over the cluster's instances and models.
+func schedule(cfg Config, c *cluster.Cluster, names []string) ([]fault.Fault, error) {
+	if cfg.Spec != "" {
+		return fault.ParseSpec(cfg.Spec)
+	}
+	var instances []string
+	for _, d := range c.Deployments() {
+		for _, n := range d.System.InstanceNames() {
+			instances = append(instances, d.Name+"/"+n)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	return fault.RandomSchedule(rng, cfg.Horizon, instances, names, cfg.RandomFaults), nil
+}
+
+// VerifyInvariants audits a drained cluster against the recovery guarantees.
+// Call after the simulation has run to completion.
+func VerifyInvariants(c *cluster.Cluster) []string {
+	var v []string
+	for _, d := range c.Deployments() {
+		sys := d.System
+		if n := sys.OrphanedRequests(); n != 0 {
+			v = append(v, fmt.Sprintf("%s: %d orphans never recovered", d.Name, n))
+		}
+		done, failed := 0, 0
+		for _, r := range sys.Requests() {
+			switch {
+			case r.Done && r.Failed:
+				v = append(v, fmt.Sprintf("request %s is both Done and Failed", r.ID))
+			case r.Done:
+				done++
+				if len(r.TokenTimes) != r.OutputTokens {
+					v = append(v, fmt.Sprintf("request %s completed with %d/%d tokens (lost or duplicated)",
+						r.ID, len(r.TokenTimes), r.OutputTokens))
+				}
+			case r.Failed:
+				failed++
+				if r.FailReason == "" {
+					v = append(v, fmt.Sprintf("request %s failed without a reason", r.ID))
+				}
+			default:
+				v = append(v, fmt.Sprintf("request %s reached no terminal state", r.ID))
+			}
+			for i := 1; i < len(r.TokenTimes); i++ {
+				if r.TokenTimes[i] < r.TokenTimes[i-1] {
+					v = append(v, fmt.Sprintf("request %s: token %d emitted before token %d", r.ID, i, i-1))
+					break
+				}
+			}
+		}
+		if done != sys.Completed() || failed != sys.FailedRequests() {
+			v = append(v, fmt.Sprintf("%s: terminal counts drifted (done %d vs %d, failed %d vs %d)",
+				d.Name, done, sys.Completed(), failed, sys.FailedRequests()))
+		}
+		for _, e := range sys.Engines() {
+			if !sys.AliveNamed(e.Name) {
+				continue // a dead instance's VRAM died with it
+			}
+			if used := e.KV().GPUCache.Pool().UsedBytes(); used != 0 {
+				v = append(v, fmt.Sprintf("%s/%s leaks %d GPU KV bytes", d.Name, e.Name, used))
+			}
+			if n := e.KV().MoveListLen(); n != 0 {
+				v = append(v, fmt.Sprintf("%s/%s move list still holds %d entries", d.Name, e.Name, n))
+			}
+		}
+		// The unified CPU KV cache is shared; any engine's manager sees it.
+		if es := sys.Engines(); len(es) > 0 {
+			if used := es[0].KV().CPUCache.Pool().UsedBytes(); used != 0 {
+				v = append(v, fmt.Sprintf("%s leaks %d CPU KV bytes", d.Name, used))
+			}
+		}
+	}
+	return v
+}

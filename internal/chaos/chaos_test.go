@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// Golden seeded regression table: each schedule is deterministic given its
+// seed, so the outcome is an exact expectation, not a flake. The table pins
+// the recovery machinery's observable behavior; a diff here means recovery
+// semantics changed and must be reviewed, not papered over.
+func TestSeededFaultSchedules(t *testing.T) {
+	cases := []struct {
+		name      string
+		cfg       Config
+		completed int
+		failed    int
+		injected  int
+		failovers int
+	}{
+		{
+			name:      "decode-crash-failover",
+			cfg:       Config{Seed: 1, Spec: "crash@40s:chaos/decode0"},
+			completed: 51, failed: 0, injected: 1, failovers: 1,
+		},
+		{
+			name:      "prefill-crash-failover",
+			cfg:       Config{Seed: 2, Spec: "crash@30s:chaos/prefill1"},
+			completed: 62, failed: 0, injected: 1, failovers: 1,
+		},
+		{
+			// Both decode instances die: in-flight and later work is cleanly
+			// rejected, nothing hangs.
+			name:      "double-decode-crash",
+			cfg:       Config{Seed: 3, Spec: "crash@35s:chaos/decode0,crash@50s:chaos/decode1"},
+			completed: 19, failed: 57, injected: 2, failovers: 2,
+		},
+		{
+			name:      "transfer-and-fetch-storm",
+			cfg:       Config{Seed: 4, Spec: "xfer@20s+3s,fetchfail@45s+10s,fetchslow@70s+20s*4"},
+			completed: 67, failed: 0, injected: 3, failovers: 0,
+		},
+		{
+			// The store is unreachable while the crash happens: detection is
+			// delayed past the partition, then failover proceeds.
+			name:      "partition-during-crash",
+			cfg:       Config{Seed: 5, Spec: "partition@38s+6s,crash@40s:chaos/decode1"},
+			completed: 59, failed: 0, injected: 2, failovers: 1,
+		},
+		{
+			name:      "random-seed-11",
+			cfg:       Config{Seed: 11},
+			completed: 85, failed: 0, injected: 4, failovers: 1,
+		},
+		{
+			name:      "random-seed-23",
+			cfg:       Config{Seed: 23},
+			completed: 87, failed: 0, injected: 4, failovers: 0,
+		},
+	}
+	for i := range cases {
+		tc := &cases[i]
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, viol := range res.Violations {
+				t.Errorf("invariant: %s", viol)
+			}
+			t.Logf("spec=%s requests=%d completed=%d failed=%d injected=%d failovers=%d stats=%+v",
+				res.Spec, res.Requests, res.Completed, res.Failed, res.Injected, res.Failovers, res.Stats)
+			if res.Completed+res.Failed != res.Requests {
+				t.Fatalf("completed %d + failed %d != %d requests",
+					res.Completed, res.Failed, res.Requests)
+			}
+			if res.Completed != tc.completed || res.Failed != tc.failed ||
+				res.Injected != tc.injected || res.Failovers != tc.failovers {
+				t.Fatalf("outcome drifted from golden: completed %d/%d failed %d/%d injected %d/%d failovers %d/%d",
+					res.Completed, tc.completed, res.Failed, tc.failed,
+					res.Injected, tc.injected, res.Failovers, tc.failovers)
+			}
+		})
+	}
+}
+
+// TestChaosSweep runs a batch of random seeds — the "no seed may violate the
+// invariants" safety net beyond the pinned table.
+func TestChaosSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short mode")
+	}
+	for seed := int64(100); seed < 112; seed++ {
+		res, err := Run(Config{Seed: seed, RandomFaults: 5})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, viol := range res.Violations {
+			t.Errorf("seed %d (spec %s): %s", seed, res.Spec, viol)
+		}
+		if res.Completed+res.Failed != res.Requests {
+			t.Fatalf("seed %d: completed %d + failed %d != %d requests",
+				seed, res.Completed, res.Failed, res.Requests)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"aegaeon/internal/core"
 	"aegaeon/internal/engine"
+	"aegaeon/internal/fault"
 	"aegaeon/internal/latency"
 	"aegaeon/internal/metastore"
 	"aegaeon/internal/model"
@@ -51,6 +52,18 @@ type Config struct {
 	// Obs, when non-nil, collects span timelines, device op timelines, and
 	// switch-cost attribution across every deployment.
 	Obs *obs.Collector
+
+	// Faults, when non-nil, threads fault-injection state into every
+	// deployment and enables the proxy's retry/recovery accounting. Nil
+	// keeps the cluster byte-identical to a fault-free build.
+	Faults *fault.Faults
+
+	// LeaseTTL is how long an instance's health lease stays valid without
+	// renewal (default 3s); instances renew every LeaseTTL/2. HealthPoll is
+	// the proxy's monitor interval (default 1s). Both only matter once
+	// StartHealth is called.
+	LeaseTTL   time.Duration
+	HealthPoll time.Duration
 }
 
 // Cluster is the proxy plus its deployments.
@@ -60,6 +73,10 @@ type Cluster struct {
 	store *metastore.Store
 	deps  []*Deployment
 	route map[string]*Deployment // model name -> deployment
+
+	healthOn   bool
+	healthStop bool
+	failovers  int
 }
 
 // New builds the cluster and its deployments.
@@ -87,6 +104,7 @@ func New(se *sim.Engine, cfg Config) (*Cluster, error) {
 			Models:     dc.Models,
 			SLO:        cfg.SLO,
 			Obs:        cfg.Obs,
+			Faults:     cfg.Faults,
 		})
 		dep := &Deployment{Name: dc.Name, TP: dc.TP, System: sys, models: map[string]bool{}}
 		for _, m := range dc.Models {
@@ -105,6 +123,13 @@ func New(se *sim.Engine, cfg Config) (*Cluster, error) {
 
 // Store exposes the metadata store.
 func (c *Cluster) Store() *metastore.Store { return c.store }
+
+// FaultStats snapshots the shared fault counters (zero value when the
+// cluster was built without fault state).
+func (c *Cluster) FaultStats() fault.Stats { return c.cfg.Faults.Snapshot() }
+
+// Faults exposes the shared fault-injection state (nil when not configured).
+func (c *Cluster) Faults() *fault.Faults { return c.cfg.Faults }
 
 // Deployments returns the running deployments.
 func (c *Cluster) Deployments() []*Deployment { return c.deps }
@@ -149,6 +174,22 @@ func (c *Cluster) SubmitLive(wr workload.Request, onToken func(i int, at sim.Tim
 			onDone(r)
 		}
 	})
+}
+
+// Abort cancels a live request whose client has disconnected: the owning
+// deployment releases its KV and queue slots and its metadata entry is
+// cleared (Abort does not fire OnDone, so the SubmitLive wrapper's cleanup
+// never runs). Must run on the simulation goroutine.
+func (c *Cluster) Abort(r *core.Request) {
+	if r == nil {
+		return
+	}
+	dep, ok := c.route[r.Model.Name]
+	if !ok {
+		return
+	}
+	dep.System.Abort(r)
+	c.store.Delete("req/" + r.ID)
 }
 
 // Routes returns the model -> deployment routing table (copy).

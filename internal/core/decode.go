@@ -128,6 +128,9 @@ func (d *decodeInstance) hasRoomInModelBatch(r *Request) bool {
 // immediately (continuous batching within the turn); otherwise it waits for
 // the next round's admission.
 func (d *decodeInstance) enqueue(r *Request) {
+	if r.terminal() {
+		return
+	}
 	if d.dead {
 		// Crash recovery window: route elsewhere.
 		d.sys.dispatchDecode(r)
@@ -155,6 +158,9 @@ func (d *decodeInstance) wake() {
 // same-model batch with room, else open a new batch (FCFS).
 func (d *decodeInstance) admitPending() {
 	for _, r := range d.pending {
+		if r.terminal() {
+			continue
+		}
 		limit := d.batchLimit(r.Model.Name)
 		placed := false
 		for _, b := range d.workList {
@@ -342,6 +348,9 @@ func (d *decodeInstance) admitMidRound() {
 		return
 	}
 	for _, r := range d.pending {
+		if r.terminal() {
+			continue
+		}
 		limit := d.batchLimit(r.Model.Name)
 		placed := false
 		for _, b := range d.workList {
@@ -396,6 +405,10 @@ func (d *decodeInstance) runTurn() {
 
 	dbgTurn(d, "turn-prep", b)
 	proceed := func() {
+		if d.dead {
+			d.running = false
+			return
+		}
 		d.resident = b
 		b.lastRun = d.eng.Sim().Now()
 		if d.sys.obs != nil {
@@ -404,6 +417,10 @@ func (d *decodeInstance) runTurn() {
 		m := d.sys.models[b.model]
 		if cur := d.eng.Current(); cur == nil || cur.Name != m.Name {
 			d.eng.SwitchTo(m, func() {
+				if d.dead {
+					d.running = false
+					return // crashed while the switch was in flight
+				}
 				// Prefetch the rotation's next model once the DMA engine is
 				// clear; the turn's time slice hides it (§5.2).
 				d.prefetchUpcoming()
@@ -425,6 +442,10 @@ func (d *decodeInstance) runTurn() {
 		// engine (the naive synchronization of §3.2).
 		start := d.eng.Sim().Now()
 		gpu.AfterAll(d.eng.Sim(), outgoing...).OnComplete(func() {
+			if d.dead {
+				d.running = false
+				return
+			}
 			now := d.eng.Sim().Now()
 			d.chargeWait(b, now-start)
 			d.sys.obs.SwitchStage(d.eng.Name, "kv-sync", start, now)
@@ -489,6 +510,10 @@ func (d *decodeInstance) prefetchUpcoming() {
 
 // beginDecoding swaps the batch's sequences in and enters the step loop.
 func (d *decodeInstance) beginDecoding(b *dbatch) {
+	if d.dead {
+		d.running = false
+		return
+	}
 	dbgTurn(d, "begin-decode", b)
 	d.current = b
 	var incoming []*gpu.Event
@@ -501,6 +526,10 @@ func (d *decodeInstance) beginDecoding(b *dbatch) {
 	if !d.eng.Options().FineGrainedSync && len(incoming) > 0 {
 		start := d.eng.Sim().Now()
 		gpu.AfterAll(d.eng.Sim(), incoming...).OnComplete(func() {
+			if d.dead {
+				d.running = false
+				return
+			}
 			now := d.eng.Sim().Now()
 			d.chargeWait(b, now-start)
 			d.sys.obs.SwitchStage(d.eng.Name, "kv-sync", start, now)
@@ -532,7 +561,7 @@ func (d *decodeInstance) swapInIfNeeded(r *Request, b *dbatch) *gpu.Event {
 			if errors.Is(err, memory.ErrOutOfMemory) {
 				d.evictKVFor(b)
 				d.eng.Sim().After(10*time.Millisecond, func() {
-					if !r.Done && b != nil && d.current == b {
+					if !d.dead && !r.terminal() && b != nil && d.current == b {
 						d.swapInIfNeeded(r, b)
 					}
 				})
@@ -590,6 +619,15 @@ func (d *decodeInstance) stepLoop(b *dbatch, turnEnd sim.Time, stepped bool) {
 		return
 	}
 	now := d.eng.Sim().Now()
+	// Drop requests that went terminal since the last step (client aborts
+	// land between steps; their KV is already released).
+	kept := b.reqs[:0]
+	for _, r := range b.reqs {
+		if !r.terminal() {
+			kept = append(kept, r)
+		}
+	}
+	b.reqs = kept
 	if len(b.reqs) == 0 || (now >= turnEnd && stepped) {
 		d.endTurn()
 		return
@@ -598,6 +636,9 @@ func (d *decodeInstance) stepLoop(b *dbatch, turnEnd sim.Time, stepped bool) {
 	var inflight []*gpu.Event
 	var waiting []*Request
 	for _, r := range b.reqs {
+		if r.Seq == nil {
+			continue
+		}
 		switch r.Seq.State() {
 		case kvcache.StateGPU:
 			ready = append(ready, r)
@@ -673,7 +714,7 @@ func (d *decodeInstance) stepLoop(b *dbatch, turnEnd sim.Time, stepped bool) {
 		if finishedAny {
 			kept := b.reqs[:0]
 			for _, r := range b.reqs {
-				if !r.Done {
+				if !r.terminal() {
 					kept = append(kept, r)
 				}
 			}

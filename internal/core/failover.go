@@ -2,8 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
-	"aegaeon/internal/trace"
+	"aegaeon/internal/kvcache"
 )
 
 // Fault tolerance (Fig. 5: the proxy layer's metadata sync exists "to
@@ -18,34 +19,42 @@ import (
 //     recomputed: the request re-enters the prefill phase with its full
 //     context (prompt plus already-delivered tokens) and continues decoding
 //     where it left off. Already-delivered tokens are never re-emitted.
+//
+// Crash and recovery are split into two steps so the cluster proxy can model
+// a detection delay: CrashDecodeInstance / CrashPrefillInstance fail-stop
+// the instance and stash its in-flight requests as orphans; the orphans wait
+// — making no progress, exactly as they would while a real failure goes
+// undetected — until RecoverOrphansOf re-dispatches them (normally when the
+// proxy's health monitor notices the expired lease). FailDecodeInstance /
+// FailPrefillInstance compose the two for callers that want the legacy
+// crash-with-instant-recovery behavior.
 
-// FailDecodeInstance simulates a crash of decoding instance idx at the
-// current virtual time and re-dispatches its requests. Returns the number
-// of requests recovered via CPU KV and via recompute, respectively.
-func (s *System) FailDecodeInstance(idx int) (resumed, recomputed int, err error) {
+// CrashDecodeInstance fail-stops decoding instance idx at the current
+// virtual time. Its requests become orphans awaiting RecoverOrphansOf.
+func (s *System) CrashDecodeInstance(idx int) error {
 	if idx < 0 || idx >= len(s.decodes) {
-		return 0, 0, fmt.Errorf("core: no decode instance %d", idx)
+		return fmt.Errorf("core: no decode instance %d", idx)
 	}
 	d := s.decodes[idx]
 	if d.dead {
-		return 0, 0, fmt.Errorf("core: decode instance %d already failed", idx)
+		return fmt.Errorf("core: decode instance %d already failed", idx)
 	}
 	d.dead = true
-	s.tracer.Emit(trace.Event{At: s.eng.Now(), Kind: trace.KindFailure, Instance: d.eng.Name})
+	s.cfg.Faults.CountCrash()
+	s.obs.Fault(d.eng.Name, "crash", "decode instance fail-stop", s.eng.Now())
 
-	// Collect every request owned by the instance.
 	var owned []*Request
 	seen := map[*Request]bool{}
 	for _, b := range d.workList {
 		for _, r := range b.reqs {
-			if !r.Done && !seen[r] {
+			if !r.terminal() && !seen[r] {
 				seen[r] = true
 				owned = append(owned, r)
 			}
 		}
 	}
 	for _, r := range d.pending {
-		if !r.Done && !seen[r] {
+		if !r.terminal() && !seen[r] {
 			seen[r] = true
 			owned = append(owned, r)
 		}
@@ -55,65 +64,174 @@ func (s *System) FailDecodeInstance(idx int) (resumed, recomputed int, err error
 	d.current = nil
 	d.resident = nil
 	d.running = false
+	s.orphans[d.eng.Name] = append(s.orphans[d.eng.Name], owned...)
+	return nil
+}
 
-	for _, r := range owned {
+// CrashPrefillInstance fail-stops prefill instance idx. Queued jobs and the
+// in-flight prefill (including one waiting out its KV handoff transfer)
+// become orphans awaiting RecoverOrphansOf.
+func (s *System) CrashPrefillInstance(idx int) error {
+	if idx < 0 || idx >= len(s.prefills) {
+		return fmt.Errorf("core: no prefill instance %d", idx)
+	}
+	p := s.prefills[idx]
+	if p.dead {
+		return fmt.Errorf("core: prefill instance %d already failed", idx)
+	}
+	p.dead = true
+	s.cfg.Faults.CountCrash()
+	s.obs.Fault(p.eng.Name, "crash", "prefill instance fail-stop", s.eng.Now())
+
+	var owned []*Request
+	seen := map[*Request]bool{}
+	for _, g := range p.queue {
+		for _, r := range g.reqs {
+			if !r.terminal() && !seen[r] {
+				seen[r] = true
+				owned = append(owned, r)
+			}
+		}
+	}
+	if r := p.inflight; r != nil && !r.terminal() && !seen[r] {
+		owned = append(owned, r)
+	}
+	p.queue = nil
+	p.inflight = nil
+	p.running = false
+	s.orphans[p.eng.Name] = append(s.orphans[p.eng.Name], owned...)
+	return nil
+}
+
+// RecoverOrphansOf re-dispatches the orphans of one crashed instance,
+// returning how many resumed from host-resident KV and how many must
+// recompute their context via prefill.
+func (s *System) RecoverOrphansOf(name string) (resumed, recomputed int) {
+	orphans := s.orphans[name]
+	if len(orphans) == 0 {
+		return 0, 0
+	}
+	delete(s.orphans, name)
+	for _, r := range orphans {
+		if r.terminal() {
+			continue
+		}
 		if s.recoverRequest(r) {
 			resumed++
 		} else {
 			recomputed++
 		}
 	}
+	s.cfg.Faults.CountRecovery(resumed, recomputed)
+	s.obs.Recovery(name, fmt.Sprintf("resumed %d, recomputed %d", resumed, recomputed), s.eng.Now())
+	return resumed, recomputed
+}
+
+// RecoverOrphans re-dispatches every stashed orphan (all crashed instances,
+// in deterministic name order).
+func (s *System) RecoverOrphans() (resumed, recomputed int) {
+	names := make([]string, 0, len(s.orphans))
+	for name := range s.orphans {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		res, rec := s.RecoverOrphansOf(name)
+		resumed += res
+		recomputed += rec
+	}
+	return resumed, recomputed
+}
+
+// OrphanedRequests returns how many requests await recovery.
+func (s *System) OrphanedRequests() int {
+	n := 0
+	for _, rs := range s.orphans {
+		n += len(rs)
+	}
+	return n
+}
+
+// FailDecodeInstance simulates a crash of decoding instance idx with
+// immediate recovery (zero detection delay). Returns the number of requests
+// recovered via CPU KV and via recompute, respectively.
+func (s *System) FailDecodeInstance(idx int) (resumed, recomputed int, err error) {
+	if err := s.CrashDecodeInstance(idx); err != nil {
+		return 0, 0, err
+	}
+	resumed, recomputed = s.RecoverOrphansOf(s.decodes[idx].eng.Name)
 	return resumed, recomputed, nil
 }
 
-// FailPrefillInstance simulates a crash of prefill instance idx: queued
-// jobs are re-dispatched; the in-flight prefill (if any) is recomputed
-// elsewhere. Returns the number of re-dispatched requests.
+// FailPrefillInstance simulates a crash of prefill instance idx with
+// immediate recovery. Returns the number of re-dispatched requests.
 func (s *System) FailPrefillInstance(idx int) (int, error) {
-	if idx < 0 || idx >= len(s.prefills) {
-		return 0, fmt.Errorf("core: no prefill instance %d", idx)
+	if err := s.CrashPrefillInstance(idx); err != nil {
+		return 0, err
 	}
-	p := s.prefills[idx]
-	if p.dead {
-		return 0, fmt.Errorf("core: prefill instance %d already failed", idx)
-	}
-	p.dead = true
-	s.tracer.Emit(trace.Event{At: s.eng.Now(), Kind: trace.KindFailure, Instance: p.eng.Name})
-	var owned []*Request
-	for _, g := range p.queue {
-		owned = append(owned, g.reqs...)
-	}
-	if p.inflight != nil && !p.inflight.Done {
-		owned = append(owned, p.inflight)
-	}
-	p.queue = nil
-	p.running = false
-	for _, r := range owned {
-		if r.Seq != nil {
-			// Whatever KV the dead instance built is gone; recovery-time
-			// bookkeeping only.
-			r.Seq.Abandon()
-			r.Seq = nil
-		}
-		s.dispatchPrefill(r)
-	}
-	return len(owned), nil
+	resumed, recomputed := s.RecoverOrphansOf(s.prefills[idx].eng.Name)
+	return resumed + recomputed, nil
 }
 
-// recoverRequest routes a request from a dead decoding instance. Returns
-// true if its KV survived in the CPU tier (resume), false if it must be
-// recomputed via prefill.
+// recoverRequest routes an orphan from a dead instance. Returns true if its
+// KV survived in the CPU tier (resume decoding), false if it must be
+// recomputed via prefill — including requests that never reached prefill.
 func (s *System) recoverRequest(r *Request) bool {
 	if r.Seq != nil && r.Seq.SurvivesHostOnly() {
 		s.dispatchDecode(r)
 		return true
 	}
 	if r.Seq != nil {
+		// Whatever KV the dead instance built is gone; recovery-time
+		// bookkeeping only.
 		r.Seq.Abandon()
 		r.Seq = nil
 	}
 	s.dispatchPrefill(r)
 	return false
+}
+
+// CrashInstanceNamed fail-stops the instance with the given engine name
+// (prefill or decode); the cluster proxy addresses instances by name.
+func (s *System) CrashInstanceNamed(name string) error {
+	for i, p := range s.prefills {
+		if p.eng.Name == name {
+			return s.CrashPrefillInstance(i)
+		}
+	}
+	for i, d := range s.decodes {
+		if d.eng.Name == name {
+			return s.CrashDecodeInstance(i)
+		}
+	}
+	return fmt.Errorf("core: no instance named %q", name)
+}
+
+// AliveNamed reports whether the named instance exists and has not crashed.
+func (s *System) AliveNamed(name string) bool {
+	for _, p := range s.prefills {
+		if p.eng.Name == name {
+			return !p.dead
+		}
+	}
+	for _, d := range s.decodes {
+		if d.eng.Name == name {
+			return !d.dead
+		}
+	}
+	return false
+}
+
+// InstanceNames returns every instance engine name, prefill then decode.
+func (s *System) InstanceNames() []string {
+	names := make([]string, 0, len(s.prefills)+len(s.decodes))
+	for _, p := range s.prefills {
+		names = append(names, p.eng.Name)
+	}
+	for _, d := range s.decodes {
+		names = append(names, d.eng.Name)
+	}
+	return names
 }
 
 // AliveDecodeInstances returns the number of non-failed decoding instances.
@@ -136,4 +254,20 @@ func (s *System) AlivePrefillInstances() int {
 		}
 	}
 	return n
+}
+
+// freeSeq releases a terminal request's KV through whichever state it is in,
+// falling back to crash-style abandonment if orderly release fails. Any
+// manager can perform the release: block accounting lives in the caches the
+// sequence itself references plus the shared CPU pool.
+func (s *System) freeSeq(r *Request) {
+	if r.Seq == nil {
+		return
+	}
+	if r.Seq.State() != kvcache.StateFreed {
+		if err := s.prefills[0].eng.KV().Free(r.Seq); err != nil {
+			r.Seq.Abandon()
+		}
+	}
+	r.Seq = nil
 }

@@ -92,8 +92,18 @@ func (p *prefillInstance) step() {
 		return
 	}
 	p.inflight = nil
-	for len(p.queue) > 0 && len(p.queue[0].reqs) == 0 {
-		p.queue = p.queue[1:]
+	for len(p.queue) > 0 {
+		front := p.queue[0]
+		// Terminal requests (aborted clients, rejected work) are skipped, not
+		// served; the eager queue sweep usually removed them already.
+		for len(front.reqs) > 0 && front.reqs[0].terminal() {
+			front.reqs = front.reqs[1:]
+		}
+		if len(front.reqs) == 0 {
+			p.queue = p.queue[1:]
+			continue
+		}
+		break
 	}
 	if len(p.queue) == 0 {
 		p.running = false
@@ -145,6 +155,11 @@ func (p *prefillInstance) runPrefill(r *Request, attempt int) {
 	if p.dead {
 		return
 	}
+	if r.terminal() {
+		p.inflight = nil
+		p.step()
+		return
+	}
 	p.inflight = r
 	// Recovered requests recompute their whole context (prompt plus tokens
 	// already delivered before the crash).
@@ -167,7 +182,12 @@ func (p *prefillInstance) runPrefill(r *Request, attempt int) {
 		if p.dead {
 			return // the request was re-dispatched by crash recovery
 		}
-		p.inflight = nil
+		if r.terminal() {
+			// Aborted mid-prefill: its sequence was already released.
+			p.inflight = nil
+			p.step()
+			return
+		}
 		now := p.eng.Sim().Now()
 		p.sys.obs.PrefillDone(p.eng.Name, r.ID, now)
 		r.prefillEnd = now
@@ -177,6 +197,7 @@ func (p *prefillInstance) runPrefill(r *Request, attempt int) {
 		}
 		if r.RemainingTokens() <= 0 {
 			// Nothing to decode: the request is complete.
+			p.inflight = nil
 			if err := p.eng.KV().Free(seq); err != nil {
 				panic("core: free after single-token request: " + err.Error())
 			}
@@ -184,7 +205,10 @@ func (p *prefillInstance) runPrefill(r *Request, attempt int) {
 			p.step()
 			return
 		}
-		// Offload the prefilled KV (P→C in Fig. 10) and disaggregate.
+		// Offload the prefilled KV (P→C in Fig. 10) and disaggregate. The
+		// request stays owned (p.inflight) until the decode dispatch so a
+		// crash during the transfer wait orphans it for recovery instead of
+		// stranding it between partitions.
 		p.handoff(r, seq, now)
 	})
 }
@@ -197,6 +221,11 @@ func (p *prefillInstance) handoff(r *Request, seq *kvcache.Sequence, prefillEnd 
 	if p.dead {
 		return
 	}
+	if r.terminal() {
+		p.inflight = nil
+		p.step()
+		return
+	}
 	if _, err := p.eng.KV().SwapOut(seq); err != nil {
 		if errors.Is(err, memory.ErrOutOfMemory) {
 			p.eng.Sim().After(50*time.Millisecond, func() { p.handoff(r, seq, prefillEnd) })
@@ -205,16 +234,22 @@ func (p *prefillInstance) handoff(r *Request, seq *kvcache.Sequence, prefillEnd 
 		panic("core: prefill swap-out failed: " + err.Error())
 	}
 	if p.eng.Options().FineGrainedSync {
+		p.inflight = nil
 		p.sys.dispatchDecode(r)
 		p.step()
 		return
 	}
 	// Blocking path: the handoff waits for the full transfer; the exposed
 	// wait is §5.3's synchronization cost, attributed to the last switch.
+	// A crash during the wait leaves the request to orphan recovery.
 	seq.LastTransfer().OnComplete(func() {
+		if p.dead {
+			return
+		}
 		now := p.eng.Sim().Now()
 		seq.AddTransferWait(now - prefillEnd)
 		p.sys.obs.SwitchStage(p.eng.Name, "kv-sync", prefillEnd, now)
+		p.inflight = nil
 		p.sys.dispatchDecode(r)
 	})
 	seq.LastTransfer().OnComplete(p.step)

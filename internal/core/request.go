@@ -30,6 +30,16 @@ type Request struct {
 	Seq  *kvcache.Sequence
 	Done bool
 
+	// Failed marks a request the system gave up on (no surviving capacity
+	// after a crash): it is terminal, cleanly rejected, and never emits
+	// further tokens. FailReason says why.
+	Failed     bool
+	FailReason string
+
+	// aborted marks a request whose client went away (gateway disconnect).
+	// Terminal like Failed, but initiated from outside the scheduler.
+	aborted bool
+
 	// OnToken, when non-nil, is invoked synchronously on the simulation
 	// goroutine as each token's completion time is recorded: token 0 from
 	// prefill, the rest from decoding steps. Callbacks must not block —
@@ -62,13 +72,26 @@ func newRequest(wr workload.Request, m *model.Model) *Request {
 
 // recordToken appends a token completion time and fires the OnToken hook.
 // All token emission funnels through here so live streaming observes every
-// token exactly once, in order.
+// token exactly once, in order — and so terminal requests (failed or
+// aborted) emit nothing more, even from compute steps already in flight
+// when they became terminal.
 func (r *Request) recordToken(at sim.Time) {
+	if r.Failed || r.aborted {
+		return
+	}
 	r.TokenTimes = append(r.TokenTimes, at)
 	if r.OnToken != nil {
 		r.OnToken(len(r.TokenTimes)-1, at)
 	}
 }
+
+// terminal reports whether the request has reached a terminal state: served
+// (Done), cleanly rejected (Failed), or cancelled by its client (aborted).
+// Exactly one of the three holds for a terminal request.
+func (r *Request) terminal() bool { return r.Done || r.Failed || r.aborted }
+
+// Aborted reports whether the request was cancelled by its client.
+func (r *Request) Aborted() bool { return r.aborted }
 
 // Generated returns the number of tokens produced so far.
 func (r *Request) Generated() int { return len(r.TokenTimes) }

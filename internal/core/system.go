@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"aegaeon/internal/engine"
+	"aegaeon/internal/fault"
 	"aegaeon/internal/kvcache"
 	"aegaeon/internal/latency"
 	"aegaeon/internal/memory"
@@ -67,6 +68,11 @@ type Config struct {
 	// FixedQuota disables the Eq. 2 quota formula and gives every decoding
 	// batch a flat QMax turn — the ablation for §4.3's weighted scheme.
 	FixedQuota bool
+
+	// Faults is the shared fault-injection state, threaded into every
+	// engine's fetch and KV-transfer paths. Nil (the default) keeps the
+	// system byte-identical to a fault-free build.
+	Faults *fault.Faults
 
 	DaemonPoll time.Duration
 }
@@ -175,7 +181,13 @@ type System struct {
 	breakdown *metrics.Breakdown
 	requests  []*Request
 	completed int
+	failed    int
+	aborted   int
 	liveOpen  int // live-submitted requests not yet finished
+
+	// orphans stashes the in-flight requests of crashed instances, keyed by
+	// engine name, until RecoverOrphansOf re-dispatches them.
+	orphans map[string][]*Request
 
 	// Per-request decode waiting is derived at finish time.
 	kvSyncPerReq metrics.CDF // Fig. 15 right
@@ -211,6 +223,7 @@ func NewSystem(se *sim.Engine, cfg Config) *System {
 		cpuKV: kvcache.NewCache("cpu-kv", int64(float64(dram)*0.3),
 			cfg.KVSlabBytes, cfg.BlockTokens),
 		models:    map[string]*model.Model{},
+		orphans:   map[string][]*Request{},
 		tracker:   slo.NewTracker(),
 		tracer:    cfg.Tracer,
 		obs:       cfg.Obs,
@@ -235,6 +248,7 @@ func NewSystem(se *sim.Engine, cfg Config) *System {
 			CPUKV:              s.cpuKV,
 			DaemonPoll:         cfg.DaemonPoll,
 			Obs:                cfg.Obs,
+			Faults:             cfg.Faults,
 		})
 	}
 	for i := 0; i < cfg.NumPrefill; i++ {
@@ -299,6 +313,9 @@ func (s *System) LiveInFlight() int { return s.liveOpen }
 // same-model group anywhere in the pool if one has room; otherwise open a
 // new group on the least-loaded prefill instance.
 func (s *System) dispatchPrefill(r *Request) {
+	if r.terminal() {
+		return
+	}
 	s.obs.RequestArrived(r.ID, r.Model.Name, s.eng.Now())
 	for _, p := range s.prefills {
 		if !p.dead && p.tryJoinGroup(r) {
@@ -316,7 +333,8 @@ func (s *System) dispatchPrefill(r *Request) {
 		}
 	}
 	if best == nil {
-		panic("core: all prefill instances have failed")
+		s.failRequest(r, "no surviving prefill capacity")
+		return
 	}
 	best.newGroup(r)
 }
@@ -326,6 +344,9 @@ func (s *System) dispatchPrefill(r *Request) {
 // KV room, else the least-loaded instance by work-list size (Algorithm 2
 // line 2).
 func (s *System) dispatchDecode(r *Request) {
+	if r.terminal() {
+		return
+	}
 	for _, d := range s.decodes {
 		if !d.dead && d.hasRoomInModelBatch(r) {
 			d.enqueue(r)
@@ -343,7 +364,8 @@ func (s *System) dispatchDecode(r *Request) {
 		}
 	}
 	if best == nil {
-		panic("core: all decoding instances have failed")
+		s.failRequest(r, "no surviving decode capacity")
+		return
 	}
 	best.enqueue(r)
 }
@@ -358,6 +380,9 @@ func (s *System) sloFor(modelName string) slo.SLO {
 
 // finishRequest records completion.
 func (s *System) finishRequest(r *Request) {
+	if r.terminal() {
+		return // already failed or aborted; completion raced a terminal path
+	}
 	s.obs.RequestDone(r.ID, s.eng.Now())
 	r.Done = true
 	r.finished = s.eng.Now()
@@ -371,8 +396,108 @@ func (s *System) finishRequest(r *Request) {
 	}
 }
 
+// failRequest cleanly rejects a request the system can no longer serve
+// (typically: every instance of a partition has crashed). The request is
+// terminal; its KV is released; live submitters are notified through OnDone
+// with Failed set, and their SLO observation records every unproduced token
+// as a miss — graceful degradation must not launder violations.
+func (s *System) failRequest(r *Request, reason string) {
+	if r.terminal() {
+		return
+	}
+	s.freeSeq(r)
+	r.Failed = true
+	r.FailReason = reason
+	r.finished = s.eng.Now()
+	s.failed++
+	s.cfg.Faults.CountRejected()
+	s.tracer.Emit(trace.Event{At: s.eng.Now(), Kind: trace.KindFailure,
+		Subject: "rejected", Detail: r.ID + ": " + reason})
+	if r.live {
+		s.liveOpen--
+		s.tracker.ObserveRequest(s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
+		for i := r.Generated(); i < r.OutputTokens; i++ {
+			s.tracker.ObserveDropped()
+		}
+	}
+	if r.OnDone != nil {
+		r.OnDone(r)
+	}
+}
+
+// Abort cancels a request whose client has gone away (gateway disconnect).
+// It is removed from every queue, its KV is released, and no further tokens
+// are emitted — compute steps already in flight complete against the
+// simulated hardware but their token for this request is discarded. OnDone
+// is not fired: the caller initiated the abort and the client is gone.
+func (s *System) Abort(r *Request) {
+	if r == nil || r.terminal() {
+		return
+	}
+	r.aborted = true
+	r.finished = s.eng.Now()
+	s.aborted++
+	s.removeFromQueues(r)
+	s.freeSeq(r)
+	if r.live {
+		s.liveOpen--
+		// Tokens delivered before the disconnect still count toward SLO
+		// attainment; the tail the client walked away from does not.
+		s.tracker.ObserveRequest(s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
+	}
+}
+
+// removeFromQueues eagerly deletes r from prefill group queues and decode
+// pending lists / batches. Lazy terminal checks at the dispatch and step
+// paths catch anything in flight that this sweep cannot reach.
+func (s *System) removeFromQueues(r *Request) {
+	for _, p := range s.prefills {
+		for _, g := range p.queue {
+			for i, x := range g.reqs {
+				if x == r {
+					g.reqs = append(g.reqs[:i], g.reqs[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	for _, d := range s.decodes {
+		for i, x := range d.pending {
+			if x == r {
+				d.pending = append(d.pending[:i], d.pending[i+1:]...)
+				break
+			}
+		}
+		for _, b := range d.workList {
+			for i, x := range b.reqs {
+				if x == r {
+					b.reqs = append(b.reqs[:i], b.reqs[i+1:]...)
+					break
+				}
+			}
+		}
+		if b := d.current; b != nil {
+			for i, x := range b.reqs {
+				if x == r {
+					b.reqs = append(b.reqs[:i], b.reqs[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
 // Completed returns the number of fully served requests.
 func (s *System) Completed() int { return s.completed }
+
+// FailedRequests returns the number of cleanly rejected requests.
+func (s *System) FailedRequests() int { return s.failed }
+
+// AbortedRequests returns the number of client-cancelled requests.
+func (s *System) AbortedRequests() int { return s.aborted }
+
+// Faults exposes the system's fault-injection state (nil when not faulted).
+func (s *System) Faults() *fault.Faults { return s.cfg.Faults }
 
 // Requests returns all submitted requests (live view).
 func (s *System) Requests() []*Request { return s.requests }

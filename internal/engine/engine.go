@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"aegaeon/internal/fault"
 	"aegaeon/internal/gpu"
 	"aegaeon/internal/kvcache"
 	"aegaeon/internal/latency"
@@ -91,6 +92,10 @@ type Config struct {
 	// Obs receives device op timelines and switch-cost attribution. Nil
 	// disables capture at zero overhead.
 	Obs *obs.Collector
+
+	// Faults is the shared fault-injection state. Nil (the default) keeps
+	// every fetch and transfer path byte-identical to a fault-free build.
+	Faults *fault.Faults
 }
 
 // Stats aggregates engine activity.
@@ -189,6 +194,7 @@ func New(se *sim.Engine, name string, cfg Config) *Engine {
 	}
 	gpuKV := kvcache.NewCache(name+"/kv", cfg.KVRegionBytes, cfg.KVSlabBytes, cfg.BlockTokens)
 	e.kv = kvcache.NewManager(dev, cfg.Prof, gpuKV, cfg.CPUKV, cfg.DaemonPoll)
+	e.kv.SetFaults(cfg.Faults, name, cfg.Obs)
 	cfg.Obs.ObserveDevice(dev)
 	return e
 }
@@ -273,21 +279,29 @@ func (e *Engine) switchColocated(m *model.Model, start sim.Time, done func()) {
 	r := &resident{m: m, off: off, size: shard, lastUsed: e.eng.Now()}
 	e.residents[m.Name] = r
 	load := func() {
-		var dur time.Duration
-		if e.cfg.ModelCache == nil || e.cfg.ModelCache.Contains(m.Name) {
-			dur = e.CostFor(m).Switch()
-		} else {
-			e.stats.CacheMisses++
-			fetch := time.Duration(float64(m.WeightBytes()) / e.cfg.RemoteLoadBPS * float64(time.Second))
-			_ = e.cfg.ModelCache.Insert(m.Name, m.WeightBytes())
-			dur = e.CostFor(m).Switch() + fetch
+		submit := func() {
+			var dur time.Duration
+			if e.cfg.ModelCache == nil || e.cfg.ModelCache.Contains(m.Name) {
+				dur = e.CostFor(m).Switch()
+			} else {
+				e.stats.CacheMisses++
+				fetch := time.Duration(float64(m.WeightBytes()) / e.cfg.RemoteLoadBPS *
+					float64(time.Second) * e.cfg.Faults.FetchFactor())
+				_ = e.cfg.ModelCache.Insert(m.Name, m.WeightBytes())
+				dur = e.CostFor(m).Switch() + fetch
+			}
+			ls := e.eng.Now()
+			r.loading = submitChunked(e.loader, dur, gpu.OpInfo{Tag: "load " + m.Name, Model: m.Name}, func() {
+				r.loading = nil
+				e.cfg.Obs.SwitchStage(e.Name, "weight-load", ls, e.eng.Now())
+				finish()
+			})
 		}
-		ls := e.eng.Now()
-		r.loading = submitChunked(e.loader, dur, gpu.OpInfo{Tag: "load " + m.Name, Model: m.Name}, func() {
-			r.loading = nil
-			e.cfg.Obs.SwitchStage(e.Name, "weight-load", ls, e.eng.Now())
-			finish()
-		})
+		if e.cfg.ModelCache != nil && !e.cfg.ModelCache.Contains(m.Name) {
+			e.awaitFetchable(m, 0, submit)
+		} else {
+			submit()
+		}
 	}
 	if compactDur > 0 {
 		inner := load
@@ -594,18 +608,54 @@ func (e *Engine) loadWeights(m *model.Model, done func()) {
 		}
 		// Remote registry fetch, then cached in host memory.
 		e.stats.CacheMisses++
-		fetch := time.Duration(float64(m.WeightBytes()) / e.cfg.RemoteLoadBPS * float64(time.Second))
+		e.fetchRemote(m, 0, loadFromHost)
+		return
+	}
+	loadFromHost()
+}
+
+// fetchRemote pulls m's weights from the tier below the host model cache and
+// fires done once they are cached. Injected fetch failures retry with
+// jittered exponential backoff; when the bounded attempt budget is exhausted
+// the counter is recorded and the budget re-arms after one more backoff —
+// a switch must eventually make progress, never wedge the instance. Injected
+// slowdowns multiply the transfer time. With no fault state attached the
+// timing is identical to a fault-free build.
+func (e *Engine) fetchRemote(m *model.Model, attempt int, done func()) {
+	e.awaitFetchable(m, attempt, func() {
+		fetch := time.Duration(float64(m.WeightBytes()) / e.cfg.RemoteLoadBPS *
+			float64(time.Second) * e.cfg.Faults.FetchFactor())
 		fs := e.eng.Now()
 		e.eng.After(fetch, func() {
 			e.cfg.Obs.SwitchStage(e.Name, "fetch", fs, e.eng.Now())
 			// A full cache is tolerable: the fetched weights stream through
 			// the stage buffer regardless; only future hits are lost.
 			_ = e.cfg.ModelCache.Insert(m.Name, m.WeightBytes())
-			loadFromHost()
+			done()
 		})
+	})
+}
+
+// awaitFetchable delays then with jittered backoff while remote fetches of m
+// are failing; with no active fault window (in particular with nil fault
+// state) it calls then synchronously.
+func (e *Engine) awaitFetchable(m *model.Model, attempt int, then func()) {
+	f := e.cfg.Faults
+	if !f.FetchFailing(m.Name) {
+		then()
 		return
 	}
-	loadFromHost()
+	f.CountFetchFailure()
+	e.cfg.Obs.Fault(e.Name, "fetchfail", m.Name, e.eng.Now())
+	next := attempt + 1
+	if next >= f.MaxAttempts() {
+		f.CountFetchExhausted()
+		next = 0
+	}
+	delay := f.RetryDelay(attempt)
+	f.CountFetchRetry()
+	e.cfg.Obs.Retry(e.Name, "fetch "+m.Name, e.eng.Now())
+	e.eng.After(delay, func() { e.awaitFetchable(m, next, then) })
 }
 
 // dropPrefetchIfStale discards a prefetched model that is not the switch
@@ -637,6 +687,9 @@ func (e *Engine) StartPrefetch(m *model.Model) bool {
 	if e.prefetchPending {
 		return false
 	}
+	if e.cfg.ModelCache != nil && !e.cfg.ModelCache.Contains(m.Name) && e.cfg.Faults.FetchFailing(m.Name) {
+		return false // prefetch is opportunistic: skip while the registry is down
+	}
 	shard := m.ShardWeightBytes(e.cfg.TP)
 	if e.weights.Free() < shard {
 		return false // e.g. A10: no room for a second model (§7.4)
@@ -650,7 +703,7 @@ func (e *Engine) StartPrefetch(m *model.Model) bool {
 	} else {
 		e.stats.CacheMisses++
 		dur = e.CostFor(m).Switch() +
-			time.Duration(float64(m.WeightBytes())/e.cfg.RemoteLoadBPS*float64(time.Second))
+			time.Duration(float64(m.WeightBytes())/e.cfg.RemoteLoadBPS*float64(time.Second)*e.cfg.Faults.FetchFactor())
 		_ = e.cfg.ModelCache.Insert(m.Name, m.WeightBytes())
 	}
 	e.prefetchPending = true
@@ -671,6 +724,9 @@ func (e *Engine) prefetchColocated(m *model.Model) bool {
 	if _, ok := e.residents[m.Name]; ok {
 		return true
 	}
+	if e.cfg.ModelCache != nil && !e.cfg.ModelCache.Contains(m.Name) && e.cfg.Faults.FetchFailing(m.Name) {
+		return false // prefetch is opportunistic: skip while the registry is down
+	}
 	shard := m.ShardWeightBytes(e.cfg.TP)
 	if e.region.LargestFree() < shard {
 		return false
@@ -687,7 +743,7 @@ func (e *Engine) prefetchColocated(m *model.Model) bool {
 	} else {
 		e.stats.CacheMisses++
 		dur = e.CostFor(m).Switch() +
-			time.Duration(float64(m.WeightBytes())/e.cfg.RemoteLoadBPS*float64(time.Second))
+			time.Duration(float64(m.WeightBytes())/e.cfg.RemoteLoadBPS*float64(time.Second)*e.cfg.Faults.FetchFactor())
 		_ = e.cfg.ModelCache.Insert(m.Name, m.WeightBytes())
 	}
 	r.loading = submitChunked(e.prefetch, dur,

@@ -15,7 +15,7 @@ func BenchmarkGatewayAdmission(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := names[i%len(names)]
-		ok, code, reason := gw.tryAdmit(m)
+		ok, code, reason, _ := gw.tryAdmit(m)
 		if !ok {
 			b.Fatalf("admission rejected: %d %s", code, reason)
 		}
@@ -34,7 +34,7 @@ func BenchmarkGatewayAdmissionParallel(b *testing.B) {
 		for pb.Next() {
 			m := names[i%len(names)]
 			i++
-			if ok, _, _ := gw.tryAdmit(m); ok {
+			if ok, _, _, _ := gw.tryAdmit(m); ok {
 				gw.releaseAdmission(m)
 			}
 		}
@@ -48,12 +48,12 @@ var sinkStatus int
 func BenchmarkGatewayReject(b *testing.B) {
 	gw, names := newTestGateway(b, Options{Speedup: 1e-6, MaxInFlight: 1})
 	defer gw.drv.Stop()
-	if ok, _, _ := gw.tryAdmit(names[0]); !ok {
+	if ok, _, _, _ := gw.tryAdmit(names[0]); !ok {
 		b.Fatal("seed admission failed")
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, code, _ := gw.tryAdmit(names[0])
+		_, code, _, _ := gw.tryAdmit(names[0])
 		sinkStatus = code
 	}
 	_ = fmt.Sprint(sinkStatus)

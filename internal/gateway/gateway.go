@@ -22,6 +22,7 @@ import (
 
 	"aegaeon/internal/cluster"
 	"aegaeon/internal/core"
+	"aegaeon/internal/fault"
 	"aegaeon/internal/metrics"
 	"aegaeon/internal/obs"
 	"aegaeon/internal/sim"
@@ -51,6 +52,20 @@ type Options struct {
 	// endpoints. A nil collector keeps the serving hot path allocation-free
 	// and makes /debug/* answer 404.
 	Obs *obs.Collector
+	// BreakerThreshold trips a model's circuit breaker after that many
+	// consecutive failures (default 3); BreakerCooldown is how long it stays
+	// open before a probe (default 5s). Breakers guard HTTP admission on the
+	// wall clock.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// ShedFraction is the occupancy (fraction of MaxInFlight) above which
+	// the gateway degrades gracefully: requests to cold models — those with
+	// no admitted work, whose service would force an extra model switch —
+	// are shed with 503 while warm models keep flowing (default 0.9).
+	ShedFraction float64
+	// HealthChecks starts the cluster's lease renewal and failover monitor
+	// with the event loop (StopHealth is always posted on Shutdown).
+	HealthChecks bool
 }
 
 func (o *Options) defaults() {
@@ -72,6 +87,9 @@ func (o *Options) defaults() {
 	if o.QuantileSamples <= 0 {
 		o.QuantileSamples = 8192
 	}
+	if o.ShedFraction <= 0 || o.ShedFraction > 1 {
+		o.ShedFraction = 0.9
+	}
 }
 
 // Gateway serves live traffic against a cluster running on a sim.Driver.
@@ -89,8 +107,11 @@ type Gateway struct {
 	queued    map[string]int // model -> admitted-but-unfinished
 	admitted  uint64
 	completed uint64
+	failed    uint64            // requests that finished Failed (cleanly rejected mid-flight)
+	aborted   uint64            // requests aborted on client disconnect
 	rejected  map[string]uint64 // reason -> count
 	statuses  map[int]uint64    // HTTP code -> responses
+	breakers  map[string]*fault.Breaker
 	bucket    tokenBucket
 	drained   chan struct{}
 	drainOnce sync.Once
@@ -118,6 +139,7 @@ func New(drv *sim.Driver, cl *cluster.Cluster, opts Options) *Gateway {
 		queued:   map[string]int{},
 		rejected: map[string]uint64{},
 		statuses: map[int]uint64{},
+		breakers: map[string]*fault.Breaker{},
 		bucket:   newTokenBucket(opts.RatePerSec, opts.Burst),
 		drained:  make(chan struct{}),
 		ttft:     metrics.NewSafeCDF(opts.QuantileSamples),
@@ -129,8 +151,14 @@ func New(drv *sim.Driver, cl *cluster.Cluster, opts Options) *Gateway {
 	}
 }
 
-// Start launches the real-time event loop.
-func (g *Gateway) Start() { g.drv.Start() }
+// Start launches the real-time event loop (and, when configured, the
+// cluster's health-lease machinery on it).
+func (g *Gateway) Start() {
+	g.drv.Start()
+	if g.opts.HealthChecks {
+		_ = g.drv.Post(g.cl.StartHealth)
+	}
+}
 
 // Handler returns the gateway's HTTP mux:
 //
@@ -162,6 +190,10 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 		g.closeDrained()
 	}
 	g.mu.Unlock()
+	// Health loops self-reschedule; they must stop — synchronously — before
+	// the drain accelerates, or the event loop would chase an unbounded
+	// horizon and never take another injected function.
+	_ = g.drv.Call(g.cl.StopHealth)
 	g.drv.Accelerate()
 	var err error
 	select {
@@ -192,29 +224,56 @@ func (g *Gateway) Admitted() uint64 {
 	return g.admitted
 }
 
+// breakerFor returns model's circuit breaker, creating it closed. Must be
+// called with g.mu held.
+func (g *Gateway) breakerFor(model string) *fault.Breaker {
+	br := g.breakers[model]
+	if br == nil {
+		br = fault.NewBreaker(g.opts.BreakerThreshold, g.opts.BreakerCooldown)
+		g.breakers[model] = br
+	}
+	return br
+}
+
 // tryAdmit runs admission control for one request to model. On success the
 // caller owns one admission slot and must release it via finish (normal
-// completion) or releaseAdmission (submission failure).
-func (g *Gateway) tryAdmit(model string) (ok bool, code int, reason string) {
+// completion), releaseAdmission (submission failure), or abortRelease
+// (client disconnect). retryAfter accompanies 503s (graceful degradation:
+// shed load tells clients when to come back).
+func (g *Gateway) tryAdmit(model string) (ok bool, code int, reason string, retryAfter time.Duration) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	shed := int(float64(g.opts.MaxInFlight) * g.opts.ShedFraction)
+	retryAfter = time.Second
 	switch {
 	case g.draining:
 		code, reason = http.StatusServiceUnavailable, "draining"
 	case g.inflight >= g.opts.MaxInFlight:
 		code, reason = http.StatusServiceUnavailable, "saturated"
-	case g.queued[model] >= g.opts.MaxQueuePerModel:
-		code, reason = http.StatusTooManyRequests, "queue_full"
-	case !g.bucket.allow(time.Now()):
-		code, reason = http.StatusTooManyRequests, "rate_limited"
 	default:
-		g.inflight++
-		g.queued[model]++
-		g.admitted++
-		return true, http.StatusOK, ""
+		if brOK, ra := g.breakerFor(model).Allow(); !brOK {
+			code, reason, retryAfter = http.StatusServiceUnavailable, "circuit_open", ra
+			break
+		}
+		switch {
+		case g.inflight >= shed && g.queued[model] == 0:
+			// Degraded mode: near saturation, admitting a cold model would
+			// force an extra auto-scaling switch; shed it while warm models
+			// keep flowing.
+			code, reason = http.StatusServiceUnavailable, "shed_cold_model"
+		case g.queued[model] >= g.opts.MaxQueuePerModel:
+			code, reason = http.StatusTooManyRequests, "queue_full"
+		case !g.bucket.allow(time.Now()):
+			code, reason = http.StatusTooManyRequests, "rate_limited"
+		default:
+			g.inflight++
+			g.queued[model]++
+			g.admitted++
+			return true, http.StatusOK, "", 0
+		}
 	}
 	g.rejected[reason]++
-	return false, code, reason
+	return false, code, reason, retryAfter
 }
 
 // releaseAdmission undoes tryAdmit without recording a completion.
@@ -228,7 +287,10 @@ func (g *Gateway) releaseAdmission(model string) {
 	}
 }
 
-// finish records a completed request. Runs on the simulation goroutine.
+// finish records a finished request — completed or cleanly failed. Runs on
+// the simulation goroutine. The outcome feeds the model's circuit breaker:
+// consecutive failures trip it open so follow-on traffic is shed at
+// admission instead of queueing behind a dead partition.
 func (g *Gateway) finish(model string, r *core.Request) {
 	if n := len(r.TokenTimes); n > 0 {
 		g.ttft.AddDuration(r.TokenTimes[0] - r.Arrival)
@@ -241,7 +303,27 @@ func (g *Gateway) finish(model string, r *core.Request) {
 	g.mu.Lock()
 	g.inflight--
 	g.queued[model]--
-	g.completed++
+	if r.Failed {
+		g.failed++
+		g.breakerFor(model).Failure()
+	} else {
+		g.completed++
+		g.breakerFor(model).Success()
+	}
+	if g.draining && g.inflight == 0 {
+		g.closeDrained()
+	}
+	g.mu.Unlock()
+}
+
+// abortRelease releases an admission slot for a client-disconnected request
+// and counts the abort. Runs on the simulation goroutine (after the abort
+// took effect).
+func (g *Gateway) abortRelease(model string) {
+	g.mu.Lock()
+	g.inflight--
+	g.queued[model]--
+	g.aborted++
 	if g.draining && g.inflight == 0 {
 		g.closeDrained()
 	}
@@ -382,12 +464,14 @@ func (g *Gateway) handleCompletions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ok, code, reason := g.tryAdmit(req.Model)
+	ok, code, reason, retryAfter := g.tryAdmit(req.Model)
 	if !ok {
 		g.countStatus(code)
-		if code == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
+		secs := int(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
 		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 		writeJSONError(w, code, "request rejected: %s", reason)
 		return
 	}
@@ -396,10 +480,14 @@ func (g *Gateway) handleCompletions(w http.ResponseWriter, r *http.Request) {
 	// The channel holds every token the request can produce, so the
 	// simulation goroutine never blocks on a slow client.
 	tokens := make(chan tokenEvent, outTok)
-	done := make(chan struct{})
+	done := make(chan *core.Request, 1)
 	errCh := make(chan error, 1)
+	// cr is written by the submit closure and read by the abort closure —
+	// both run on the event-loop goroutine, and driver posts are FIFO, so
+	// the submit always lands first.
+	var cr *core.Request
 	err := g.drv.Post(func() {
-		_, err := g.cl.SubmitLive(
+		sub, err := g.cl.SubmitLive(
 			workload.Request{ID: id, Model: req.Model, InputTokens: inTok, OutputTokens: outTok},
 			func(i int, at sim.Time) {
 				select {
@@ -407,28 +495,46 @@ func (g *Gateway) handleCompletions(w http.ResponseWriter, r *http.Request) {
 				default: // never reached: the buffer covers all tokens
 				}
 			},
-			func(cr *core.Request) {
-				g.finish(req.Model, cr)
+			func(fin *core.Request) {
+				g.finish(req.Model, fin)
+				done <- fin
 				close(done)
 			},
 		)
 		if err != nil {
 			g.releaseAdmission(req.Model)
 			errCh <- err
+			return
 		}
+		cr = sub
 	})
 	if err != nil {
 		g.releaseAdmission(req.Model)
 		g.countStatus(http.StatusServiceUnavailable)
+		w.Header().Set("Retry-After", "1")
 		writeJSONError(w, http.StatusServiceUnavailable, "gateway stopped")
 		return
 	}
 
+	// abort cancels the simulated request when the client disconnects: the
+	// core releases its KV and queue slots, no further tokens are produced,
+	// and the admission slot frees immediately instead of when the request
+	// would have finished. Aborts that race normal completion are no-ops.
+	abort := func() {
+		_ = g.drv.Post(func() {
+			if cr == nil || cr.Done || cr.Failed || cr.Aborted() {
+				return
+			}
+			g.cl.Abort(cr)
+			g.abortRelease(req.Model)
+		})
+	}
+
 	if req.Stream {
-		g.streamCompletion(w, r, id, req.Model, outTok, tokens, done, errCh)
+		g.streamCompletion(w, r, id, req.Model, outTok, tokens, done, errCh, abort)
 		return
 	}
-	g.collectCompletion(w, r, id, req.Model, inTok, outTok, tokens, done, errCh)
+	g.collectCompletion(w, r, id, req.Model, inTok, outTok, tokens, done, errCh, abort)
 }
 
 // tokenText synthesizes the i-th token's text. The simulator models timing,
@@ -436,7 +542,7 @@ func (g *Gateway) handleCompletions(w http.ResponseWriter, r *http.Request) {
 func tokenText(i int) string { return fmt.Sprintf(" token%d", i) }
 
 func (g *Gateway) streamCompletion(w http.ResponseWriter, r *http.Request, id, model string,
-	outTok int, tokens <-chan tokenEvent, done <-chan struct{}, errCh <-chan error) {
+	outTok int, tokens <-chan tokenEvent, done <-chan *core.Request, errCh <-chan error, abort func()) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		g.countStatus(http.StatusInternalServerError)
@@ -470,7 +576,7 @@ loop:
 		case t := <-tokens:
 			writeChunk(t)
 			received++
-		case <-done:
+		case fin := <-done:
 			// Completion raced ahead of our reads: drain what's buffered.
 			for {
 				select {
@@ -478,6 +584,14 @@ loop:
 					writeChunk(t)
 					received++
 				default:
+					if fin != nil && fin.Failed {
+						// Cleanly rejected mid-flight (e.g. the serving
+						// partition died with no survivors): tell the client
+						// instead of pretending the stream just ended.
+						fmt.Fprintf(w, "data: {\"error\":%q}\n\n", "request failed: "+fin.FailReason)
+						flusher.Flush()
+						return
+					}
 					break loop
 				}
 			}
@@ -486,8 +600,9 @@ loop:
 			flusher.Flush()
 			return
 		case <-r.Context().Done():
-			// Client went away; the simulated request still runs to
-			// completion and releases its admission slot in finish.
+			// Client went away: abort the simulated request so its KV and
+			// admission slot free now instead of when it would have finished.
+			abort()
 			return
 		}
 	}
@@ -503,7 +618,7 @@ loop:
 }
 
 func (g *Gateway) collectCompletion(w http.ResponseWriter, r *http.Request, id, model string,
-	inTok, outTok int, tokens <-chan tokenEvent, done <-chan struct{}, errCh <-chan error) {
+	inTok, outTok int, tokens <-chan tokenEvent, done <-chan *core.Request, errCh <-chan error, abort func()) {
 	var first, last sim.Time
 	received := 0
 	var text strings.Builder
@@ -516,7 +631,7 @@ func (g *Gateway) collectCompletion(w http.ResponseWriter, r *http.Request, id, 
 			last = t.at
 			text.WriteString(tokenText(t.i))
 			received++
-		case <-done:
+		case fin := <-done:
 			for {
 				select {
 				case t := <-tokens:
@@ -531,6 +646,13 @@ func (g *Gateway) collectCompletion(w http.ResponseWriter, r *http.Request, id, 
 				}
 				break
 			}
+			if fin != nil && fin.Failed {
+				g.countStatus(http.StatusServiceUnavailable)
+				w.Header().Set("Retry-After", "1")
+				writeJSONError(w, http.StatusServiceUnavailable,
+					"request failed after %d/%d tokens: %s", received, outTok, fin.FailReason)
+				return
+			}
 			if received < outTok {
 				g.countStatus(http.StatusInternalServerError)
 				writeJSONError(w, http.StatusInternalServerError,
@@ -542,6 +664,7 @@ func (g *Gateway) collectCompletion(w http.ResponseWriter, r *http.Request, id, 
 			writeJSONError(w, http.StatusInternalServerError, "%v", err)
 			return
 		case <-r.Context().Done():
+			abort()
 			return
 		}
 	}

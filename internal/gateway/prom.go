@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"aegaeon/internal/fault"
 	"aegaeon/internal/metrics"
 )
 
@@ -23,11 +24,16 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	var switches uint64
 	var virtual time.Duration
-	var storeGets, storeSets, storeDeletes uint64
+	var storeGets, storeSets, storeDeletes, storeFailed uint64
+	var fs fault.Stats
+	var failovers int
 	err := g.drv.Call(func() {
 		switches = g.cl.Switches()
 		virtual = g.cl.VirtualNow()
 		storeGets, storeSets, storeDeletes = g.cl.Store().Ops()
+		storeFailed = g.cl.Store().FailedOps()
+		fs = g.cl.FaultStats()
+		failovers = g.cl.Failovers()
 	})
 	g.mu.Lock()
 	if err == nil {
@@ -49,6 +55,12 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	statuses := make(map[int]uint64, len(g.statuses))
 	for code, n := range g.statuses {
 		statuses[code] = n
+	}
+	failedReqs := g.failed
+	abortedReqs := g.aborted
+	breakerStates := make(map[string]string, len(g.breakers))
+	for m, br := range g.breakers {
+		breakerStates[m] = br.State().String()
 	}
 	g.mu.Unlock()
 
@@ -95,6 +107,40 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "aegaeon_metastore_ops_total{op=\"get\"} %d\n", storeGets)
 	fmt.Fprintf(&b, "aegaeon_metastore_ops_total{op=\"set\"} %d\n", storeSets)
 	fmt.Fprintf(&b, "aegaeon_metastore_ops_total{op=\"delete\"} %d\n", storeDeletes)
+	counter("aegaeon_metastore_failed_ops_total", "Metadata store operations dropped by partitions.")
+	fmt.Fprintf(&b, "aegaeon_metastore_failed_ops_total %d\n", storeFailed)
+
+	counter("aegaeon_gateway_failed_total", "Admitted requests that finished cleanly rejected.")
+	fmt.Fprintf(&b, "aegaeon_gateway_failed_total %d\n", failedReqs)
+	counter("aegaeon_gateway_aborted_total", "Requests aborted on client disconnect.")
+	fmt.Fprintf(&b, "aegaeon_gateway_aborted_total %d\n", abortedReqs)
+	gauge("aegaeon_gateway_breaker_state", "Per-model circuit breaker state (0 closed, 1 open, 2 half-open).")
+	for _, m := range sortedStringKeys(breakerStates) {
+		fmt.Fprintf(&b, "aegaeon_gateway_breaker_state{model=%q,state=%q} 1\n", m, breakerStates[m])
+	}
+
+	counter("aegaeon_fault_events_total", "Fault-injection and recovery activity by kind.")
+	for _, kv := range []struct {
+		kind string
+		n    uint64
+	}{
+		{"crash", fs.Crashes},
+		{"recovery", fs.Recoveries},
+		{"resumed", fs.Resumed},
+		{"recomputed", fs.Recomputed},
+		{"fetch_failure", fs.FetchFailures},
+		{"fetch_retry", fs.FetchRetries},
+		{"fetch_exhausted", fs.FetchExhausted},
+		{"transfer_failure", fs.TransferFailures},
+		{"transfer_retry", fs.TransferRetries},
+		{"store_failure", fs.StoreFailures},
+		{"store_retry", fs.StoreRetries},
+		{"rejected", fs.Rejected},
+	} {
+		fmt.Fprintf(&b, "aegaeon_fault_events_total{kind=%q} %d\n", kv.kind, kv.n)
+	}
+	counter("aegaeon_failovers_total", "Instance failovers claimed and recovered by the proxy.")
+	fmt.Fprintf(&b, "aegaeon_failovers_total %d\n", failovers)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))

@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"time"
 
+	"aegaeon/internal/fault"
 	"aegaeon/internal/gpu"
 	"aegaeon/internal/latency"
 	"aegaeon/internal/memory"
 	"aegaeon/internal/model"
+	"aegaeon/internal/obs"
 	"aegaeon/internal/sim"
 )
 
@@ -227,6 +229,12 @@ type Manager struct {
 	moveList  *MoveList
 	stats     Stats
 	ctrlDelay time.Duration // per control operation (index/event bookkeeping)
+
+	// Fault-injection state (nil/zero = fault-free behavior, byte-identical
+	// to a build without the fault package).
+	faults   *fault.Faults
+	instance string
+	obsc     *obs.Collector
 }
 
 // Stats counts data-plane activity for Fig. 14's control/data overhead
@@ -254,6 +262,15 @@ func NewManager(dev *gpu.Device, prof *latency.Profile, gpuCache, cpuCache *Cach
 	}
 	m.moveList = NewMoveList(dev.Sim(), cpuCache.pool, daemonPoll)
 	return m
+}
+
+// SetFaults attaches fault-injection state: f supplies transfer fault
+// windows and retry policy, instance is the targeting name for this
+// manager's GPU, and c receives fault/retry events. Nil arguments are fine.
+func (m *Manager) SetFaults(f *fault.Faults, instance string, c *obs.Collector) {
+	m.faults = f
+	m.instance = instance
+	m.obsc = c
 }
 
 // Stats returns a snapshot of the manager's counters.
@@ -334,24 +351,71 @@ func (m *Manager) SwapOut(seq *Sequence) (*gpu.Event, error) {
 	gpuBlocks := seq.gpuBlocks
 	srcCache := seq.gpuCache
 	seq.gpuBlocks = nil
-	ev := m.kvOut.SubmitOp(gpu.D2H, m.prof.PCIeCopy(bytes),
-		gpu.OpInfo{Tag: "kv-out " + seq.ID, Request: seq.ID}, func() {
-			// Source GPU blocks are safe to release once the copy has read them.
-			for _, b := range gpuBlocks {
-				if err := srcCache.pool.Free(b); err != nil {
-					panic(fmt.Sprintf("kvcache: gpu free after swap-out: %v", err))
+	if !m.faults.TransferFailing(m.instance) {
+		ev := m.kvOut.SubmitOp(gpu.D2H, m.prof.PCIeCopy(bytes),
+			gpu.OpInfo{Tag: "kv-out " + seq.ID, Request: seq.ID}, func() {
+				// Source GPU blocks are safe to release once the copy has read them.
+				for _, b := range gpuBlocks {
+					if err := srcCache.pool.Free(b); err != nil {
+						panic(fmt.Sprintf("kvcache: gpu free after swap-out: %v", err))
+					}
 				}
-			}
-			// A swap-in may already have been issued against this sequence
-			// (Fig. 10's overlapped handoff); do not clobber its state.
-			if seq.state == StateSwappingOut {
-				seq.state = StateCPU
-			}
-		})
+				// A swap-in may already have been issued against this sequence
+				// (Fig. 10's overlapped handoff); do not clobber its state.
+				if seq.state == StateSwappingOut {
+					seq.state = StateCPU
+				}
+			})
+		seq.lastXfer = ev
+		m.stats.SwapOuts++
+		m.stats.BytesOut += bytes
+		m.control(2) // event record + block index updates
+		return ev, nil
+	}
+	// Transfer-fault path: an attempt submitted inside a fault window
+	// occupies the KV-out stream for the full copy and then fails; each
+	// failure schedules a resubmission after jittered backoff. The window is
+	// finite, so a later attempt succeeds and performs the one-and-only GPU
+	// block release and state transition. seq.lastXfer follows the live
+	// attempt unless a newer transfer (an overlapped swap-in) superseded it.
+	var resubmit func(prev *gpu.Event, attempt int)
+	submitAttempt := func(attempt int) *gpu.Event {
+		failing := m.faults.TransferFailing(m.instance)
+		var ev *gpu.Event
+		ev = m.kvOut.SubmitOp(gpu.D2H, m.prof.PCIeCopy(bytes),
+			gpu.OpInfo{Tag: "kv-out " + seq.ID, Request: seq.ID}, func() {
+				if failing {
+					m.faults.CountTransferFailure()
+					m.obsc.Fault(m.instance, "xfer", "kv-out "+seq.ID, m.eng.Now())
+					m.faults.CountTransferRetry()
+					m.obsc.Retry(m.instance, "kv-out "+seq.ID, m.eng.Now())
+					m.eng.After(m.faults.RetryDelay(attempt), func() {
+						resubmit(ev, attempt+1)
+					})
+					return
+				}
+				for _, b := range gpuBlocks {
+					if err := srcCache.pool.Free(b); err != nil {
+						panic(fmt.Sprintf("kvcache: gpu free after swap-out: %v", err))
+					}
+				}
+				if seq.state == StateSwappingOut {
+					seq.state = StateCPU
+				}
+			})
+		return ev
+	}
+	resubmit = func(prev *gpu.Event, attempt int) {
+		ev := submitAttempt(attempt)
+		if seq.lastXfer == prev {
+			seq.lastXfer = ev
+		}
+	}
+	ev := submitAttempt(0)
 	seq.lastXfer = ev
 	m.stats.SwapOuts++
 	m.stats.BytesOut += bytes
-	m.control(2) // event record + block index updates
+	m.control(2)
 	return ev, nil
 }
 
@@ -381,21 +445,72 @@ func (m *Manager) SwapIn(seq *Sequence) (*gpu.Event, error) {
 	bytes := seq.Bytes()
 	cpuBlocks := seq.cpuBlocks
 	seq.cpuBlocks = nil
-	ev := m.kvIn.SubmitOp(gpu.H2D, m.prof.PCIeCopy(bytes),
-		gpu.OpInfo{Tag: "kv-in " + seq.ID, Request: seq.ID}, func() {
-			// Guard against a crash-recovery Abandon racing the transfer.
-			if seq.state == StateSwappingIn {
-				seq.state = StateGPU
+	if !m.faults.TransferFailing(m.instance) {
+		ev := m.kvIn.SubmitOp(gpu.H2D, m.prof.PCIeCopy(bytes),
+			gpu.OpInfo{Tag: "kv-in " + seq.ID, Request: seq.ID}, func() {
+				// Guard against a crash-recovery Abandon racing the transfer.
+				if seq.state == StateSwappingIn {
+					seq.state = StateGPU
+				}
+			})
+		// Rule ❸: the CPU copies become garbage once read, but they must not be
+		// reallocated until the read completes. Park them in the move list.
+		for _, b := range cpuBlocks {
+			if err := m.CPUCache.pool.FreeBlocked(b); err != nil {
+				panic(fmt.Sprintf("kvcache: cpu free-blocked: %v", err))
 			}
-		})
-	// Rule ❸: the CPU copies become garbage once read, but they must not be
-	// reallocated until the read completes. Park them in the move list.
-	for _, b := range cpuBlocks {
-		if err := m.CPUCache.pool.FreeBlocked(b); err != nil {
-			panic(fmt.Sprintf("kvcache: cpu free-blocked: %v", err))
+		}
+		m.moveList.Add(cpuBlocks, ev)
+		seq.gpuBlocks = gpuBlocks
+		seq.gpuCache = m.GPUCache
+		seq.lastXfer = ev
+		m.stats.SwapIns++
+		m.stats.BytesIn += bytes
+		m.control(2)
+		return ev, nil
+	}
+	// Transfer-fault path. A failed attempt must NOT park the CPU source
+	// blocks: the data is still needed for the retry. Only the attempt
+	// submitted outside the fault window (guaranteed to exist — windows are
+	// finite) parks them under rule ❸, so the blocks are released exactly
+	// once no matter how many attempts it takes.
+	var resubmit func(prev *gpu.Event, attempt int)
+	submitAttempt := func(attempt int) *gpu.Event {
+		failing := m.faults.TransferFailing(m.instance)
+		var ev *gpu.Event
+		ev = m.kvIn.SubmitOp(gpu.H2D, m.prof.PCIeCopy(bytes),
+			gpu.OpInfo{Tag: "kv-in " + seq.ID, Request: seq.ID}, func() {
+				if failing {
+					m.faults.CountTransferFailure()
+					m.obsc.Fault(m.instance, "xfer", "kv-in "+seq.ID, m.eng.Now())
+					m.faults.CountTransferRetry()
+					m.obsc.Retry(m.instance, "kv-in "+seq.ID, m.eng.Now())
+					m.eng.After(m.faults.RetryDelay(attempt), func() {
+						resubmit(ev, attempt+1)
+					})
+					return
+				}
+				if seq.state == StateSwappingIn {
+					seq.state = StateGPU
+				}
+			})
+		if !failing {
+			for _, b := range cpuBlocks {
+				if err := m.CPUCache.pool.FreeBlocked(b); err != nil {
+					panic(fmt.Sprintf("kvcache: cpu free-blocked: %v", err))
+				}
+			}
+			m.moveList.Add(cpuBlocks, ev)
+		}
+		return ev
+	}
+	resubmit = func(prev *gpu.Event, attempt int) {
+		ev := submitAttempt(attempt)
+		if seq.lastXfer == prev {
+			seq.lastXfer = ev
 		}
 	}
-	m.moveList.Add(cpuBlocks, ev)
+	ev := submitAttempt(0)
 	seq.gpuBlocks = gpuBlocks
 	seq.gpuCache = m.GPUCache
 	seq.lastXfer = ev

@@ -6,12 +6,17 @@
 package metastore
 
 import (
+	"errors"
 	"sort"
 	"strings"
 	"time"
 
 	"aegaeon/internal/sim"
 )
+
+// ErrUnavailable is delivered by the error-aware operations while the store
+// is partitioned away: the op was dropped, nothing was read or written.
+var ErrUnavailable = errors.New("metastore: unavailable (network partition)")
 
 // Store is an in-memory key/value store bound to the simulation clock.
 type Store struct {
@@ -21,7 +26,14 @@ type Store struct {
 	version map[string]uint64
 	watches []*watch
 
-	gets, sets, deletes uint64
+	// Fault windows, driven by the injection layer. While partitioned every
+	// operation fails with ErrUnavailable (legacy callbacks observe a dropped
+	// write / missing read); while slowed the RTT is multiplied.
+	partitionedUntil sim.Time
+	slowUntil        sim.Time
+	slowFactor       float64
+
+	gets, sets, deletes, failed uint64
 }
 
 type watch struct {
@@ -41,41 +53,149 @@ func New(eng *sim.Engine, rtt time.Duration) *Store {
 	}
 }
 
+// Partition makes the store unreachable for d: every operation submitted
+// while the window is open fails with ErrUnavailable (legacy callers observe
+// a dropped write or a missing read). Overlapping windows extend.
+func (s *Store) Partition(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if until := s.eng.Now() + d; until > s.partitionedUntil {
+		s.partitionedUntil = until
+	}
+}
+
+// SlowBy multiplies the store RTT by factor for d (a latency spike).
+func (s *Store) SlowBy(factor float64, d time.Duration) {
+	if factor <= 1 || d <= 0 {
+		return
+	}
+	if until := s.eng.Now() + d; until > s.slowUntil {
+		s.slowUntil = until
+	}
+	s.slowFactor = factor
+}
+
+// Available reports whether the store is reachable right now.
+func (s *Store) Available() bool { return s.eng.Now() >= s.partitionedUntil }
+
+// latency returns the effective per-op RTT under any active latency spike.
+func (s *Store) latency() time.Duration {
+	if s.eng.Now() < s.slowUntil && s.slowFactor > 1 {
+		return time.Duration(float64(s.rtt) * s.slowFactor)
+	}
+	return s.rtt
+}
+
+// run executes op after the effective RTT (synchronously at rtt<=0).
+// Availability is sampled at submission: an op issued inside a partition
+// window fails even if the window closes before the RTT elapses.
+func (s *Store) run(op func(err error)) {
+	var err error
+	if !s.Available() {
+		s.failed++
+		err = ErrUnavailable
+	}
+	if l := s.latency(); l > 0 {
+		s.eng.After(l, func() { op(err) })
+		return
+	}
+	op(err)
+}
+
+// applySet commits a write and notifies watchers (already past the RTT).
+func (s *Store) applySet(key, value string) {
+	s.data[key] = value
+	s.version[key]++
+	for _, w := range s.watches {
+		if !w.closed && strings.HasPrefix(key, w.prefix) {
+			w.fn(key, value)
+		}
+	}
+}
+
 // Set writes key=value and notifies watchers after the RTT elapses. done
-// (optional) fires when the write is acknowledged.
+// (optional) fires when the write is acknowledged. During a partition the
+// write is dropped silently; error-aware callers use SetE.
 func (s *Store) Set(key, value string, done ...func()) {
 	s.sets++
-	apply := func() {
-		s.data[key] = value
-		s.version[key]++
-		for _, w := range s.watches {
-			if !w.closed && strings.HasPrefix(key, w.prefix) {
-				w.fn(key, value)
-			}
+	s.run(func(err error) {
+		if err == nil {
+			s.applySet(key, value)
 		}
 		for _, d := range done {
 			d()
 		}
-	}
-	if s.rtt <= 0 {
-		apply()
-		return
-	}
-	s.eng.After(s.rtt, apply)
+	})
 }
 
-// Get reads a key via callback after the RTT.
+// SetE is Set with failure reporting: done receives ErrUnavailable when the
+// write was dropped by a partition.
+func (s *Store) SetE(key, value string, done func(err error)) {
+	s.sets++
+	s.run(func(err error) {
+		if err == nil {
+			s.applySet(key, value)
+		}
+		if done != nil {
+			done(err)
+		}
+	})
+}
+
+// Get reads a key via callback after the RTT. During a partition the read
+// reports absence; error-aware callers use GetE.
 func (s *Store) Get(key string, fn func(value string, ok bool)) {
 	s.gets++
-	read := func() {
+	s.run(func(err error) {
+		if err != nil {
+			fn("", false)
+			return
+		}
 		v, ok := s.data[key]
 		fn(v, ok)
-	}
-	if s.rtt <= 0 {
-		read()
-		return
-	}
-	s.eng.After(s.rtt, read)
+	})
+}
+
+// GetE is Get with failure reporting: err is ErrUnavailable when the store
+// was partitioned at submission time (value/ok are zero then).
+func (s *Store) GetE(key string, fn func(value string, ok bool, err error)) {
+	s.gets++
+	s.run(func(err error) {
+		if err != nil {
+			fn("", false, err)
+			return
+		}
+		v, ok := s.data[key]
+		fn(v, ok, nil)
+	})
+}
+
+// CompareAndSwap atomically replaces key's value with new iff the current
+// value equals old (an absent key compares as ""). The comparison and the
+// write happen in the same event after the RTT, so concurrent claimants
+// serialize: exactly one of two racing CAS("", x) calls wins. A successful
+// swap notifies watchers and bumps the version like Set.
+func (s *Store) CompareAndSwap(key, old, new string, done func(swapped bool, err error)) {
+	s.sets++
+	s.run(func(err error) {
+		if err != nil {
+			if done != nil {
+				done(false, err)
+			}
+			return
+		}
+		if s.data[key] != old {
+			if done != nil {
+				done(false, nil)
+			}
+			return
+		}
+		s.applySet(key, new)
+		if done != nil {
+			done(true, nil)
+		}
+	})
 }
 
 // GetNow reads synchronously (for instance-local bookkeeping and tests).
@@ -84,32 +204,26 @@ func (s *Store) GetNow(key string) (string, bool) {
 	return v, ok
 }
 
-// Delete removes a key and notifies watchers with an empty value.
+// Delete removes a key and notifies watchers with an empty value. During a
+// partition the delete is dropped silently.
 func (s *Store) Delete(key string, done ...func()) {
 	s.deletes++
-	apply := func() {
-		if _, ok := s.data[key]; !ok {
-			for _, d := range done {
-				d()
-			}
-			return
-		}
-		delete(s.data, key)
-		s.version[key]++
-		for _, w := range s.watches {
-			if !w.closed && strings.HasPrefix(key, w.prefix) {
-				w.fn(key, "")
+	s.run(func(err error) {
+		if err == nil {
+			if _, ok := s.data[key]; ok {
+				delete(s.data, key)
+				s.version[key]++
+				for _, w := range s.watches {
+					if !w.closed && strings.HasPrefix(key, w.prefix) {
+						w.fn(key, "")
+					}
+				}
 			}
 		}
 		for _, d := range done {
 			d()
 		}
-	}
-	if s.rtt <= 0 {
-		apply()
-		return
-	}
-	s.eng.After(s.rtt, apply)
+	})
 }
 
 // Watch registers fn for every future Set/Delete under prefix; returns an
@@ -158,3 +272,6 @@ func (s *Store) Version(key string) uint64 { return s.version[key] }
 
 // Ops returns cumulative (gets, sets, deletes).
 func (s *Store) Ops() (gets, sets, deletes uint64) { return s.gets, s.sets, s.deletes }
+
+// FailedOps returns how many operations a partition window dropped.
+func (s *Store) FailedOps() uint64 { return s.failed }

@@ -133,3 +133,144 @@ func TestWatchCancelDuringSweep(t *testing.T) {
 		t.Fatalf("Watches() = %d, want 1", got)
 	}
 }
+
+func TestDeleteNotifiesWatchersRegression(t *testing.T) {
+	// Failover leases depend on delete notifications: a proxy watching
+	// lease/ must see the empty-value event when an instance's lease key is
+	// removed, through RTT delay and with correct version bookkeeping.
+	eng := sim.NewEngine(1)
+	s := New(eng, time.Millisecond)
+	type ev struct {
+		k, v string
+		at   sim.Time
+	}
+	var got []ev
+	s.Watch("lease/", func(k, v string) { got = append(got, ev{k, v, eng.Now()}) })
+	s.Set("lease/decode0", "alive")
+	eng.Run()
+	s.Delete("lease/decode0")
+	eng.Run()
+	if len(got) != 2 {
+		t.Fatalf("events = %v", got)
+	}
+	if got[1].k != "lease/decode0" || got[1].v != "" {
+		t.Fatalf("delete notification = %+v", got[1])
+	}
+	if got[1].at != got[0].at+time.Millisecond {
+		t.Fatalf("delete visible at %v, set at %v", got[1].at, got[0].at)
+	}
+	if s.Version("lease/decode0") != 2 {
+		t.Fatalf("version = %d", s.Version("lease/decode0"))
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng, time.Millisecond)
+
+	// Absent key compares as "": the first claimant wins, the second loses.
+	var r1, r2 *bool
+	s.CompareAndSwap("failover/decode0", "", "proxyA", func(sw bool, err error) {
+		if err != nil {
+			t.Errorf("cas1 err: %v", err)
+		}
+		r1 = &sw
+	})
+	s.CompareAndSwap("failover/decode0", "", "proxyB", func(sw bool, err error) {
+		if err != nil {
+			t.Errorf("cas2 err: %v", err)
+		}
+		r2 = &sw
+	})
+	eng.Run()
+	if r1 == nil || r2 == nil || !*r1 || *r2 {
+		t.Fatalf("racing CAS: first=%v second=%v", r1, r2)
+	}
+	if v, _ := s.GetNow("failover/decode0"); v != "proxyA" {
+		t.Fatalf("value = %q", v)
+	}
+
+	// Successful swap behaves like Set: watchers fire, version bumps.
+	var notified []string
+	s.Watch("failover/", func(k, v string) { notified = append(notified, v) })
+	var swapped bool
+	s.CompareAndSwap("failover/decode0", "proxyA", "proxyC", func(sw bool, err error) { swapped = sw })
+	eng.Run()
+	if !swapped || len(notified) != 1 || notified[0] != "proxyC" {
+		t.Fatalf("swap=%v notified=%v", swapped, notified)
+	}
+	if s.Version("failover/decode0") != 2 {
+		t.Fatalf("version = %d", s.Version("failover/decode0"))
+	}
+}
+
+func TestPartitionDropsOps(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng, time.Millisecond)
+	s.Set("k", "v0")
+	eng.Run()
+
+	s.Partition(10 * time.Millisecond)
+	if s.Available() {
+		t.Fatal("store available inside partition window")
+	}
+	var setErr, getErr, casErr error
+	var gotOK bool
+	s.SetE("k", "v1", func(err error) { setErr = err })
+	s.GetE("k", func(v string, ok bool, err error) { gotOK, getErr = ok, err })
+	s.CompareAndSwap("k", "v0", "v2", func(sw bool, err error) { casErr = err })
+	var legacy string
+	var legacyOK bool
+	s.Get("k", func(v string, ok bool) { legacy, legacyOK = v, ok })
+	s.Delete("k")
+	eng.Run()
+	if setErr != ErrUnavailable || getErr != ErrUnavailable || casErr != ErrUnavailable {
+		t.Fatalf("errors: set=%v get=%v cas=%v", setErr, getErr, casErr)
+	}
+	if gotOK || legacyOK || legacy != "" {
+		t.Fatal("partitioned read returned data")
+	}
+	if v, ok := s.GetNow("k"); !ok || v != "v0" {
+		t.Fatalf("partitioned write mutated store: (%q,%v)", v, ok)
+	}
+	if s.FailedOps() != 5 {
+		t.Fatalf("FailedOps = %d", s.FailedOps())
+	}
+
+	// After the window the store heals.
+	eng.After(20*time.Millisecond, func() {})
+	eng.Run()
+	if !s.Available() {
+		t.Fatal("store still partitioned after window")
+	}
+	var err2 error
+	s.SetE("k", "v3", func(err error) { err2 = err })
+	eng.Run()
+	if err2 != nil {
+		t.Fatalf("post-heal SetE err: %v", err2)
+	}
+	if v, _ := s.GetNow("k"); v != "v3" {
+		t.Fatalf("post-heal value = %q", v)
+	}
+}
+
+func TestSlowByStretchesRTT(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng, time.Millisecond)
+	s.SlowBy(5, 50*time.Millisecond)
+	var ackAt sim.Time
+	s.SetE("k", "v", func(err error) { ackAt = eng.Now() })
+	eng.Run()
+	if ackAt != 5*time.Millisecond {
+		t.Fatalf("slowed ack at %v, want 5ms", ackAt)
+	}
+	// Window expiry restores the base RTT (the submit lands at 5ms+60ms).
+	var ack2 sim.Time
+	eng.After(60*time.Millisecond, func() {
+		s.SetE("k", "v2", func(err error) { ack2 = eng.Now() })
+	})
+	eng.Run()
+	if ack2 != 66*time.Millisecond {
+		t.Fatalf("post-window ack at %v, want 66ms", ack2)
+	}
+}

@@ -407,6 +407,32 @@ func (c *Collector) RequestDone(id string, at sim.Time) {
 	t.Finished = at
 }
 
+// Fault records an injected or detected failure (instance crash, transfer
+// error window, fetch failure, store partition) in the flat event ring.
+func (c *Collector) Fault(instance, kind, detail string, at sim.Time) {
+	if c == nil {
+		return
+	}
+	c.ring.Emit(trace.Event{At: at, Kind: trace.KindFailure, Instance: instance, Subject: kind, Detail: detail})
+}
+
+// Recovery records a completed recovery action (failover, orphan
+// re-dispatch, breaker close) in the flat event ring.
+func (c *Collector) Recovery(instance, detail string, at sim.Time) {
+	if c == nil {
+		return
+	}
+	c.ring.Emit(trace.Event{At: at, Kind: trace.KindRecovery, Instance: instance, Detail: detail})
+}
+
+// Retry records one backoff retry (fetch, transfer, or metastore op).
+func (c *Collector) Retry(instance, what string, at sim.Time) {
+	if c == nil {
+		return
+	}
+	c.ring.Emit(trace.Event{At: at, Kind: trace.KindRetry, Instance: instance, Subject: what})
+}
+
 // BeginSwitch opens a switch record for the instance. The engine calls it
 // synchronously at the top of SwitchTo; stages and victims attach while the
 // switch is in flight.

@@ -14,11 +14,13 @@ import (
 	"time"
 
 	"aegaeon/internal/sim"
+	"aegaeon/internal/trace"
 )
 
 // perfetto track layout constants.
 const (
 	pidRequests  = 2   // the shared "requests" process
+	pidFaults    = 3   // the shared "faults" process (failure/recovery/retry)
 	pidDeviceLow = 100 // device i gets pid pidDeviceLow+i
 
 	tidSwitch = 10 // switch track inside a device process; engines use 1+EngineKind
@@ -171,6 +173,52 @@ func (c *Collector) WritePerfetto(w io.Writer) error {
 				Ts: usec(tok), Pid: pidRequests, Tid: tid,
 			})
 		}
+	}
+
+	// Fault tracks: instant events for failures, recoveries, and retries,
+	// pulled from the flat event ring onto a shared "faults" process with one
+	// thread per category.
+	faultTids := map[trace.Kind]int{
+		trace.KindFailure:  1,
+		trace.KindRecovery: 2,
+		trace.KindRetry:    3,
+	}
+	faultNames := map[trace.Kind]string{
+		trace.KindFailure:  "failures",
+		trace.KindRecovery: "recoveries",
+		trace.KindRetry:    "retries",
+	}
+	wroteFaultMeta := map[trace.Kind]bool{}
+	for _, ev := range c.Ring().Events() {
+		tid, ok := faultTids[ev.Kind]
+		if !ok {
+			continue
+		}
+		if !wroteFaultMeta[ev.Kind] {
+			if len(wroteFaultMeta) == 0 {
+				events = append(events, metaEvent(pidFaults, 0, "process_name", "faults"))
+			}
+			wroteFaultMeta[ev.Kind] = true
+			events = append(events, metaEvent(pidFaults, tid, "thread_name", faultNames[ev.Kind]))
+		}
+		name := ev.Subject
+		if name == "" {
+			name = ev.Kind.String()
+		}
+		fe := traceEvent{
+			Name: name, Ph: "i", Cat: "fault", S: "g",
+			Ts: usec(ev.At), Pid: pidFaults, Tid: tid,
+		}
+		if ev.Instance != "" || ev.Detail != "" {
+			fe.Args = map[string]any{}
+			if ev.Instance != "" {
+				fe.Args["instance"] = ev.Instance
+			}
+			if ev.Detail != "" {
+				fe.Args["detail"] = ev.Detail
+			}
+		}
+		events = append(events, fe)
 	}
 
 	sort.SliceStable(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })

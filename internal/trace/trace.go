@@ -32,6 +32,8 @@ const (
 	KindRequestDone
 	KindEvict
 	KindFailure
+	KindRecovery
+	KindRetry
 	numKinds
 )
 
@@ -39,7 +41,7 @@ var kindNames = [...]string{
 	"arrival", "prefill-enqueue", "prefill-start", "prefill-done",
 	"decode-enqueue", "turn-start", "turn-end", "switch-start",
 	"switch-done", "swap-out", "swap-in", "token-batch", "request-done",
-	"evict", "failure",
+	"evict", "failure", "recovery", "retry",
 }
 
 func (k Kind) String() string {
