@@ -36,6 +36,7 @@ import (
 	"aegaeon/internal/obs"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
+	"aegaeon/internal/slomon"
 	"aegaeon/internal/workload"
 )
 
@@ -102,6 +103,13 @@ type Config struct {
 	// attribution, exportable as Perfetto-loadable Chrome trace JSON via
 	// WritePerfetto. Off by default; the disabled path adds no overhead.
 	Tracing bool
+	// SLOMonitor enables the live SLO monitor: sliding-window per-model and
+	// fleet-wide attainment, multi-window burn-rate alert states, and
+	// per-cause attribution of every missed token (joined against the span
+	// timelines, so enabling it also turns on the observability collector).
+	// The final windowed state is reported in Report.SLO; the live monitor
+	// itself is reachable via Monitor.
+	SLOMonitor bool
 	// Faults is a fault schedule injected during Serve, as a comma-separated
 	// spec of "kind@at[+dur][*factor][:target]" items — e.g.
 	// "crash@40s:decode0,xfer@60s+5s,fetchslow@90s+30s*4". Kinds: crash,
@@ -164,7 +172,7 @@ func New(cfg Config) (*System, error) {
 	opts.Colocate = cfg.Colocate
 	se := sim.NewEngine(cfg.Seed)
 	var col *obs.Collector
-	if cfg.Tracing {
+	if cfg.Tracing || cfg.SLOMonitor {
 		col = obs.New(obs.Options{})
 	}
 	var flt *fault.Faults
@@ -177,6 +185,17 @@ func New(cfg Config) (*System, error) {
 		}
 		flt = fault.New(se, cfg.Seed)
 	}
+	var mon *slomon.Monitor
+	if cfg.SLOMonitor {
+		mcfg := slomon.Config{Objective: 0.99, Source: col}
+		if flt != nil {
+			f := flt
+			mcfg.FaultActive = func(model, instance string) bool {
+				return f.TransferFailing(instance) || f.FetchFailing(model)
+			}
+		}
+		mon = slomon.New(mcfg)
+	}
 	sys := core.NewSystem(se, core.Config{
 		Prof:       prof,
 		TP:         cfg.TP,
@@ -186,6 +205,7 @@ func New(cfg Config) (*System, error) {
 		Models:     models,
 		SLO:        cfg.SLO,
 		Obs:        col,
+		SLOMon:     mon,
 		Faults:     flt,
 	})
 	return &System{cfg: cfg, eng: se, sys: sys, models: models, flt: flt, sched: sched}, nil
@@ -245,6 +265,10 @@ type Report struct {
 	// full fault and recovery accounting. Both are zero without Config.Faults.
 	FaultsInjected int
 	Faults         FaultStats
+	// SLO is the live monitor's final snapshot — windowed attainment,
+	// burn-rate alert states, and missed-token cause counters — taken at the
+	// end of the run. Nil without Config.SLOMonitor.
+	SLO *slomon.Snapshot
 }
 
 // Serve runs the trace to completion in virtual time and reports. A System
@@ -293,8 +317,15 @@ func (s *System) Serve(trace []Request) (Report, error) {
 		rep.SwitchP50 = time.Duration(cdf.Quantile(0.5) * float64(time.Second))
 		rep.SwitchP99 = time.Duration(cdf.Quantile(0.99) * float64(time.Second))
 	}
+	if mon := s.sys.Monitor(); mon != nil {
+		rep.SLO = mon.Snapshot(s.eng.Now())
+	}
 	return rep, nil
 }
+
+// Monitor returns the live SLO monitor, or nil unless the system was built
+// with Config.SLOMonitor.
+func (s *System) Monitor() *slomon.Monitor { return s.sys.Monitor() }
 
 // Breakdown returns the request latency breakdown after Serve (Fig. 14).
 func (s *System) Breakdown() *metrics.Breakdown { return s.sys.Breakdown() }

@@ -10,6 +10,9 @@
 //	GET  /debug/requests/X one request's span tree
 //	GET  /debug/gpus       per-engine utilization and occupant models
 //	GET  /debug/perfetto   Chrome trace-event JSON export
+//	GET  /debug/slo        live SLO snapshot: windowed attainment, alerts, causes
+//	GET  /debug/slo/alerts burn-rate alert states only
+//	GET  /debug/dash       dependency-free live HTML dashboard (SSE)
 //
 // Example:
 //
@@ -38,6 +41,7 @@ import (
 	"aegaeon/internal/obs"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
+	"aegaeon/internal/slomon"
 )
 
 func main() {
@@ -55,6 +59,8 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 1024, "max admitted requests total")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline")
 	noTrace := flag.Bool("no-trace", false, "disable the observability collector and /debug endpoints")
+	noSLO := flag.Bool("no-slo", false, "disable the live SLO monitor and /debug/slo + /debug/dash endpoints")
+	objective := flag.Float64("slo-objective", 0.99, "SLO attainment objective for burn-rate alerting, in (0,1)")
 	flag.Parse()
 
 	prof, err := latency.ProfileByName(*gpu)
@@ -62,14 +68,19 @@ func main() {
 		log.Fatal(err)
 	}
 	var col *obs.Collector
-	if !*noTrace {
+	if !*noTrace || !*noSLO {
 		col = obs.New(obs.Options{})
+	}
+	var mon *slomon.Monitor
+	if !*noSLO {
+		mon = slomon.New(slomon.Config{Objective: *objective, Source: col})
 	}
 	se := sim.NewEngine(*seed)
 	cl, err := cluster.New(se, cluster.Config{
-		Prof: prof,
-		SLO:  slo.Default(),
-		Obs:  col,
+		Prof:   prof,
+		SLO:    slo.Default(),
+		Obs:    col,
+		SLOMon: mon,
 		Deployments: []cluster.DeploymentConfig{{
 			Name:       "live",
 			TP:         *tp,
@@ -82,13 +93,20 @@ func main() {
 		log.Fatal(err)
 	}
 	drv := sim.NewDriver(se, *speedup)
+	// The trace debug endpoints stay off under -no-trace even when the
+	// collector exists purely to feed the SLO monitor's attribution join.
+	gwCol := col
+	if *noTrace {
+		gwCol = nil
+	}
 	gw := gateway.New(drv, cl, gateway.Options{
 		Speedup:          *speedup,
 		MaxQueuePerModel: *maxQueue,
 		MaxInFlight:      *maxInflight,
 		RatePerSec:       *rate,
 		Burst:            *burst,
-		Obs:              col,
+		Obs:              gwCol,
+		SLOMon:           mon,
 	})
 	gw.Start()
 

@@ -9,14 +9,68 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"aegaeon"
+	"aegaeon/internal/slomon"
 )
+
+// printSLOReport renders the live monitor's final snapshot: fleet-wide
+// windowed attainment and burn rates, the alert state, quantiles, and the
+// missed-token cause breakdown.
+func printSLOReport(s *slomon.Snapshot) {
+	fmt.Printf("--- live SLO monitor (objective %.2f%%) ---\n", 100*s.Objective)
+	for _, w := range s.Fleet.Windowed {
+		fmt.Printf("slo %-4s window   %.2f%% attainment (burn %.2f, %.1f tok/s goodput, %d met / %d missed)\n",
+			w.Window, 100*w.Attainment, w.BurnRate, w.GoodputTPS, w.Met, w.Missed)
+	}
+	fmt.Printf("slo alert         %s (budget remaining %.1f%%, %d transitions)\n",
+		s.Fleet.Alert.State, 100*s.Fleet.ErrorBudgetRemaining, len(s.Fleet.Alert.Transitions))
+	if s.Fleet.TTFT.Count > 0 {
+		fmt.Printf("slo windowed TTFT p50 %v p99 %v\n",
+			secs(s.Fleet.TTFT.P50S), secs(s.Fleet.TTFT.P99S))
+	}
+	if s.Fleet.TBT.Count > 0 {
+		fmt.Printf("slo windowed TBT  p50 %v p99 %v\n",
+			secs(s.Fleet.TBT.P50S), secs(s.Fleet.TBT.P99S))
+	}
+	type kv struct {
+		cause string
+		n     uint64
+	}
+	var causes []kv
+	for c, n := range s.Fleet.Causes {
+		if n > 0 {
+			causes = append(causes, kv{c, n})
+		}
+	}
+	sort.Slice(causes, func(i, j int) bool {
+		if causes[i].n != causes[j].n {
+			return causes[i].n > causes[j].n
+		}
+		return causes[i].cause < causes[j].cause
+	})
+	for _, c := range causes {
+		fmt.Printf("slo miss cause    %-18s %d\n", c.cause, c.n)
+	}
+	paged := 0
+	for _, m := range s.Models {
+		if m.Alert.State != "ok" {
+			paged++
+		}
+	}
+	fmt.Printf("slo models        %d tracked, %d in warn/page\n", len(s.Models), paged)
+}
+
+func secs(v float64) time.Duration {
+	return time.Duration(v * float64(time.Second)).Round(time.Millisecond)
+}
 
 func main() {
 	var (
@@ -36,14 +90,23 @@ func main() {
 		unopt     = flag.Bool("unoptimized", false, "disable the §5 auto-scaling optimizations")
 		perfetto  = flag.String("perfetto", "", "write a Perfetto-loadable trace JSON to this file (aegaeon system only)")
 		faults    = flag.String("faults", "", `fault schedule: "kind@at[+dur][*factor][:target]", comma-separated — e.g. "crash@40s:decode0,fetchslow@60s+30s*4" (aegaeon system only)`)
+		sloReport = flag.Bool("slo-report", false, "run the live SLO monitor and print windowed attainment, alert state, and missed-token causes (aegaeon system only)")
+		sloJSON   = flag.String("slo-json", "", "write the final SLO monitor snapshot as JSON to this file (implies -slo-report)")
 	)
 	flag.Parse()
+	if *sloJSON != "" {
+		*sloReport = true
+	}
 	if *perfetto != "" && *system != "aegaeon" {
 		fmt.Fprintln(os.Stderr, "-perfetto requires -system aegaeon (baselines are not instrumented)")
 		os.Exit(2)
 	}
 	if *faults != "" && *system != "aegaeon" {
 		fmt.Fprintln(os.Stderr, "-faults requires -system aegaeon (baselines have no fault model)")
+		os.Exit(2)
+	}
+	if *sloReport && *system != "aegaeon" {
+		fmt.Fprintln(os.Stderr, "-slo-report requires -system aegaeon (baselines feed no live monitor)")
 		os.Exit(2)
 	}
 
@@ -71,6 +134,7 @@ func main() {
 		Seed:                 *seed,
 		DisableOptimizations: *unopt,
 		Tracing:              *perfetto != "",
+		SLOMonitor:           *sloReport,
 		Faults:               *faults,
 	})
 	if err != nil {
@@ -117,6 +181,23 @@ func main() {
 			fs.FetchRetries, fs.FetchExhausted, fs.TransferRetries, fs.StoreRetries)
 	}
 	fmt.Printf("virtual duration  %v\n", rep.VirtualDuration.Round(time.Second))
+
+	if *sloReport && rep.SLO != nil {
+		printSLOReport(rep.SLO)
+	}
+	if *sloJSON != "" && rep.SLO != nil {
+		if err := slomon.Validate(rep.SLO); err != nil {
+			log.Fatalf("slo snapshot failed validation: %v", err)
+		}
+		data, err := json.MarshalIndent(rep.SLO, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*sloJSON, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("slo snapshot      %s (schema v%d)\n", *sloJSON, rep.SLO.SchemaVersion)
+	}
 
 	if *perfetto != "" {
 		f, err := os.Create(*perfetto)

@@ -2,10 +2,12 @@
 // the Fig. 1(a) popularity CDF, the Fig. 1(b) burst timeline, and summary
 // statistics of synthesized Poisson traces, optionally emitting the trace
 // as CSV for external tools. It also validates Perfetto execution traces
-// exported by aegaeon-sim (-mode validate -perfetto trace.json).
+// exported by aegaeon-sim (-mode validate -perfetto trace.json) and SLO
+// monitor snapshots (-mode validate-slo -slo BENCH_slo.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -13,13 +15,14 @@ import (
 	"time"
 
 	"aegaeon/internal/obs"
+	"aegaeon/internal/slomon"
 	"aegaeon/internal/theory"
 	"aegaeon/internal/workload"
 )
 
 func main() {
 	var (
-		mode     = flag.String("mode", "market", "market, burst, poisson, validate")
+		mode     = flag.String("mode", "market", "market, burst, poisson, validate, validate-slo")
 		nModels  = flag.Int("models", 779, "number of models")
 		zipfS    = flag.Float64("zipf", 2.0, "Zipf exponent for market popularity")
 		rps      = flag.Float64("rps", 0.1, "per-model rate for poisson mode")
@@ -27,6 +30,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		csv      = flag.Bool("csv", false, "emit the trace as CSV on stdout")
 		perfetto = flag.String("perfetto", "", "Perfetto JSON to check in validate mode")
+		sloFile  = flag.String("slo", "", "SLO snapshot JSON to check in validate-slo mode")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
@@ -101,6 +105,28 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%s: valid Chrome trace-event JSON\n", *perfetto)
+
+	case "validate-slo":
+		if *sloFile == "" {
+			fmt.Fprintln(os.Stderr, "validate-slo mode needs -slo snapshot.json")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(*sloFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var snap slomon.Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: not a JSON SLO snapshot: %v\n", *sloFile, err)
+			os.Exit(1)
+		}
+		if err := slomon.Validate(&snap); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: invalid: %v\n", *sloFile, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid SLO snapshot (schema v%d, %d models, fleet alert %s)\n",
+			*sloFile, snap.SchemaVersion, len(snap.Models), snap.Fleet.Alert.State)
 
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)

@@ -17,6 +17,7 @@ import (
 	"aegaeon/internal/obs"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
+	"aegaeon/internal/slomon"
 	"aegaeon/internal/workload"
 )
 
@@ -52,6 +53,10 @@ type Config struct {
 	// Obs, when non-nil, collects span timelines, device op timelines, and
 	// switch-cost attribution across every deployment.
 	Obs *obs.Collector
+
+	// SLOMon, when non-nil, receives every deployment's token deadline
+	// judgements for live sliding-window attainment and burn-rate alerting.
+	SLOMon *slomon.Monitor
 
 	// Faults, when non-nil, threads fault-injection state into every
 	// deployment and enables the proxy's retry/recovery accounting. Nil
@@ -104,6 +109,7 @@ func New(se *sim.Engine, cfg Config) (*Cluster, error) {
 			Models:     dc.Models,
 			SLO:        cfg.SLO,
 			Obs:        cfg.Obs,
+			SLOMon:     cfg.SLOMon,
 			Faults:     cfg.Faults,
 		})
 		dep := &Deployment{Name: dc.Name, TP: dc.TP, System: sys, models: map[string]bool{}}
@@ -191,6 +197,9 @@ func (c *Cluster) Abort(r *core.Request) {
 	dep.System.Abort(r)
 	c.store.Delete("req/" + r.ID)
 }
+
+// Monitor exposes the live SLO monitor (nil when monitoring is off).
+func (c *Cluster) Monitor() *slomon.Monitor { return c.cfg.SLOMon }
 
 // Routes returns the model -> deployment routing table (copy).
 func (c *Cluster) Routes() map[string]string {

@@ -701,7 +701,9 @@ func (d *decodeInstance) stepLoop(b *dbatch, turnEnd sim.Time, stepped bool) {
 		}
 		finishedAny := false
 		for _, r := range stepReqs {
+			n := len(r.TokenTimes)
 			r.recordToken(d.eng.Sim().Now())
+			d.sys.noteToken(d.eng.Name, r, n, d.eng.Sim().Now())
 			r.decodeExec += stepDur
 			if len(r.TokenTimes) >= r.OutputTokens {
 				if err := d.eng.KV().Free(r.Seq); err != nil {

@@ -192,8 +192,10 @@ func (p *prefillInstance) runPrefill(r *Request, attempt int) {
 		p.sys.obs.PrefillDone(p.eng.Name, r.ID, now)
 		r.prefillEnd = now
 		if r.Generated() == 0 {
+			n := len(r.TokenTimes)
 			r.recordToken(now) // token 0
 			p.sys.obs.Token(r.ID, now)
+			p.sys.noteToken(p.eng.Name, r, n, now)
 		}
 		if r.RemainingTokens() <= 0 {
 			// Nothing to decode: the request is complete.

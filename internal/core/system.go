@@ -14,6 +14,7 @@ import (
 	"aegaeon/internal/obs"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
+	"aegaeon/internal/slomon"
 	"aegaeon/internal/trace"
 	"aegaeon/internal/workload"
 )
@@ -64,6 +65,12 @@ type Config struct {
 	// span timelines, device op timelines, and switch-cost attribution. Both
 	// nil leaves observability off with zero overhead.
 	Obs *obs.Collector
+
+	// SLOMon, when non-nil, receives every token's deadline judgement as it
+	// is produced (plus request-level mirrors of the tracker sites), powering
+	// live sliding-window attainment, burn-rate alerts, and miss attribution.
+	// Nil keeps the token hot path free of monitoring overhead.
+	SLOMon *slomon.Monitor
 
 	// FixedQuota disables the Eq. 2 quota formula and gives every decoding
 	// batch a flat QMax turn — the ablation for §4.3's weighted scheme.
@@ -176,6 +183,7 @@ type System struct {
 	decodes  []*decodeInstance
 
 	tracker   *slo.Tracker
+	mon       *slomon.Monitor
 	tracer    *trace.Tracer
 	obs       *obs.Collector
 	breakdown *metrics.Breakdown
@@ -225,6 +233,7 @@ func NewSystem(se *sim.Engine, cfg Config) *System {
 		models:    map[string]*model.Model{},
 		orphans:   map[string][]*Request{},
 		tracker:   slo.NewTracker(),
+		mon:       cfg.SLOMon,
 		tracer:    cfg.Tracer,
 		obs:       cfg.Obs,
 		breakdown: &metrics.Breakdown{},
@@ -378,6 +387,52 @@ func (s *System) sloFor(modelName string) slo.SLO {
 	return s.cfg.SLO
 }
 
+// noteToken feeds the token the instance just produced for r into the live
+// SLO monitor, judged against its deadline. prevLen is len(r.TokenTimes)
+// before the recordToken call: recordToken no-ops on terminal requests, so
+// an unchanged length means no token was actually emitted.
+func (s *System) noteToken(instance string, r *Request, prevLen int, at sim.Time) {
+	if s.mon == nil || len(r.TokenTimes) == prevLen {
+		return
+	}
+	i := len(r.TokenTimes) - 1
+	rslo := s.sloFor(r.Model.Name)
+	var prev sim.Time
+	if i > 0 {
+		prev = r.TokenTimes[i-1]
+	}
+	s.mon.ObserveToken(slomon.TokenObs{
+		Model:    r.Model.Name,
+		Request:  r.ID,
+		Instance: instance,
+		Index:    i,
+		Arrival:  r.Arrival,
+		Deadline: rslo.Deadline(r.Arrival, i),
+		At:       at,
+		Prev:     prev,
+	})
+}
+
+// noteDroppedTokens feeds the monitor r's never-generated tokens — the
+// mirror of the tracker's ObserveDropped accounting. With all set (the
+// failRequest path) every unproduced token counts, matching the tracker's
+// judgement that a dead request's remaining tokens can no longer meet any
+// deadline; otherwise (the Finalize path) only tokens whose deadline has
+// passed by judged count.
+func (s *System) noteDroppedTokens(r *Request, judged sim.Time, all bool) {
+	if s.mon == nil {
+		return
+	}
+	rslo := s.sloFor(r.Model.Name)
+	for i := r.Generated(); i < r.OutputTokens; i++ {
+		dl := rslo.Deadline(r.Arrival, i)
+		if !all && dl > judged {
+			break // deadlines are monotone in i
+		}
+		s.mon.ObserveDropped(r.Model.Name, r.ID, "", r.Arrival, dl, judged)
+	}
+}
+
 // finishRequest records completion.
 func (s *System) finishRequest(r *Request) {
 	if r.terminal() {
@@ -390,6 +445,7 @@ func (s *System) finishRequest(r *Request) {
 	if r.live {
 		s.liveOpen--
 		s.tracker.ObserveRequest(s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
+		s.mon.ObserveRequest(r.Model.Name, s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
 	}
 	if r.OnDone != nil {
 		r.OnDone(r)
@@ -416,9 +472,11 @@ func (s *System) failRequest(r *Request, reason string) {
 	if r.live {
 		s.liveOpen--
 		s.tracker.ObserveRequest(s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
+		s.mon.ObserveRequest(r.Model.Name, s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
 		for i := r.Generated(); i < r.OutputTokens; i++ {
 			s.tracker.ObserveDropped()
 		}
+		s.noteDroppedTokens(r, s.eng.Now(), true)
 	}
 	if r.OnDone != nil {
 		r.OnDone(r)
@@ -444,6 +502,7 @@ func (s *System) Abort(r *Request) {
 		// Tokens delivered before the disconnect still count toward SLO
 		// attainment; the tail the client walked away from does not.
 		s.tracker.ObserveRequest(s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
+		s.mon.ObserveRequest(r.Model.Name, s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
 	}
 }
 
@@ -512,12 +571,14 @@ func (s *System) Finalize(endTime sim.Time) {
 		times := make([]time.Duration, len(r.TokenTimes))
 		copy(times, r.TokenTimes)
 		s.tracker.ObserveRequest(rslo, r.Arrival, times)
+		s.mon.ObserveRequest(r.Model.Name, rslo, r.Arrival, times)
 		if !r.Done {
 			for i := len(r.TokenTimes); i < r.OutputTokens; i++ {
 				if rslo.Deadline(r.Arrival, i) <= endTime {
 					s.tracker.ObserveDropped() // one missed token each
 				}
 			}
+			s.noteDroppedTokens(r, endTime, false)
 		}
 		// Breakdown (Fig. 14).
 		if len(r.TokenTimes) == 0 {
@@ -559,6 +620,9 @@ func (s *System) Attainment() float64 { return s.tracker.Attainment() }
 
 // Tracker exposes the SLO tracker.
 func (s *System) Tracker() *slo.Tracker { return s.tracker }
+
+// Monitor exposes the live SLO monitor (nil when monitoring is off).
+func (s *System) Monitor() *slomon.Monitor { return s.mon }
 
 // Breakdown exposes the latency breakdown (call Finalize first).
 func (s *System) Breakdown() *metrics.Breakdown { return s.breakdown }

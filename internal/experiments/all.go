@@ -49,6 +49,7 @@ func Registry() []registryEntry {
 		{"Ablation: dynamic colocation (§8)", one(AblationColocation)},
 		{"Extra: GPU scaling", one(ExtraGPUScaling)},
 		{"Extra: workload patterns", one(ExtraWorkloadPatterns)},
+		{"Extra: per-model attainment", one(ExtraPerModelAttainment)},
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"aegaeon/internal/metrics"
 	"aegaeon/internal/obs"
 	"aegaeon/internal/sim"
+	"aegaeon/internal/slomon"
 	"aegaeon/internal/workload"
 )
 
@@ -52,6 +53,10 @@ type Options struct {
 	// endpoints. A nil collector keeps the serving hot path allocation-free
 	// and makes /debug/* answer 404.
 	Obs *obs.Collector
+	// SLOMon, when non-nil, is the live SLO monitor backing /debug/slo,
+	// /debug/slo/alerts, the /debug/dash dashboard, and the per-model SLO
+	// families on /metrics. Nil makes those endpoints answer 404.
+	SLOMon *slomon.Monitor
 	// BreakerThreshold trips a model's circuit breaker after that many
 	// consecutive failures (default 3); BreakerCooldown is how long it stays
 	// open before a probe (default 5s). Breakers guard HTTP admission on the
@@ -176,6 +181,10 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/debug/requests/", g.handleDebugRequest)
 	mux.HandleFunc("/debug/gpus", g.handleDebugGPUs)
 	mux.HandleFunc("/debug/perfetto", g.handleDebugPerfetto)
+	mux.HandleFunc("/debug/slo", g.handleDebugSLO)
+	mux.HandleFunc("/debug/slo/alerts", g.handleDebugSLOAlerts)
+	mux.HandleFunc("/debug/slo/stream", g.handleDebugSLOStream)
+	mux.HandleFunc("/debug/dash", g.handleDebugDash)
 	return mux
 }
 

@@ -17,10 +17,12 @@ import (
 	"aegaeon/internal/obs"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
+	"aegaeon/internal/slomon"
 )
 
 // newObservedGateway is newTestGateway with one collector threaded through
-// both the cluster (signal producers) and the gateway (debug consumers).
+// both the cluster (signal producers) and the gateway (debug consumers),
+// plus a live SLO monitor joined against the collector.
 func newObservedGateway(t testing.TB, opts Options) (*Gateway, []string) {
 	t.Helper()
 	prof, err := latency.ProfileByName("H800")
@@ -29,12 +31,16 @@ func newObservedGateway(t testing.TB, opts Options) (*Gateway, []string) {
 	}
 	col := obs.New(obs.Options{})
 	opts.Obs = col
+	if opts.SLOMon == nil {
+		opts.SLOMon = slomon.New(slomon.Config{Objective: 0.99, Source: col})
+	}
 	models := model.MarketMix(4)
 	se := sim.NewEngine(1)
 	cl, err := cluster.New(se, cluster.Config{
-		Prof: prof,
-		SLO:  slo.Default(),
-		Obs:  col,
+		Prof:   prof,
+		SLO:    slo.Default(),
+		Obs:    col,
+		SLOMon: opts.SLOMon,
 		Deployments: []cluster.DeploymentConfig{{
 			Name: "live", TP: 1, NumPrefill: 2, NumDecode: 2, Models: models,
 		}},

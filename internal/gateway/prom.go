@@ -10,6 +10,7 @@ import (
 
 	"aegaeon/internal/fault"
 	"aegaeon/internal/metrics"
+	"aegaeon/internal/slomon"
 )
 
 // handleMetrics renders Prometheus text exposition format (hand-rolled; the
@@ -142,8 +143,113 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("aegaeon_failovers_total", "Instance failovers claimed and recovered by the proxy.")
 	fmt.Fprintf(&b, "aegaeon_failovers_total %d\n", failovers)
 
+	if g.opts.SLOMon != nil {
+		writeSLOMetrics(&b, g.opts.SLOMon.Snapshot(virtual))
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// alertValue maps alert states onto the conventional 0/1/2 gauge scale.
+func alertValue(state string) int {
+	switch state {
+	case "warn":
+		return 1
+	case "page":
+		return 2
+	}
+	return 0
+}
+
+// writeSLOMetrics renders the live SLO monitor's families: fleet-wide
+// gauges without labels, per-model gauges with a sorted, stable model label
+// order (snapshot models are sorted by name), and miss-cause counters.
+// Every family carries # HELP and # TYPE.
+func writeSLOMetrics(b *strings.Builder, snap *slomon.Snapshot) {
+	if snap == nil {
+		return
+	}
+	counter := func(name, help string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	fast := func(sc slomon.ScopeSnapshot) slomon.WindowStats { return sc.Windowed[0] }
+
+	gauge("aegaeon_slo_objective", "Token attainment objective the error budget is measured against.")
+	fmt.Fprintf(b, "aegaeon_slo_objective %g\n", snap.Objective)
+
+	gauge("aegaeon_slo_fleet_attainment", "Fleet-wide sliding-window token SLO attainment.")
+	for _, ws := range snap.Fleet.Windowed {
+		fmt.Fprintf(b, "aegaeon_slo_fleet_attainment{window=%q} %g\n", ws.Window, ws.Attainment)
+	}
+	gauge("aegaeon_slo_fleet_burn_rate", "Fleet-wide error-budget burn rate per window.")
+	for _, ws := range snap.Fleet.Windowed {
+		fmt.Fprintf(b, "aegaeon_slo_fleet_burn_rate{window=%q} %g\n", ws.Window, ws.BurnRate)
+	}
+	gauge("aegaeon_slo_fleet_alert_state", "Fleet burn-rate alert state (0 ok, 1 warn, 2 page).")
+	fmt.Fprintf(b, "aegaeon_slo_fleet_alert_state %d\n", alertValue(snap.Fleet.Alert.State))
+	gauge("aegaeon_slo_fleet_error_budget_remaining", "Unspent fraction of the fleet's slow-window error budget.")
+	fmt.Fprintf(b, "aegaeon_slo_fleet_error_budget_remaining %g\n", snap.Fleet.ErrorBudgetRemaining)
+	gauge("aegaeon_slo_fleet_goodput_tokens_per_second", "Fleet deadline-meeting tokens per second (fast window).")
+	fmt.Fprintf(b, "aegaeon_slo_fleet_goodput_tokens_per_second %g\n", fast(snap.Fleet).GoodputTPS)
+	counter("aegaeon_slo_fleet_tokens_total", "Fleet tokens judged against their deadlines, by outcome.")
+	fmt.Fprintf(b, "aegaeon_slo_fleet_tokens_total{outcome=\"met\"} %d\n", snap.Fleet.TokensMet)
+	fmt.Fprintf(b, "aegaeon_slo_fleet_tokens_total{outcome=\"missed\"} %d\n", snap.Fleet.TokensMissed)
+	counter("aegaeon_slo_fleet_missed_by_cause_total", "Fleet missed-deadline tokens by attributed root cause.")
+	for _, cause := range sortedStringKeys(snap.Fleet.Causes) {
+		fmt.Fprintf(b, "aegaeon_slo_fleet_missed_by_cause_total{cause=%q} %d\n", cause, snap.Fleet.Causes[cause])
+	}
+	gauge("aegaeon_slo_fleet_ttft_p99_seconds", "Fleet windowed p99 time-to-first-token.")
+	fmt.Fprintf(b, "aegaeon_slo_fleet_ttft_p99_seconds %g\n", snap.Fleet.TTFT.P99S)
+	gauge("aegaeon_slo_fleet_tbt_p99_seconds", "Fleet windowed p99 time-between-tokens.")
+	fmt.Fprintf(b, "aegaeon_slo_fleet_tbt_p99_seconds %g\n", snap.Fleet.TBT.P99S)
+
+	gauge("aegaeon_slo_attainment", "Per-model sliding-window token SLO attainment.")
+	for _, sc := range snap.Models {
+		for _, ws := range sc.Windowed {
+			fmt.Fprintf(b, "aegaeon_slo_attainment{model=%q,window=%q} %g\n", sc.Model, ws.Window, ws.Attainment)
+		}
+	}
+	gauge("aegaeon_slo_burn_rate", "Per-model error-budget burn rate per window.")
+	for _, sc := range snap.Models {
+		for _, ws := range sc.Windowed {
+			fmt.Fprintf(b, "aegaeon_slo_burn_rate{model=%q,window=%q} %g\n", sc.Model, ws.Window, ws.BurnRate)
+		}
+	}
+	gauge("aegaeon_slo_alert_state", "Per-model burn-rate alert state (0 ok, 1 warn, 2 page).")
+	for _, sc := range snap.Models {
+		fmt.Fprintf(b, "aegaeon_slo_alert_state{model=%q} %d\n", sc.Model, alertValue(sc.Alert.State))
+	}
+	gauge("aegaeon_slo_error_budget_remaining", "Per-model unspent fraction of the slow-window error budget.")
+	for _, sc := range snap.Models {
+		fmt.Fprintf(b, "aegaeon_slo_error_budget_remaining{model=%q} %g\n", sc.Model, sc.ErrorBudgetRemaining)
+	}
+	gauge("aegaeon_slo_goodput_tokens_per_second", "Per-model deadline-meeting tokens per second (fast window).")
+	for _, sc := range snap.Models {
+		fmt.Fprintf(b, "aegaeon_slo_goodput_tokens_per_second{model=%q} %g\n", sc.Model, fast(sc).GoodputTPS)
+	}
+	counter("aegaeon_slo_tokens_total", "Per-model tokens judged against their deadlines, by outcome.")
+	for _, sc := range snap.Models {
+		fmt.Fprintf(b, "aegaeon_slo_tokens_total{model=%q,outcome=\"met\"} %d\n", sc.Model, sc.TokensMet)
+		fmt.Fprintf(b, "aegaeon_slo_tokens_total{model=%q,outcome=\"missed\"} %d\n", sc.Model, sc.TokensMissed)
+	}
+	counter("aegaeon_slo_missed_by_cause_total", "Per-model missed-deadline tokens by attributed root cause.")
+	for _, sc := range snap.Models {
+		for _, cause := range sortedStringKeys(sc.Causes) {
+			fmt.Fprintf(b, "aegaeon_slo_missed_by_cause_total{model=%q,cause=%q} %d\n", sc.Model, cause, sc.Causes[cause])
+		}
+	}
+	gauge("aegaeon_slo_ttft_p99_seconds", "Per-model windowed p99 time-to-first-token.")
+	for _, sc := range snap.Models {
+		fmt.Fprintf(b, "aegaeon_slo_ttft_p99_seconds{model=%q} %g\n", sc.Model, sc.TTFT.P99S)
+	}
+	gauge("aegaeon_slo_tbt_p99_seconds", "Per-model windowed p99 time-between-tokens.")
+	for _, sc := range snap.Models {
+		fmt.Fprintf(b, "aegaeon_slo_tbt_p99_seconds{model=%q} %g\n", sc.Model, sc.TBT.P99S)
+	}
 }
 
 // writeHistogram renders exact cumulative buckets in the Prometheus

@@ -166,6 +166,14 @@ func (s *SafeCDF) Mean() float64 {
 	return s.cdf.Mean()
 }
 
+// Samples returns a copy of the retained samples, in no particular order —
+// for merging two reservoirs (e.g. rotating epoch sketches) into one CDF.
+func (s *SafeCDF) Samples() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.cdf.samples...)
+}
+
 // TimeSeries samples a value at fixed intervals of virtual time.
 type TimeSeries struct {
 	Interval time.Duration

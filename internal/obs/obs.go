@@ -27,11 +27,14 @@ import (
 	"aegaeon/internal/trace"
 )
 
-// Span is one closed interval of a request's lifecycle.
+// Span is one closed interval of a request's lifecycle. Detail optionally
+// refines the span (a switch-stall span carries the dominant switch stage,
+// so SLO miss attribution can tell a reinit stall from a weight-load stall).
 type Span struct {
-	Name  string   `json:"name"`
-	Start sim.Time `json:"start_ns"`
-	End   sim.Time `json:"end_ns"`
+	Name   string   `json:"name"`
+	Detail string   `json:"detail,omitempty"`
+	Start  sim.Time `json:"start_ns"`
+	End    sim.Time `json:"end_ns"`
 }
 
 // RequestTimeline is the span tree of one request: arrival, queue-wait,
@@ -74,6 +77,9 @@ type SwitchRecord struct {
 	ReinitAvoided bool          `json:"reinit_avoided"`
 	Stages        []SwitchStage `json:"stages"`
 	Victims       []string      `json:"victims"`
+	// DominantStage names the longest stage, settled at EndSwitch — the
+	// attribution label for stalls this switch exposed.
+	DominantStage string `json:"dominant_stage,omitempty"`
 	// Stall is End-Start: the exposed scale-up latency charged to each
 	// victim request's timeline.
 	Stall time.Duration `json:"stall_ns"`
@@ -504,12 +510,25 @@ func (c *Collector) EndSwitch(instance string, at sim.Time) {
 	rec.End = at
 	rec.Stall = at - rec.Start
 	rec.done = true
+	rec.DominantStage = dominantStage(rec.Stages)
 	for _, id := range rec.Victims {
 		if t := c.timeline(id); t != nil {
 			t.SwitchStall += rec.Stall
-			t.Spans = append(t.Spans, Span{Name: "switch-stall", Start: rec.Start, End: at})
+			t.Spans = append(t.Spans, Span{Name: "switch-stall", Detail: rec.DominantStage, Start: rec.Start, End: at})
 		}
 	}
+}
+
+// dominantStage returns the name of the longest stage ("" with no stages).
+func dominantStage(stages []SwitchStage) string {
+	var name string
+	var best time.Duration = -1
+	for _, st := range stages {
+		if d := st.End - st.Start; d > best {
+			best, name = d, st.Name
+		}
+	}
+	return name
 }
 
 // lastSwitchLocked returns the most recent switch record of the instance.
@@ -551,6 +570,33 @@ func (t *RequestTimeline) snapshotLocked() RequestTimeline {
 	}
 	sort.Slice(out.Spans, func(i, j int) bool { return out.Spans[i].Start < out.Spans[j].Start })
 	return out
+}
+
+// VisitSpans calls visit for every span of the request overlapping
+// [from, to], including still-open spans (treated as extending to `to`).
+// It returns false when the request has no retained timeline. The callback
+// runs under the collector's lock and must not call back into it.
+func (c *Collector) VisitSpans(id string, from, to sim.Time, visit func(name, detail string, start, end sim.Time)) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.timeline(id)
+	if t == nil {
+		return false
+	}
+	for _, sp := range t.Spans {
+		if sp.End > from && sp.Start < to {
+			visit(sp.Name, sp.Detail, sp.Start, sp.End)
+		}
+	}
+	for name, start := range t.open {
+		if start < to {
+			visit(name, "", start, to)
+		}
+	}
+	return true
 }
 
 // Requests returns copies of the most recent n request timelines (all when

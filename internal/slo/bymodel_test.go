@@ -1,0 +1,136 @@
+package slo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestByModelKeysTrackers(t *testing.T) {
+	b := NewByModel()
+	s := Default()
+	b.ObserveRequest("a", s, 0, []time.Duration{time.Second})
+	b.ObserveRequest("a", s, 0, []time.Duration{20 * time.Second}) // miss
+	b.ObserveRequest("b", s, 0, []time.Duration{time.Second})
+	b.ObserveDropped("c")
+
+	if got := b.Models(); len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("Models() = %v, want sorted [a b c]", got)
+	}
+	if att := b.Get("a").Attainment(); att != 0.5 {
+		t.Fatalf("model a attainment = %v, want 0.5", att)
+	}
+	if att := b.Get("b").Attainment(); att != 1 {
+		t.Fatalf("model b attainment = %v, want 1", att)
+	}
+	if reqs := b.Get("c").Requests(); reqs != 1 {
+		t.Fatalf("model c requests = %d, want 1", reqs)
+	}
+	// Get returns the same tracker instance for the same key.
+	if b.Get("a") != b.Get("a") {
+		t.Fatal("Get returned distinct trackers for one model")
+	}
+}
+
+func TestByModelEachVisitsSorted(t *testing.T) {
+	b := NewByModel()
+	for _, m := range []string{"z", "a", "m"} {
+		b.ObserveDropped(m)
+	}
+	var order []string
+	b.Each(func(model string, tr *Tracker) {
+		if tr == nil {
+			t.Fatalf("nil tracker for %s", model)
+		}
+		order = append(order, model)
+	})
+	if len(order) != 3 || order[0] != "a" || order[1] != "m" || order[2] != "z" {
+		t.Fatalf("Each order = %v", order)
+	}
+}
+
+func TestByModelZeroValueUsable(t *testing.T) {
+	var b ByModel
+	b.ObserveDropped("m")
+	if b.Get("m").Requests() != 1 {
+		t.Fatal("zero-value ByModel lost an observation")
+	}
+}
+
+// TestByModelConcurrent hammers per-model observation against enumeration;
+// run with -race. The per-model totals must balance exactly.
+func TestByModelConcurrent(t *testing.T) {
+	b := NewByModel()
+	s := Default()
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			model := fmt.Sprintf("m%d", w%4)
+			for i := 0; i < perWriter; i++ {
+				b.ObserveRequest(model, s, 0, []time.Duration{time.Second})
+				_ = b.Get(model).Attainment()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			b.Each(func(model string, tr *Tracker) { _ = tr.Requests() })
+		}
+	}()
+	wg.Wait()
+	<-done
+	var total uint64
+	b.Each(func(model string, tr *Tracker) { total += tr.Requests() })
+	if total != writers*perWriter {
+		t.Fatalf("total requests = %d, want %d", total, writers*perWriter)
+	}
+}
+
+// TestTrackerConcurrent verifies the Tracker itself under concurrent
+// observation and reads (the live gateway reads attainment while the
+// simulation goroutine observes).
+func TestTrackerConcurrent(t *testing.T) {
+	tr := NewTracker()
+	s := Default()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.ObserveRequest(s, 0, []time.Duration{time.Duration(i) * time.Millisecond})
+				_ = tr.Attainment()
+				_ = tr.TTFTQuantile(0.99)
+				_ = tr.MeanTTFT()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Requests() != 4000 {
+		t.Fatalf("requests = %d, want 4000", tr.Requests())
+	}
+}
+
+// TestTrackerTTFTQuantileBounded checks that the reservoir-backed quantile
+// stays sane far past the retention cap.
+func TestTrackerTTFTQuantileBounded(t *testing.T) {
+	tr := NewTracker()
+	s := Default()
+	// 3x the reservoir cap, all TTFTs exactly 1s: any reservoir subsample
+	// still yields exactly 1s at every quantile.
+	for i := 0; i < 3*maxTTFTSamples; i++ {
+		tr.ObserveRequest(s, 0, []time.Duration{time.Second})
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := tr.TTFTQuantile(q); got != time.Second {
+			t.Fatalf("TTFTQuantile(%v) = %v, want 1s", q, got)
+		}
+	}
+}

@@ -6,6 +6,7 @@ package slo
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"aegaeon/internal/metrics"
@@ -47,8 +48,16 @@ func (s SLO) Deadline(arrival time.Duration, i int) time.Duration {
 	return arrival + s.TTFT + time.Duration(i)*s.TBT
 }
 
-// Tracker accumulates token-level attainment across requests.
+// maxTTFTSamples bounds the tracker's TTFT quantile reservoir so long-lived
+// trackers (the live monitoring path observes them for the whole life of a
+// gateway) hold flat memory.
+const maxTTFTSamples = 8192
+
+// Tracker accumulates token-level attainment across requests. It is safe
+// for concurrent use: the simulation goroutine observes while HTTP debug
+// handlers read attainment live. The zero value is ready to use.
 type Tracker struct {
+	mu           sync.Mutex
 	tokensMet    uint64
 	tokensMissed uint64
 	requests     uint64
@@ -57,7 +66,7 @@ type Tracker struct {
 	ttftSum   time.Duration
 	ttftCount uint64
 	ttftMet   uint64
-	ttftCDF   metrics.CDF
+	ttftCDF   *metrics.SafeCDF
 }
 
 // NewTracker returns an empty tracker.
@@ -67,6 +76,8 @@ func NewTracker() *Tracker { return &Tracker{} }
 // partially completed) request against the SLO. times[i] is the completion
 // time of token i; arrival is the request arrival time.
 func (t *Tracker) ObserveRequest(s SLO, arrival time.Duration, times []time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.requests++
 	allMet := true
 	for i, at := range times {
@@ -81,6 +92,9 @@ func (t *Tracker) ObserveRequest(s SLO, arrival time.Duration, times []time.Dura
 		ttft := times[0] - arrival
 		t.ttftSum += ttft
 		t.ttftCount++
+		if t.ttftCDF == nil {
+			t.ttftCDF = metrics.NewSafeCDF(maxTTFTSamples)
+		}
 		t.ttftCDF.AddDuration(ttft)
 		if ttft <= s.TTFT {
 			t.ttftMet++
@@ -98,6 +112,8 @@ func (t *Tracker) ObserveRequest(s SLO, arrival time.Duration, times []time.Dura
 // violated request with one missed token, so saturated systems cannot
 // launder failures by never finishing work.
 func (t *Tracker) ObserveDropped() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.requests++
 	t.tokensMissed++
 }
@@ -105,6 +121,8 @@ func (t *Tracker) ObserveDropped() {
 // Attainment returns the fraction of tokens that met their deadlines in
 // [0,1]. With no observations it returns 1.
 func (t *Tracker) Attainment() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	total := t.tokensMet + t.tokensMissed
 	if total == 0 {
 		return 1
@@ -115,6 +133,8 @@ func (t *Tracker) Attainment() float64 {
 // RequestAttainment returns the fraction of requests with every token on
 // time.
 func (t *Tracker) RequestAttainment() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.requests == 0 {
 		return 1
 	}
@@ -124,6 +144,8 @@ func (t *Tracker) RequestAttainment() float64 {
 // TTFTAttainment returns the fraction of first tokens within the TTFT
 // target.
 func (t *Tracker) TTFTAttainment() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.ttftCount == 0 {
 		return 1
 	}
@@ -132,6 +154,8 @@ func (t *Tracker) TTFTAttainment() float64 {
 
 // MeanTTFT returns the average time-to-first-token.
 func (t *Tracker) MeanTTFT() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.ttftCount == 0 {
 		return 0
 	}
@@ -139,15 +163,28 @@ func (t *Tracker) MeanTTFT() time.Duration {
 }
 
 // TTFTQuantile returns the q-th quantile of observed TTFTs (0 if none).
+// Beyond maxTTFTSamples observations the quantile is estimated from a
+// uniform reservoir rather than the full sample set.
 func (t *Tracker) TTFTQuantile(q float64) time.Duration {
-	if t.ttftCDF.N() == 0 {
+	t.mu.Lock()
+	cdf := t.ttftCDF
+	t.mu.Unlock()
+	if cdf == nil || cdf.N() == 0 {
 		return 0
 	}
-	return time.Duration(t.ttftCDF.Quantile(q) * float64(time.Second))
+	return time.Duration(cdf.Quantile(q) * float64(time.Second))
 }
 
 // Tokens returns (met, missed) counts.
-func (t *Tracker) Tokens() (met, missed uint64) { return t.tokensMet, t.tokensMissed }
+func (t *Tracker) Tokens() (met, missed uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tokensMet, t.tokensMissed
+}
 
 // Requests returns the number of requests observed.
-func (t *Tracker) Requests() uint64 { return t.requests }
+func (t *Tracker) Requests() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.requests
+}

@@ -1,0 +1,272 @@
+package slomon
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"aegaeon/internal/slo"
+)
+
+func TestNilMonitorIsSafe(t *testing.T) {
+	var m *Monitor
+	m.ObserveToken(TokenObs{Model: "m0"})
+	m.ObserveDropped("m0", "r1", "g0", 0, time.Second, 2*time.Second)
+	m.ObserveRequest("m0", slo.Default(), 0, []time.Duration{time.Second})
+	m.Advance(time.Second)
+	if m.Snapshot(time.Second) != nil {
+		t.Fatal("nil monitor snapshot != nil")
+	}
+	if m.FleetAlert() != AlertOK {
+		t.Fatal("nil monitor alert != ok")
+	}
+	if m.Cumulative() != nil {
+		t.Fatal("nil monitor cumulative != nil")
+	}
+}
+
+func TestMonitorCountsAndCauseSum(t *testing.T) {
+	m := New(Config{Objective: 0.99})
+	// 3 met, 2 missed (source nil -> unknown cause), 1 dropped.
+	for i := 0; i < 3; i++ {
+		at := time.Duration(i+1) * time.Second
+		m.ObserveToken(TokenObs{Model: "m0", Request: "r1", Index: i,
+			Deadline: at + time.Second, At: at, Prev: at - time.Second})
+	}
+	for i := 0; i < 2; i++ {
+		at := time.Duration(i+4) * time.Second
+		m.ObserveToken(TokenObs{Model: "m0", Request: "r1", Index: i + 3,
+			Deadline: at - time.Second, At: at, Prev: at - time.Second})
+	}
+	m.ObserveDropped("m0", "r2", "g0", 0, 5*time.Second, 6*time.Second)
+
+	snap := m.Snapshot(6 * time.Second)
+	if snap.Fleet.TokensMet != 3 || snap.Fleet.TokensMissed != 3 {
+		t.Fatalf("fleet = %d met / %d missed, want 3/3", snap.Fleet.TokensMet, snap.Fleet.TokensMissed)
+	}
+	if n := snap.Fleet.Causes["unknown"]; n != 3 {
+		t.Fatalf("unknown causes = %d, want 3 (nil source)", n)
+	}
+	if err := Validate(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Model scope mirrors the fleet for a single-model stream.
+	if len(snap.Models) != 1 || snap.Models[0].Model != "m0" {
+		t.Fatalf("models = %+v", snap.Models)
+	}
+	if snap.Models[0].TokensMissed != 3 {
+		t.Fatalf("model missed = %d, want 3", snap.Models[0].TokensMissed)
+	}
+}
+
+func TestMonitorTTFTAndTBTSketches(t *testing.T) {
+	m := New(Config{})
+	// Token 0 at 2s after a 0s arrival: TTFT sample of 2s.
+	m.ObserveToken(TokenObs{Model: "m0", Request: "r1", Index: 0,
+		Arrival: 0, Deadline: 10 * time.Second, At: 2 * time.Second})
+	// Token 1 100ms later: TBT sample of 100ms.
+	m.ObserveToken(TokenObs{Model: "m0", Request: "r1", Index: 1,
+		Arrival: 0, Deadline: 10 * time.Second, At: 2100 * time.Millisecond, Prev: 2 * time.Second})
+	snap := m.Snapshot(3 * time.Second)
+	if snap.Fleet.TTFT.Count != 1 || snap.Fleet.TTFT.P50S < 1.9 || snap.Fleet.TTFT.P50S > 2.1 {
+		t.Fatalf("TTFT stats = %+v, want one ~2s sample", snap.Fleet.TTFT)
+	}
+	if snap.Fleet.TBT.Count != 1 || snap.Fleet.TBT.P50S < 0.09 || snap.Fleet.TBT.P50S > 0.11 {
+		t.Fatalf("TBT stats = %+v, want one ~100ms sample", snap.Fleet.TBT)
+	}
+}
+
+func TestMonitorCumulativeMirrorsTracker(t *testing.T) {
+	// The same observations fed to a plain tracker and through the monitor's
+	// request mirror must agree exactly — this is the convergence contract
+	// behind /debug/slo's cumulative block.
+	m := New(Config{})
+	ref := slo.NewTracker()
+	s := slo.Default()
+	times := [][]time.Duration{
+		{time.Second, 1100 * time.Millisecond},
+		{20 * time.Second}, // TTFT miss
+		{500 * time.Millisecond, 600 * time.Millisecond, 700 * time.Millisecond},
+	}
+	for _, ts := range times {
+		m.ObserveRequest("m0", s, 0, ts)
+		ref.ObserveRequest(s, 0, ts)
+	}
+	m.ObserveDropped("m0", "rX", "", 0, time.Second, 2*time.Second)
+	ref.ObserveDropped()
+
+	snap := m.Snapshot(30 * time.Second)
+	cum := snap.Fleet.Cumulative
+	if cum == nil {
+		t.Fatal("no cumulative block")
+	}
+	if cum.Requests != ref.Requests() {
+		t.Fatalf("requests %d != tracker %d", cum.Requests, ref.Requests())
+	}
+	refMet, refMissed := ref.Tokens()
+	if cum.TokensMet != refMet || cum.TokensMissed != refMissed {
+		t.Fatalf("tokens %d/%d != tracker %d/%d", cum.TokensMet, cum.TokensMissed, refMet, refMissed)
+	}
+	if cum.Attainment != ref.Attainment() {
+		t.Fatalf("attainment %v != tracker %v", cum.Attainment, ref.Attainment())
+	}
+	if cum.TTFTAttainment != ref.TTFTAttainment() {
+		t.Fatalf("TTFT attainment %v != tracker %v", cum.TTFTAttainment, ref.TTFTAttainment())
+	}
+}
+
+func TestDroppedFutureDeadlineBucketsAtJudgement(t *testing.T) {
+	// A failed request's future tokens are judged lost *now*; their misses
+	// must land in the current bucket, not a future one the window will
+	// never reach consistently.
+	m := New(Config{Bucket: time.Second, FastWindow: 5 * time.Second})
+	m.ObserveDropped("m0", "r1", "", 0, 100*time.Second, 3*time.Second)
+	snap := m.Snapshot(3 * time.Second)
+	var fast WindowStats
+	for _, w := range snap.Fleet.Windowed {
+		if w.Window == "fast" {
+			fast = w
+		}
+	}
+	if fast.Missed != 1 {
+		t.Fatalf("fast window missed = %d, want the future-deadline drop counted now", fast.Missed)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	m := New(Config{})
+	m.ObserveToken(TokenObs{Model: "m0", Request: "r1", Index: 0,
+		Deadline: time.Second, At: 2 * time.Second})
+	snap := m.Snapshot(2 * time.Second)
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(&back); err != nil {
+		t.Fatalf("round-tripped snapshot invalid: %v", err)
+	}
+	if back.Fleet.TokensMissed != 1 {
+		t.Fatalf("round trip lost counts: %+v", back.Fleet)
+	}
+}
+
+func TestValidateRejectsBrokenSnapshots(t *testing.T) {
+	good := func() *Snapshot {
+		m := New(Config{})
+		m.ObserveToken(TokenObs{Model: "m0", Request: "r1",
+			Deadline: time.Second, At: 2 * time.Second})
+		return m.Snapshot(2 * time.Second)
+	}
+	cases := []struct {
+		name  string
+		mutil func(*Snapshot)
+	}{
+		{"wrong version", func(s *Snapshot) { s.SchemaVersion = 99 }},
+		{"bad objective", func(s *Snapshot) { s.Objective = 1.5 }},
+		{"missing window", func(s *Snapshot) { s.Windows = s.Windows[:2] }},
+		{"bad alert state", func(s *Snapshot) { s.Fleet.Alert.State = "panic" }},
+		{"cause sum mismatch", func(s *Snapshot) { s.Fleet.Causes["unknown"] = 42 }},
+		{"unknown cause", func(s *Snapshot) {
+			delete(s.Fleet.Causes, "unknown")
+			s.Fleet.Causes["gremlins"] = 1
+		}},
+		{"unnamed model scope", func(s *Snapshot) {
+			s.Models = append(s.Models, ScopeSnapshot{})
+		}},
+		{"inconsistent attainment", func(s *Snapshot) { s.Fleet.Windowed[0].Attainment = 0.123 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := good()
+			tc.mutil(s)
+			if err := Validate(s); err == nil {
+				t.Fatal("validation passed on a broken snapshot")
+			}
+		})
+	}
+	if err := Validate(nil); err == nil {
+		t.Fatal("nil snapshot validated")
+	}
+}
+
+// TestConcurrentObserveAndSnapshot hammers window rotation against snapshot
+// reads; run with -race. Counts must balance exactly at the end.
+func TestConcurrentObserveAndSnapshot(t *testing.T) {
+	m := New(Config{Bucket: time.Millisecond, FastWindow: 10 * time.Millisecond,
+		MidWindow: 50 * time.Millisecond, SlowWindow: 100 * time.Millisecond})
+	const writers = 4
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			model := fmt.Sprintf("m%d", w%2)
+			for i := 0; i < perWriter; i++ {
+				at := time.Duration(i) * 100 * time.Microsecond
+				dl := at + time.Millisecond
+				if i%10 == 0 {
+					dl = at - time.Millisecond
+				}
+				m.ObserveToken(TokenObs{Model: model, Request: "r", Index: i,
+					Deadline: dl, At: at, Prev: at - time.Microsecond})
+			}
+		}(w)
+	}
+	var rg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := m.Snapshot(time.Second)
+				if err := Validate(snap); err != nil {
+					t.Error(err)
+					return
+				}
+				m.Advance(time.Second)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	snap := m.Snapshot(time.Second)
+	total := snap.Fleet.TokensMet + snap.Fleet.TokensMissed
+	if total != writers*perWriter {
+		t.Fatalf("total tokens = %d, want %d", total, writers*perWriter)
+	}
+	if snap.Fleet.TokensMissed != writers*perWriter/10 {
+		t.Fatalf("missed = %d, want %d", snap.Fleet.TokensMissed, writers*perWriter/10)
+	}
+	if err := Validate(snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigDefaultsAndMonotoneWindows(t *testing.T) {
+	m := New(Config{})
+	cfg := m.Config()
+	if cfg.Objective != 0.99 || cfg.Bucket != time.Second ||
+		cfg.FastWindow != time.Minute || cfg.MidWindow != 5*time.Minute ||
+		cfg.SlowWindow != 30*time.Minute || cfg.PageBurn != 14.4 || cfg.WarnBurn != 3 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	// Windows are forced monotone: slow >= mid >= fast.
+	c2 := New(Config{FastWindow: 10 * time.Minute, MidWindow: time.Minute, SlowWindow: time.Second}).Config()
+	if c2.MidWindow < c2.FastWindow || c2.SlowWindow < c2.MidWindow {
+		t.Fatalf("windows not monotone: %v/%v/%v", c2.FastWindow, c2.MidWindow, c2.SlowWindow)
+	}
+}

@@ -1,0 +1,161 @@
+package slomon
+
+import (
+	"time"
+
+	"aegaeon/internal/metrics"
+	"aegaeon/internal/sim"
+)
+
+// windowRing is a ring of fixed-width time buckets over the virtual clock,
+// holding met/missed token counts. Buckets are addressed by absolute bucket
+// index (time / width), so advancing across idle gaps zeroes the skipped
+// slots and a snapshot never reads stale counts. Writes older than the
+// retained span clamp into the oldest bucket — late observations (e.g.
+// Finalize judging never-generated tokens) still land inside the window
+// rather than vanishing.
+type windowRing struct {
+	width  time.Duration
+	met    []uint64
+	missed []uint64
+	head   int64 // absolute index of the newest bucket; -1 before first use
+}
+
+func newWindowRing(width time.Duration, span time.Duration) *windowRing {
+	n := int(span / width)
+	if n < 1 {
+		n = 1
+	}
+	return &windowRing{
+		width:  width,
+		met:    make([]uint64, n),
+		missed: make([]uint64, n),
+		head:   -1,
+	}
+}
+
+func (w *windowRing) slot(abs int64) int {
+	n := int64(len(w.met))
+	return int(((abs % n) + n) % n)
+}
+
+// advance moves the head to the bucket containing now, zeroing every slot
+// the head skips over.
+func (w *windowRing) advance(now sim.Time) {
+	abs := int64(now / w.width)
+	if w.head < 0 {
+		w.head = abs
+		return
+	}
+	if abs <= w.head {
+		return
+	}
+	steps := abs - w.head
+	if steps > int64(len(w.met)) {
+		steps = int64(len(w.met))
+	}
+	for i := int64(1); i <= steps; i++ {
+		s := w.slot(w.head + i)
+		w.met[s], w.missed[s] = 0, 0
+	}
+	w.head = abs
+}
+
+// observe counts one token outcome in the bucket containing at. Times ahead
+// of the head advance it; times behind the retained span clamp to the
+// oldest bucket.
+func (w *windowRing) observe(at sim.Time, met bool) {
+	abs := int64(at / w.width)
+	if w.head < 0 || abs > w.head {
+		w.advance(at)
+		abs = w.head
+	}
+	if oldest := w.head - int64(len(w.met)) + 1; abs < oldest {
+		abs = oldest
+	}
+	s := w.slot(abs)
+	if met {
+		w.met[s]++
+	} else {
+		w.missed[s]++
+	}
+}
+
+// sums returns the (met, missed) totals over the most recent `window` of
+// buckets ending at the head.
+func (w *windowRing) sums(window time.Duration) (met, missed uint64) {
+	if w.head < 0 {
+		return 0, 0
+	}
+	k := int(window / w.width)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(w.met) {
+		k = len(w.met)
+	}
+	for i := 0; i < k; i++ {
+		s := w.slot(w.head - int64(i))
+		met += w.met[s]
+		missed += w.missed[s]
+	}
+	return met, missed
+}
+
+// epochSketch keeps bounded TTFT/TBT quantiles over a sliding epoch pair:
+// samples land in the current reservoir, and quantiles merge the current
+// and previous reservoirs, so the estimate always covers between one and
+// two epochs of history with flat memory.
+type epochSketch struct {
+	epoch   time.Duration
+	max     int
+	cur     *metrics.SafeCDF
+	prev    *metrics.SafeCDF
+	curIdx  int64
+	started bool
+}
+
+func newEpochSketch(epoch time.Duration, maxSamples int) *epochSketch {
+	return &epochSketch{
+		epoch: epoch,
+		max:   maxSamples,
+		cur:   metrics.NewSafeCDF(maxSamples),
+		prev:  metrics.NewSafeCDF(maxSamples),
+	}
+}
+
+func (e *epochSketch) rotateTo(now sim.Time) {
+	idx := int64(now / e.epoch)
+	if !e.started {
+		e.curIdx = idx
+		e.started = true
+		return
+	}
+	if idx <= e.curIdx {
+		return
+	}
+	if idx == e.curIdx+1 {
+		e.prev = e.cur
+	} else {
+		e.prev = metrics.NewSafeCDF(e.max) // gap longer than an epoch: nothing carries over
+	}
+	e.cur = metrics.NewSafeCDF(e.max)
+	e.curIdx = idx
+}
+
+func (e *epochSketch) add(now sim.Time, d time.Duration) {
+	e.rotateTo(now)
+	e.cur.AddDuration(d)
+}
+
+// merged returns a CDF over both epochs' retained samples.
+func (e *epochSketch) merged() *metrics.CDF {
+	var c metrics.CDF
+	for _, v := range e.prev.Samples() {
+		c.Add(v)
+	}
+	for _, v := range e.cur.Samples() {
+		c.Add(v)
+	}
+	return &c
+}

@@ -1,0 +1,100 @@
+package slomon
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowRingBasics(t *testing.T) {
+	w := newWindowRing(time.Second, 10*time.Second)
+	w.observe(500*time.Millisecond, true)
+	w.observe(700*time.Millisecond, false)
+	met, missed := w.sums(10 * time.Second)
+	if met != 1 || missed != 1 {
+		t.Fatalf("sums = %d/%d, want 1/1", met, missed)
+	}
+	// A second bucket; narrow window excludes the first.
+	w.observe(1500*time.Millisecond, true)
+	met, missed = w.sums(time.Second)
+	if met != 1 || missed != 0 {
+		t.Fatalf("1s sums = %d/%d, want 1/0", met, missed)
+	}
+	met, missed = w.sums(10 * time.Second)
+	if met != 2 || missed != 1 {
+		t.Fatalf("10s sums = %d/%d, want 2/1", met, missed)
+	}
+}
+
+func TestWindowRingAdvanceZeroesGap(t *testing.T) {
+	w := newWindowRing(time.Second, 5*time.Second)
+	w.observe(0, false)
+	// Jump far past the retained span: all old counts must evict.
+	w.advance(100 * time.Second)
+	if met, missed := w.sums(5 * time.Second); met != 0 || missed != 0 {
+		t.Fatalf("after long gap sums = %d/%d, want 0/0", met, missed)
+	}
+	// A gap shorter than the ring only evicts the skipped span.
+	w.observe(100*time.Second, true)
+	w.advance(102 * time.Second)
+	if met, _ := w.sums(5 * time.Second); met != 1 {
+		t.Fatalf("short gap evicted live bucket: met = %d", met)
+	}
+}
+
+func TestWindowRingLateObservationClamps(t *testing.T) {
+	w := newWindowRing(time.Second, 5*time.Second)
+	w.advance(20 * time.Second)
+	// A write far behind the retained span must still be counted (clamped
+	// into the oldest bucket), not silently dropped.
+	w.observe(2*time.Second, false)
+	if _, missed := w.sums(5 * time.Second); missed != 1 {
+		t.Fatalf("late observation lost: missed = %d, want 1", missed)
+	}
+	// But it ages out once the head moves past the oldest bucket.
+	w.advance(26 * time.Second)
+	if _, missed := w.sums(5 * time.Second); missed != 0 {
+		t.Fatalf("late observation should have aged out: missed = %d", missed)
+	}
+}
+
+func TestWindowRingNeverGoesBackward(t *testing.T) {
+	w := newWindowRing(time.Second, 5*time.Second)
+	w.observe(10*time.Second, true)
+	w.advance(3 * time.Second) // stale advance: no-op
+	if w.head != 10 {
+		t.Fatalf("head moved backward to %d", w.head)
+	}
+}
+
+func TestEpochSketchRotation(t *testing.T) {
+	e := newEpochSketch(10*time.Second, 100)
+	e.add(time.Second, 100*time.Millisecond)
+	e.add(2*time.Second, 200*time.Millisecond)
+	if got := e.merged().N(); got != 2 {
+		t.Fatalf("samples = %d, want 2", got)
+	}
+	// Next epoch: old samples survive in prev.
+	e.add(11*time.Second, 300*time.Millisecond)
+	if got := e.merged().N(); got != 3 {
+		t.Fatalf("after rotate samples = %d, want 3 (prev retained)", got)
+	}
+	// Two epochs later: everything before the gap is gone.
+	e.add(35*time.Second, 400*time.Millisecond)
+	if got := e.merged().N(); got != 1 {
+		t.Fatalf("after gap samples = %d, want 1", got)
+	}
+}
+
+func TestBurnRateFormula(t *testing.T) {
+	// 2% misses against a 1% budget burns at 2x.
+	if got := burnRate(98, 2, 0.99); got < 1.99 || got > 2.01 {
+		t.Fatalf("burn = %v, want 2", got)
+	}
+	if got := burnRate(0, 0, 0.99); got != 0 {
+		t.Fatalf("empty burn = %v, want 0", got)
+	}
+	// All misses: burn = 1/budget.
+	if got := burnRate(0, 10, 0.9); got < 9.99 || got > 10.01 {
+		t.Fatalf("all-miss burn = %v, want 10", got)
+	}
+}
