@@ -34,6 +34,7 @@ import (
 	"aegaeon/internal/metrics"
 	"aegaeon/internal/model"
 	"aegaeon/internal/obs"
+	"aegaeon/internal/overload"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
 	"aegaeon/internal/slomon"
@@ -110,6 +111,16 @@ type Config struct {
 	// The final windowed state is reported in Report.SLO; the live monitor
 	// itself is reachable via Monitor.
 	SLOMonitor bool
+	// Overload enables overload control: a brownout controller coupled to
+	// the live SLO monitor's burn-rate alerts steps through degradation
+	// levels (shed low-priority → shrink decode lengths → freeze cold-model
+	// loads → admit nothing), a deadline-aware reaper sheds doomed queued
+	// requests mid-wait, and prefill grouping becomes priority-then-slack
+	// aware. Implies SLOMonitor (the controller is driven by its alert
+	// states). Service tiers come from each Request's Priority field — see
+	// AssignPriorities. The controller's arc and shed accounting land in
+	// the Report.
+	Overload bool
 	// Faults is a fault schedule injected during Serve, as a comma-separated
 	// spec of "kind@at[+dur][*factor][:target]" items — e.g.
 	// "crash@40s:decode0,xfer@60s+5s,fetchslow@90s+30s*4". Kinds: crash,
@@ -131,6 +142,7 @@ type System struct {
 	flt      *fault.Faults
 	sched    []fault.Fault
 	injector *fault.Injector
+	ovl      *overload.Controller
 }
 
 // New builds a system.
@@ -153,6 +165,14 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
+	}
+	var ovl *overload.Controller
+	if cfg.Overload {
+		// The brownout controller is driven by the monitor's burn-rate
+		// alerts, so overload control implies the live SLO monitor (set
+		// before the collector/monitor construction below keys off it).
+		cfg.SLOMonitor = true
+		ovl = overload.NewController(overload.Config{})
 	}
 	models := cfg.Models
 	if len(models) == 0 {
@@ -207,8 +227,9 @@ func New(cfg Config) (*System, error) {
 		Obs:        col,
 		SLOMon:     mon,
 		Faults:     flt,
+		Overload:   ovl,
 	})
-	return &System{cfg: cfg, eng: se, sys: sys, models: models, flt: flt, sched: sched}, nil
+	return &System{cfg: cfg, eng: se, sys: sys, models: models, flt: flt, sched: sched, ovl: ovl}, nil
 }
 
 // Models returns the models the system serves.
@@ -269,6 +290,19 @@ type Report struct {
 	// burn-rate alert states, and missed-token cause counters — taken at the
 	// end of the run. Nil without Config.SLOMonitor.
 	SLO *slomon.Snapshot
+	// GeneratedTokens counts tokens actually produced — the run's real
+	// throughput numerator, unaffected by shed requests whose unproduced
+	// tokens are judged as SLO misses.
+	GeneratedTokens int
+	// OverloadLevel is the brownout controller's final degradation level
+	// ("normal" … "admit_none"); OverloadTransitions counts level changes
+	// during the run; Sheds breaks overload-shed requests down by typed
+	// reason; AttainmentByPriority splits token attainment by service tier.
+	// Zero/nil without Config.Overload.
+	OverloadLevel        string
+	OverloadTransitions  int
+	Sheds                map[string]int
+	AttainmentByPriority map[string]float64
 }
 
 // Serve runs the trace to completion in virtual time and reports. A System
@@ -320,8 +354,37 @@ func (s *System) Serve(trace []Request) (Report, error) {
 	if mon := s.sys.Monitor(); mon != nil {
 		rep.SLO = mon.Snapshot(s.eng.Now())
 	}
+	for _, r := range s.sys.Requests() {
+		rep.GeneratedTokens += len(r.TokenTimes)
+	}
+	if s.ovl != nil {
+		snap := s.ovl.Snapshot()
+		rep.OverloadLevel = snap.Level
+		rep.OverloadTransitions = len(snap.Transitions)
+		rep.Sheds = s.sys.OverloadSheds()
+		rep.AttainmentByPriority = make(map[string]float64, workload.NumPriorities)
+		for p := workload.Priority(0); p < workload.NumPriorities; p++ {
+			met, missed := s.sys.PriorityTracker(p).Tokens()
+			att := 1.0
+			if met+missed > 0 {
+				att = float64(met) / float64(met+missed)
+			}
+			rep.AttainmentByPriority[p.String()] = att
+		}
+	}
 	return rep, nil
 }
+
+// AssignPriorities stamps a service-tier mix onto a trace in place using the
+// system's seeded randomness: highFrac of requests become high priority,
+// lowFrac low, the rest normal. Overload control sheds lower tiers first.
+func (s *System) AssignPriorities(trace []Request, highFrac, lowFrac float64) {
+	workload.AssignPriorities(s.eng.Rand(), trace, highFrac, lowFrac)
+}
+
+// Overload returns the brownout controller, or nil unless the system was
+// built with Config.Overload.
+func (s *System) Overload() *overload.Controller { return s.ovl }
 
 // Monitor returns the live SLO monitor, or nil unless the system was built
 // with Config.SLOMonitor.

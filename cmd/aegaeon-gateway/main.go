@@ -12,6 +12,7 @@
 //	GET  /debug/perfetto   Chrome trace-event JSON export
 //	GET  /debug/slo        live SLO snapshot: windowed attainment, alerts, causes
 //	GET  /debug/slo/alerts burn-rate alert states only
+//	GET  /debug/overload   brownout level, rejection counters, retry budget (with -overload)
 //	GET  /debug/dash       dependency-free live HTML dashboard (SSE)
 //
 // Example:
@@ -39,6 +40,7 @@ import (
 	"aegaeon/internal/latency"
 	"aegaeon/internal/model"
 	"aegaeon/internal/obs"
+	"aegaeon/internal/overload"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
 	"aegaeon/internal/slomon"
@@ -61,7 +63,12 @@ func main() {
 	noTrace := flag.Bool("no-trace", false, "disable the observability collector and /debug endpoints")
 	noSLO := flag.Bool("no-slo", false, "disable the live SLO monitor and /debug/slo + /debug/dash endpoints")
 	objective := flag.Float64("slo-objective", 0.99, "SLO attainment objective for burn-rate alerting, in (0,1)")
+	overloadOn := flag.Bool("overload", false, "enable overload control: predictive admission, priority shedding, brownout (implies SLO monitoring)")
+	retryRatio := flag.Float64("retry-ratio", 0.1, "retry budget deposit per fresh admission (with -overload)")
 	flag.Parse()
+	if *overloadOn {
+		*noSLO = false // brownout steps off burn-rate alerts
+	}
 
 	prof, err := latency.ProfileByName(*gpu)
 	if err != nil {
@@ -75,12 +82,20 @@ func main() {
 	if !*noSLO {
 		mon = slomon.New(slomon.Config{Objective: *objective, Source: col})
 	}
+	// One brownout controller shared between the scheduler (sheds, reaper,
+	// decode shrink) and the HTTP edge (admission, metrics, /debug/overload),
+	// so both act on the same degradation level.
+	var ovl *overload.Controller
+	if *overloadOn {
+		ovl = overload.NewController(overload.Config{})
+	}
 	se := sim.NewEngine(*seed)
 	cl, err := cluster.New(se, cluster.Config{
-		Prof:   prof,
-		SLO:    slo.Default(),
-		Obs:    col,
-		SLOMon: mon,
+		Prof:     prof,
+		SLO:      slo.Default(),
+		Obs:      col,
+		SLOMon:   mon,
+		Overload: ovl,
 		Deployments: []cluster.DeploymentConfig{{
 			Name:       "live",
 			TP:         *tp,
@@ -99,7 +114,7 @@ func main() {
 	if *noTrace {
 		gwCol = nil
 	}
-	gw := gateway.New(drv, cl, gateway.Options{
+	gwOpts := gateway.Options{
 		Speedup:          *speedup,
 		MaxQueuePerModel: *maxQueue,
 		MaxInFlight:      *maxInflight,
@@ -107,7 +122,11 @@ func main() {
 		Burst:            *burst,
 		Obs:              gwCol,
 		SLOMon:           mon,
-	})
+	}
+	if *overloadOn {
+		gwOpts.Overload = &gateway.OverloadOptions{Controller: ovl, RetryRatio: *retryRatio}
+	}
+	gw := gateway.New(drv, cl, gwOpts)
 	gw.Start()
 
 	srv := &http.Server{

@@ -74,24 +74,29 @@ func secs(v float64) time.Duration {
 
 func main() {
 	var (
-		gpu       = flag.String("gpu", "H800", "GPU profile: H800, A10, H20")
-		tp        = flag.Int("tp", 1, "tensor parallel degree")
-		prefill   = flag.Int("prefill", 6, "prefill instances")
-		decode    = flag.Int("decode", 10, "decoding instances")
-		nModels   = flag.Int("models", 40, "number of market models")
-		rps       = flag.Float64("rps", 0.1, "per-model arrival rate (req/s)")
-		horizon   = flag.Duration("horizon", 5*time.Minute, "trace length")
-		dataset   = flag.String("dataset", "sharegpt", "sharegpt, sharegpt-ix2, sharegpt-ox2")
-		system    = flag.String("system", "aegaeon", "aegaeon, serverlessllm, serverlessllm+, muxserve")
-		seed      = flag.Int64("seed", 1, "random seed")
-		sloScale  = flag.Float64("slo-scale", 1, "scale both TTFT and TBT targets")
-		ttftScale = flag.Float64("ttft-scale", 1, "scale the TTFT target")
-		tbtScale  = flag.Float64("tbt-scale", 1, "scale the TBT target")
-		unopt     = flag.Bool("unoptimized", false, "disable the §5 auto-scaling optimizations")
-		perfetto  = flag.String("perfetto", "", "write a Perfetto-loadable trace JSON to this file (aegaeon system only)")
-		faults    = flag.String("faults", "", `fault schedule: "kind@at[+dur][*factor][:target]", comma-separated — e.g. "crash@40s:decode0,fetchslow@60s+30s*4" (aegaeon system only)`)
-		sloReport = flag.Bool("slo-report", false, "run the live SLO monitor and print windowed attainment, alert state, and missed-token causes (aegaeon system only)")
-		sloJSON   = flag.String("slo-json", "", "write the final SLO monitor snapshot as JSON to this file (implies -slo-report)")
+		gpu        = flag.String("gpu", "H800", "GPU profile: H800, A10, H20")
+		tp         = flag.Int("tp", 1, "tensor parallel degree")
+		prefill    = flag.Int("prefill", 6, "prefill instances")
+		decode     = flag.Int("decode", 10, "decoding instances")
+		nModels    = flag.Int("models", 40, "number of market models")
+		rps        = flag.Float64("rps", 0.1, "per-model arrival rate (req/s)")
+		horizon    = flag.Duration("horizon", 5*time.Minute, "trace length")
+		dataset    = flag.String("dataset", "sharegpt", "sharegpt, sharegpt-ix2, sharegpt-ox2")
+		system     = flag.String("system", "aegaeon", "aegaeon, serverlessllm, serverlessllm+, muxserve")
+		seed       = flag.Int64("seed", 1, "random seed")
+		sloScale   = flag.Float64("slo-scale", 1, "scale both TTFT and TBT targets")
+		ttftScale  = flag.Float64("ttft-scale", 1, "scale the TTFT target")
+		tbtScale   = flag.Float64("tbt-scale", 1, "scale the TBT target")
+		unopt      = flag.Bool("unoptimized", false, "disable the §5 auto-scaling optimizations")
+		perfetto   = flag.String("perfetto", "", "write a Perfetto-loadable trace JSON to this file (aegaeon system only)")
+		faults     = flag.String("faults", "", `fault schedule: "kind@at[+dur][*factor][:target]", comma-separated — e.g. "crash@40s:decode0,fetchslow@60s+30s*4" (aegaeon system only)`)
+		sloReport  = flag.Bool("slo-report", false, "run the live SLO monitor and print windowed attainment, alert state, and missed-token causes (aegaeon system only)")
+		sloJSON    = flag.String("slo-json", "", "write the final SLO monitor snapshot as JSON to this file (implies -slo-report)")
+		overloadOn = flag.Bool("overload", false, "enable overload control: SLO-coupled brownout, deadline-aware shedding, priority-aware prefill (aegaeon system only)")
+		prioMix    = flag.String("priority-mix", "", `service-tier mix as "high,low" fractions of the trace, e.g. "0.2,0.3" (rest normal)`)
+		ovlBench   = flag.String("overload-bench", "", "run the three-arm overload benchmark (capacity / uncontrolled / controlled at -overload-factor x) and write BENCH JSON here")
+		ovlFactor  = flag.Float64("overload-factor", 3, "load multiplier for the overloaded arms of -overload-bench")
+		ovlFloor   = flag.Float64("overload-floor", 0, "assert controlled high-priority attainment >= floor, uncontrolled < floor, and controlled throughput >= 90% of capacity (0 = report only)")
 	)
 	flag.Parse()
 	if *sloJSON != "" {
@@ -109,6 +114,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-slo-report requires -system aegaeon (baselines feed no live monitor)")
 		os.Exit(2)
 	}
+	if *overloadOn && *system != "aegaeon" {
+		fmt.Fprintln(os.Stderr, "-overload requires -system aegaeon (baselines have no overload control)")
+		os.Exit(2)
+	}
+	highFrac, lowFrac, err := parsePriorityMix(*prioMix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var ds aegaeon.Dataset
 	switch *dataset {
@@ -124,6 +138,18 @@ func main() {
 	}
 
 	slo := aegaeon.DefaultSLO().Scale(*sloScale).ScaleTTFT(*ttftScale).ScaleTBT(*tbtScale)
+
+	if *ovlBench != "" {
+		runOverloadBench(benchOpts{
+			gpu: *gpu, tp: *tp, prefill: *prefill, decode: *decode,
+			nModels: *nModels, rps: *rps, horizon: *horizon, dataset: ds,
+			datasetName: *dataset, slo: slo, seed: *seed,
+			factor: *ovlFactor, floor: *ovlFloor,
+			highFrac: highFrac, lowFrac: lowFrac, out: *ovlBench,
+		})
+		return
+	}
+
 	sys, err := aegaeon.New(aegaeon.Config{
 		GPU:                  *gpu,
 		TP:                   *tp,
@@ -135,12 +161,16 @@ func main() {
 		DisableOptimizations: *unopt,
 		Tracing:              *perfetto != "",
 		SLOMonitor:           *sloReport,
+		Overload:             *overloadOn,
 		Faults:               *faults,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	trace := sys.GenerateTrace(aegaeon.TraceSpec{RatePerModel: *rps, Horizon: *horizon, Dataset: ds})
+	if highFrac > 0 || lowFrac > 0 {
+		sys.AssignPriorities(trace, highFrac, lowFrac)
+	}
 
 	var rep aegaeon.Report
 	switch *system {
@@ -179,6 +209,18 @@ func main() {
 			fs.Crashes, fs.Resumed, fs.Recomputed, fs.Rejected)
 		fmt.Printf("retries           fetch %d (%d exhausted), transfer %d, store %d\n",
 			fs.FetchRetries, fs.FetchExhausted, fs.TransferRetries, fs.StoreRetries)
+	}
+	if *overloadOn {
+		fmt.Printf("overload level    %s (%d transitions)\n", rep.OverloadLevel, rep.OverloadTransitions)
+		if att := rep.AttainmentByPriority; att != nil {
+			fmt.Printf("attainment tiers  high %.2f%%, normal %.2f%%, low %.2f%%\n",
+				100*att["high"], 100*att["normal"], 100*att["low"])
+		}
+		total := 0
+		for _, n := range rep.Sheds {
+			total += n
+		}
+		fmt.Printf("overload sheds    %d total %v\n", total, rep.Sheds)
 	}
 	fmt.Printf("virtual duration  %v\n", rep.VirtualDuration.Round(time.Second))
 

@@ -17,8 +17,11 @@ import (
 	"aegaeon/internal/fault"
 	"aegaeon/internal/latency"
 	"aegaeon/internal/model"
+	"aegaeon/internal/obs"
+	"aegaeon/internal/overload"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
+	"aegaeon/internal/slomon"
 	"aegaeon/internal/workload"
 )
 
@@ -42,6 +45,13 @@ type Config struct {
 	// RandomFaults is the number of randomly drawn faults when Spec is empty
 	// (default 4).
 	RandomFaults int
+	// Overload enables overload control for the run: a brownout controller
+	// on the cluster, priorities on the trace (HighFrac/LowFrac, defaulting
+	// to 0.2/0.3), and the deadline reaper — so fault schedules are audited
+	// with load shedding active, not just failover.
+	Overload bool
+	// HighFrac / LowFrac set the priority mix when Overload is on.
+	HighFrac, LowFrac float64
 }
 
 func (c *Config) defaults() {
@@ -63,6 +73,9 @@ func (c *Config) defaults() {
 	if c.RandomFaults <= 0 {
 		c.RandomFaults = 4
 	}
+	if c.Overload && c.HighFrac == 0 && c.LowFrac == 0 {
+		c.HighFrac, c.LowFrac = 0.2, 0.3
+	}
 }
 
 // Result summarizes a chaos run.
@@ -76,6 +89,8 @@ type Result struct {
 	Failovers  int
 	Attainment float64
 	Stats      fault.Stats
+	// Sheds counts overload-control rejections by reason (Overload runs only).
+	Sheds map[string]int
 	// Violations lists every broken invariant (empty on a clean run).
 	Violations []string
 }
@@ -86,7 +101,7 @@ func Run(cfg Config) (*Result, error) {
 	se := sim.NewEngine(cfg.Seed)
 	f := fault.New(se, cfg.Seed+1)
 	models := model.SmallMix(cfg.Models)
-	c, err := cluster.New(se, cluster.Config{
+	clCfg := cluster.Config{
 		Prof:   latency.H800(),
 		SLO:    slo.Default(),
 		Faults: f,
@@ -95,7 +110,15 @@ func Run(cfg Config) (*Result, error) {
 			NumPrefill: cfg.NumPrefill, NumDecode: cfg.NumDecode,
 			Models: models,
 		}},
-	})
+	}
+	if cfg.Overload {
+		// The brownout controller needs burn-rate signals, which need the
+		// observability collector feeding a monitor.
+		clCfg.Obs = obs.New(obs.Options{})
+		clCfg.SLOMon = slomon.New(slomon.Config{Objective: 0.99, Source: clCfg.Obs})
+		clCfg.Overload = overload.NewController(overload.Config{})
+	}
+	c, err := cluster.New(se, clCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -103,8 +126,11 @@ func Run(cfg Config) (*Result, error) {
 	for i, m := range models {
 		names[i] = m.Name
 	}
-	trace := workload.PoissonTrace(rand.New(rand.NewSource(cfg.Seed+2)),
-		names, cfg.Rate, cfg.Horizon, workload.ShareGPT())
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	trace := workload.PoissonTrace(rng, names, cfg.Rate, cfg.Horizon, workload.ShareGPT())
+	if cfg.Overload {
+		workload.AssignPriorities(rng, trace, cfg.HighFrac, cfg.LowFrac)
+	}
 	if err := c.Submit(trace); err != nil {
 		return nil, err
 	}
@@ -135,6 +161,9 @@ func Run(cfg Config) (*Result, error) {
 		Attainment: c.Attainment(),
 		Stats:      c.FaultStats(),
 		Violations: VerifyInvariants(c),
+	}
+	if cfg.Overload {
+		res.Sheds = c.OverloadSheds()
 	}
 	return res, nil
 }
@@ -180,6 +209,9 @@ func VerifyInvariants(c *cluster.Cluster) []string {
 				if r.FailReason == "" {
 					v = append(v, fmt.Sprintf("request %s failed without a reason", r.ID))
 				}
+			case r.Aborted():
+				// Client-cancelled (or reaped) requests are a valid terminal
+				// state; their KV leak check happens below like everyone's.
 			default:
 				v = append(v, fmt.Sprintf("request %s reached no terminal state", r.ID))
 			}

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"testing"
+	"time"
 )
 
 // Golden seeded regression table: each schedule is deterministic given its
@@ -101,5 +102,57 @@ func TestChaosSweep(t *testing.T) {
 			t.Fatalf("seed %d: completed %d + failed %d != %d requests",
 				seed, res.Completed, res.Failed, res.Requests)
 		}
+	}
+}
+
+// TestOverloadChaosInvariants runs fault schedules with overload control
+// active — brownout shedding, the deadline reaper, and failover all mutating
+// the same queues — and audits the full invariant set. Sheds are clean
+// rejections, so terminal-state accounting must still balance exactly.
+func TestOverloadChaosInvariants(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{
+			// 3x-ish the small-mix capacity plus a prefill crash: the reaper
+			// and crash recovery race over the surviving queue.
+			name: "overload-prefill-crash",
+			cfg:  Config{Seed: 7, Rate: 1.2, Horizon: 60 * time.Second, Overload: true, Spec: "crash@25s:chaos/prefill0"},
+		},
+		{
+			// Overload while the decode side degrades to one instance.
+			name: "overload-decode-crash",
+			cfg:  Config{Seed: 8, Rate: 1.2, Horizon: 60 * time.Second, Overload: true, Spec: "crash@30s:chaos/decode1"},
+		},
+		{
+			name: "overload-random-faults",
+			cfg:  Config{Seed: 9, Rate: 1.0, Horizon: 90 * time.Second, Overload: true, RandomFaults: 4},
+		},
+	}
+	for i := range cases {
+		tc := &cases[i]
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, viol := range res.Violations {
+				t.Errorf("invariant: %s", viol)
+			}
+			t.Logf("spec=%s requests=%d completed=%d failed=%d sheds=%v failovers=%d",
+				res.Spec, res.Requests, res.Completed, res.Failed, res.Sheds, res.Failovers)
+			if res.Completed+res.Failed != res.Requests {
+				t.Fatalf("completed %d + failed %d != %d requests (sheds %v)",
+					res.Completed, res.Failed, res.Requests, res.Sheds)
+			}
+			shed := 0
+			for _, n := range res.Sheds {
+				shed += n
+			}
+			if shed == 0 {
+				t.Fatal("overload run shed nothing — the schedule is not overloading")
+			}
+		})
 	}
 }

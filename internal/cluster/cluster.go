@@ -15,6 +15,7 @@ import (
 	"aegaeon/internal/metastore"
 	"aegaeon/internal/model"
 	"aegaeon/internal/obs"
+	"aegaeon/internal/overload"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
 	"aegaeon/internal/slomon"
@@ -62,6 +63,15 @@ type Config struct {
 	// deployment and enables the proxy's retry/recovery accounting. Nil
 	// keeps the cluster byte-identical to a fault-free build.
 	Faults *fault.Faults
+
+	// Overload, when non-nil, is the shared brownout controller threaded
+	// into every deployment's scheduler: one fleet-wide degradation level
+	// drives priority shedding, decode shrinking, cold-model freezing, and
+	// the doomed-request reaper. Share the same controller with the
+	// gateway's OverloadOptions so edge admission and core scheduling agree
+	// on the level. Nil keeps scheduling byte-identical to a build without
+	// overload control.
+	Overload *overload.Controller
 
 	// LeaseTTL is how long an instance's health lease stays valid without
 	// renewal (default 3s); instances renew every LeaseTTL/2. HealthPoll is
@@ -111,6 +121,7 @@ func New(se *sim.Engine, cfg Config) (*Cluster, error) {
 			Obs:        cfg.Obs,
 			SLOMon:     cfg.SLOMon,
 			Faults:     cfg.Faults,
+			Overload:   cfg.Overload,
 		})
 		dep := &Deployment{Name: dc.Name, TP: dc.TP, System: sys, models: map[string]bool{}}
 		for _, m := range dc.Models {
@@ -288,4 +299,40 @@ func (c *Cluster) Completed() int {
 		n += d.System.Completed()
 	}
 	return n
+}
+
+// Overload exposes the shared brownout controller (nil when overload
+// control is not configured).
+func (c *Cluster) Overload() *overload.Controller { return c.cfg.Overload }
+
+// AttainmentByPriority returns token attainment per service tier, merged
+// across deployments. Tiers that judged no tokens report 1 (vacuous
+// attainment, matching Attainment's empty-fleet convention).
+func (c *Cluster) AttainmentByPriority() map[string]float64 {
+	out := make(map[string]float64, workload.NumPriorities)
+	for p := workload.Priority(0); p < workload.NumPriorities; p++ {
+		var met, missed float64
+		for _, d := range c.deps {
+			m, x := d.System.PriorityTracker(p).Tokens()
+			met += float64(m)
+			missed += float64(x)
+		}
+		att := 1.0
+		if met+missed > 0 {
+			att = met / (met + missed)
+		}
+		out[p.String()] = att
+	}
+	return out
+}
+
+// OverloadSheds merges per-reason overload shed counts across deployments.
+func (c *Cluster) OverloadSheds() map[string]int {
+	out := map[string]int{}
+	for _, d := range c.deps {
+		for reason, n := range d.System.OverloadSheds() {
+			out[reason] += n
+		}
+	}
+	return out
 }

@@ -265,7 +265,10 @@ func (s *System) freeSeq(r *Request) {
 		return
 	}
 	if r.Seq.State() != kvcache.StateFreed {
-		if err := s.prefills[0].eng.KV().Free(r.Seq); err != nil {
+		// Reclaim rather than Free: every path through here is a shed or
+		// abort, and the distinct counter lets audits separate overload
+		// reclamation from completion frees.
+		if err := s.prefills[0].eng.KV().Reclaim(r.Seq); err != nil {
 			r.Seq.Abandon()
 		}
 	}

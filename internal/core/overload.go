@@ -1,0 +1,295 @@
+package core
+
+import (
+	"time"
+
+	"aegaeon/internal/overload"
+	"aegaeon/internal/sim"
+	"aegaeon/internal/slomon"
+	"aegaeon/internal/workload"
+)
+
+// Typed overload shed reasons. FailReason is "overload: <reason>", so the
+// gateway and chaos audits can distinguish load shedding from capacity loss.
+const (
+	ShedAdmitNone   = "admit_none"        // brownout at admit-none: nothing enters
+	ShedLowPriority = "low_priority"      // brownout at shed-low: low tier rejected
+	ShedColdFreeze  = "cold_model_frozen" // brownout at freeze: model not resident
+	ShedDoomed      = "doomed_on_arrival" // predicted first token past its deadline
+	ShedReaped      = "doomed_in_queue"   // reaper: queued past any chance of its deadline
+)
+
+const (
+	// reaperPeriod is how often the queue reaper re-walks prefill queues
+	// while any are non-empty.
+	reaperPeriod = 500 * time.Millisecond
+	// doomGrace pads doom judgements so estimator error does not shed
+	// requests that would have just made their deadline.
+	doomGrace = 200 * time.Millisecond
+)
+
+// admitOverload is the overload-control gate in front of dispatchPrefill.
+// It steps the brownout controller from the live monitor's burn-rate state,
+// applies the controller's level policy (shed tiers, freeze cold models,
+// admit none), sheds requests whose first token is already predicted past
+// its deadline, shrinks batch decode lengths, and arms the queue reaper.
+// Returns false when the request was shed (it is terminal; do not dispatch).
+// With no controller configured it admits everything untouched.
+func (s *System) admitOverload(r *Request) bool {
+	ctl := s.cfg.Overload
+	if ctl == nil {
+		return true
+	}
+	if r.terminal() {
+		return false
+	}
+	now := s.eng.Now()
+	s.stepOverload(now)
+	switch {
+	case ctl.AdmitNone():
+		s.shed(r, ShedAdmitNone)
+		return false
+	case ctl.ShedLow() && r.Priority == workload.PriorityLow:
+		s.shed(r, ShedLowPriority)
+		return false
+	case ctl.FreezeCold() && !s.modelWarm(r.Model.Name):
+		s.shed(r, ShedColdFreeze)
+		return false
+	}
+	if est, ok := s.estimateTTFT(r); ok && now+est > r.Deadline+doomGrace {
+		s.shed(r, ShedDoomed)
+		return false
+	}
+	if !r.live {
+		// Live requests are capped by the gateway before submission, so the
+		// stream contract (exactly OutputTokens tokens) is set up front.
+		r.OutputTokens = ctl.OutputCap(r.OutputTokens)
+	}
+	s.armReaper()
+	return true
+}
+
+// escalateBacklog is the queued-request depth per alive prefill instance
+// (in units of MaxGroupSize) beyond which the current degradation level is
+// judged insufficient and the controller may climb another rung.
+const escalateBacklog = 2
+
+// stepOverload advances the brownout controller from the monitor's fleet
+// alert state and fast burn rate, both gated on real queue pressure.
+// Escalation needs a paging SLO and a backlog the current level is failing
+// to contain; holding the level needs a hot alert and at least some backlog.
+// The gates matter because sheds are honestly counted as misses: without
+// them, the controller's own shedding keeps the burn rate above the page
+// threshold forever, so it ratchets to admit-none and — with the alert now
+// pegged by the sheds it is itself causing — never comes back. Queue depth
+// is the one signal the control loop cannot poison: an empty queue with a
+// hot alert means the misses are echoes of past sheds, not current load.
+func (s *System) stepOverload(now sim.Time) {
+	if s.mon == nil {
+		// No monitor, no burn-rate signal: the brownout ladder stays put, but
+		// deadline-aware admission and the reaper still work off estimates.
+		return
+	}
+	st := s.mon.FleetAlert()
+	fast, _, _ := s.mon.FleetBurnRates()
+	hot := st >= slomon.AlertWarn
+	queued, alive := s.queuedPrefillLoad()
+	deep := alive > 0 && queued > escalateBacklog*s.cfg.MaxGroupSize*alive
+	s.cfg.Overload.Step(now, overload.Signals{
+		Page:     st == slomon.AlertPage && deep,
+		Warn:     hot && queued > 0,
+		FastBurn: fast,
+	})
+}
+
+// queuedPrefillLoad counts non-terminal requests waiting in alive prefill
+// queues, and the alive instances themselves.
+func (s *System) queuedPrefillLoad() (queued, alive int) {
+	for _, p := range s.prefills {
+		if p.dead {
+			continue
+		}
+		alive++
+		for _, g := range p.queue {
+			for _, q := range g.reqs {
+				if !q.terminal() {
+					queued++
+				}
+			}
+		}
+	}
+	return queued, alive
+}
+
+// shed rejects r for an overload reason, counting it by type. The request
+// goes through failRequest so its KV is reclaimed, live streams observe a
+// typed terminal error, and every unproduced token counts as an SLO miss —
+// shedding must never launder violations.
+func (s *System) shed(r *Request, reason string) {
+	s.shedReasons[reason]++
+	s.failRequest(r, "overload: "+reason)
+}
+
+// modelWarm reports whether the model is already resident on (or queued
+// toward) some alive instance, so a freeze on cold loads does not shed
+// requests that piggyback on work already under way.
+func (s *System) modelWarm(name string) bool {
+	for _, p := range s.prefills {
+		if p.dead {
+			continue
+		}
+		if cur := p.eng.Current(); cur != nil && cur.Name == name {
+			return true
+		}
+		for _, g := range p.queue {
+			if g.model == name {
+				return true
+			}
+		}
+	}
+	for _, d := range s.decodes {
+		if d.dead {
+			continue
+		}
+		if cur := d.eng.Current(); cur != nil && cur.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// estimateTTFT predicts the time until r's first token if admitted now: the
+// best over alive prefill instances of the queue work ahead of r's insertion
+// point (model switches plus per-request prefill execution, the same model
+// as prefillInstance.load) plus r's own switch-in and prefill. Returns
+// ok=false when no instance is alive.
+func (s *System) estimateTTFT(r *Request) (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	for _, p := range s.prefills {
+		if p.dead {
+			continue
+		}
+		est := p.estimateFor(r)
+		if !found || est < best {
+			best, found = est, true
+		}
+	}
+	return best, found
+}
+
+// estimateFor projects r's first-token latency on this instance: if an open
+// same-rank group of r's model has room, r runs at that group's tail;
+// otherwise it runs after the queued work of its own rank and above, behind
+// one more switch. Lower-rank groups are ordered behind r by orderQueue and
+// do not delay it — charging a high-tier arrival for low-tier work it will
+// jump ahead of would doom-shed exactly the requests the tiers protect.
+func (p *prefillInstance) estimateFor(r *Request) time.Duration {
+	rank := r.Priority.Rank()
+	var total time.Duration
+	prev := ""
+	if cur := p.eng.Current(); cur != nil {
+		prev = cur.Name
+	}
+	for _, g := range p.queue {
+		if g.rank < rank {
+			continue
+		}
+		m := p.sys.models[g.model]
+		if g.model != prev {
+			total += p.eng.CostFor(m).Switch()
+			prev = g.model
+		}
+		for _, q := range g.reqs {
+			if q.terminal() {
+				continue
+			}
+			total += p.eng.PrefillEstimate(m, q.InputTokens)
+		}
+		if g.model == r.Model.Name && g.rank == rank && g.size < p.sys.cfg.MaxGroupSize {
+			// r would join this group and run right after its tail.
+			return total + p.eng.PrefillEstimate(r.Model, r.InputTokens)
+		}
+	}
+	if r.Model.Name != prev {
+		total += p.eng.CostFor(r.Model).Switch()
+	}
+	return total + p.eng.PrefillEstimate(r.Model, r.InputTokens)
+}
+
+// armReaper schedules the queue reaper if overload control is on and it is
+// not already pending. The reaper re-arms itself only while prefill queues
+// are non-empty, so an idle simulation still drains and Run() returns.
+func (s *System) armReaper() {
+	if s.cfg.Overload == nil || s.reaperArmed {
+		return
+	}
+	s.reaperArmed = true
+	s.eng.After(reaperPeriod, s.reapQueues)
+}
+
+// reapQueues walks every prefill queue, projecting each queued request's
+// first-token time by cumulative switch and prefill cost, and aborts
+// mid-queue the requests that can no longer meet their deadline (plus, at
+// shed-low or deeper, any queued low-tier requests). Reaped requests release
+// their admission state through failRequest: KV reclaimed, live streams
+// closed with a typed error, every unproduced token counted as missed.
+func (s *System) reapQueues() {
+	s.reaperArmed = false
+	ctl := s.cfg.Overload
+	if ctl == nil {
+		return
+	}
+	now := s.eng.Now()
+	s.stepOverload(now)
+	shedLow := ctl.ShedLow()
+	var doomed, lowTier []*Request
+	nonEmpty := false
+	for _, p := range s.prefills {
+		if p.dead {
+			continue
+		}
+		if len(p.queue) > 0 {
+			nonEmpty = true
+		}
+		// Project in true service order so doom judgements match what step()
+		// will actually run, not the raw append order of late arrivals.
+		p.orderQueue()
+		var cum time.Duration
+		prev := ""
+		if cur := p.eng.Current(); cur != nil {
+			prev = cur.Name
+		}
+		for _, g := range p.queue {
+			m := p.sys.models[g.model]
+			if g.model != prev {
+				cum += p.eng.CostFor(m).Switch()
+				prev = g.model
+			}
+			for _, q := range g.reqs {
+				if q.terminal() {
+					continue
+				}
+				cum += p.eng.PrefillEstimate(m, q.InputTokens)
+				switch {
+				case now+cum > q.Deadline+doomGrace:
+					doomed = append(doomed, q)
+				case shedLow && q.Priority == workload.PriorityLow:
+					lowTier = append(lowTier, q)
+				}
+			}
+		}
+	}
+	for _, q := range doomed {
+		s.shed(q, ShedReaped)
+		s.removeFromQueues(q)
+	}
+	for _, q := range lowTier {
+		s.shed(q, ShedLowPriority)
+		s.removeFromQueues(q)
+	}
+	if nonEmpty {
+		s.reaperArmed = true
+		s.eng.After(reaperPeriod, s.reapQueues)
+	}
+}

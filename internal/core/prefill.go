@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sort"
 	"time"
 
 	"aegaeon/internal/engine"
@@ -16,6 +17,14 @@ type group struct {
 	model string
 	reqs  []*Request
 	size  int // cumulative admissions — never decremented (Algorithm 1 note)
+
+	// rank is the priority rank shared by every member (joins under overload
+	// control require matching rank, so a group is orderable as a unit);
+	// deadline is the earliest first-token deadline among members. Together
+	// they give the degraded-mode queue order: rank first, then slack —
+	// which, within one rank and SLO class, is FCFS.
+	rank     int
+	deadline sim.Time
 }
 
 // prefillInstance runs Algorithm 1's execution event: one request at a time
@@ -39,20 +48,37 @@ func newPrefillInstance(s *System, e *engine.Engine) *prefillInstance {
 // group of its model that has not reached MAX_GPSIZE (cumulative size, so
 // FCFS order is not violated by endless joins).
 func (p *prefillInstance) tryJoinGroup(r *Request) bool {
+	ordered := p.sys.cfg.Overload != nil
 	for _, g := range p.queue {
-		if g.model == r.Model.Name && g.size < p.sys.cfg.MaxGroupSize {
-			g.reqs = append(g.reqs, r)
-			g.size++
-			p.wake()
-			return true
+		if g.model != r.Model.Name || g.size >= p.sys.cfg.MaxGroupSize {
+			continue
 		}
+		// Under overload control groups are ordered by (rank, deadline), so
+		// they must stay rank-homogeneous: a low-tier request joining a
+		// high-tier group would ride its priority.
+		if ordered && g.rank != r.Priority.Rank() {
+			continue
+		}
+		g.reqs = append(g.reqs, r)
+		g.size++
+		if g.deadline == 0 || r.Deadline < g.deadline {
+			g.deadline = r.Deadline
+		}
+		p.wake()
+		return true
 	}
 	return false
 }
 
 // newGroup appends a fresh group for r (Algorithm 1 line 13).
 func (p *prefillInstance) newGroup(r *Request) {
-	p.queue = append(p.queue, &group{model: r.Model.Name, reqs: []*Request{r}, size: 1})
+	p.queue = append(p.queue, &group{
+		model:    r.Model.Name,
+		reqs:     []*Request{r},
+		size:     1,
+		rank:     r.Priority.Rank(),
+		deadline: r.Deadline,
+	})
 	p.wake()
 }
 
@@ -85,6 +111,23 @@ func (p *prefillInstance) wake() {
 	p.step()
 }
 
+// orderQueue re-sorts pending groups for overload control: higher priority
+// rank first, then earliest first-token deadline — deadline order within one
+// rank and SLO class is arrival order, so this degrades to grouped FCFS with
+// slack tiebreaks. A no-op (pure FCFS, Algorithm 1) when overload control is
+// off.
+func (p *prefillInstance) orderQueue() {
+	if p.sys.cfg.Overload == nil || len(p.queue) < 2 {
+		return
+	}
+	sort.SliceStable(p.queue, func(i, j int) bool {
+		if p.queue[i].rank != p.queue[j].rank {
+			return p.queue[i].rank > p.queue[j].rank
+		}
+		return p.queue[i].deadline < p.queue[j].deadline
+	})
+}
+
 // step serves the next job from the front group (Algorithm 1 line 15).
 func (p *prefillInstance) step() {
 	if p.dead {
@@ -92,6 +135,7 @@ func (p *prefillInstance) step() {
 		return
 	}
 	p.inflight = nil
+	p.orderQueue()
 	for len(p.queue) > 0 {
 		front := p.queue[0]
 		// Terminal requests (aborted clients, rejected work) are skipped, not

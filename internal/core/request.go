@@ -23,6 +23,14 @@ type Request struct {
 	InputTokens  int
 	OutputTokens int // total tokens to produce, including the first
 
+	// Priority is the request's service tier: overload shedding removes low
+	// tiers first and degraded prefill scheduling serves high tiers first.
+	Priority workload.Priority
+	// Deadline is the request's first-token deadline (arrival + TTFT target
+	// under its SLO), precomputed at submission for deadline-aware queue
+	// ordering and the overload reaper.
+	Deadline sim.Time
+
 	// TokenTimes[i] is the completion time of token i. Token 0 is produced
 	// by prefill; tokens 1..OutputTokens-1 by decoding steps.
 	TokenTimes []sim.Time
@@ -52,6 +60,10 @@ type Request struct {
 	// for batch Finalize reporting; their SLO observation folds into the
 	// tracker at completion so a long-running server stays bounded.
 	live bool
+	// monFed marks batch requests whose SLO judgement already reached the
+	// live monitor mid-run (failRequest feeds sheds immediately so burn
+	// rates reflect overload as it happens); Finalize must not re-feed them.
+	monFed bool
 
 	// Latency breakdown bookkeeping (Fig. 14).
 	prefillStart sim.Time
@@ -67,6 +79,7 @@ func newRequest(wr workload.Request, m *model.Model) *Request {
 		Arrival:      wr.Arrival,
 		InputTokens:  wr.InputTokens,
 		OutputTokens: wr.OutputTokens,
+		Priority:     wr.Priority,
 	}
 }
 

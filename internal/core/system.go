@@ -12,6 +12,7 @@ import (
 	"aegaeon/internal/metrics"
 	"aegaeon/internal/model"
 	"aegaeon/internal/obs"
+	"aegaeon/internal/overload"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
 	"aegaeon/internal/slomon"
@@ -80,6 +81,14 @@ type Config struct {
 	// engine's fetch and KV-transfer paths. Nil (the default) keeps the
 	// system byte-identical to a fault-free build.
 	Faults *fault.Faults
+
+	// Overload, when non-nil, enables overload control: the brownout
+	// controller is stepped from the live monitor's burn-rate state at every
+	// admission, requests are shed by tier and by first-token feasibility,
+	// degraded prefill scheduling orders groups by (priority, slack), and a
+	// reaper aborts doomed requests mid-queue. Nil (the default) leaves
+	// scheduling byte-identical to the uncontrolled system.
+	Overload *overload.Controller
 
 	DaemonPoll time.Duration
 }
@@ -182,16 +191,23 @@ type System struct {
 	prefills []*prefillInstance
 	decodes  []*decodeInstance
 
-	tracker   *slo.Tracker
-	mon       *slomon.Monitor
-	tracer    *trace.Tracer
-	obs       *obs.Collector
-	breakdown *metrics.Breakdown
-	requests  []*Request
-	completed int
-	failed    int
-	aborted   int
-	liveOpen  int // live-submitted requests not yet finished
+	tracker *slo.Tracker
+	// prioTrackers mirrors every tracker observation per service tier,
+	// indexed by workload.Priority, so overload reports can show that
+	// shedding protected high-tier attainment instead of laundering misses.
+	prioTrackers [workload.NumPriorities]*slo.Tracker
+	// shedReasons counts overload sheds by typed reason.
+	shedReasons map[string]int
+	reaperArmed bool
+	mon         *slomon.Monitor
+	tracer      *trace.Tracer
+	obs         *obs.Collector
+	breakdown   *metrics.Breakdown
+	requests    []*Request
+	completed   int
+	failed      int
+	aborted     int
+	liveOpen    int // live-submitted requests not yet finished
 
 	// orphans stashes the in-flight requests of crashed instances, keyed by
 	// engine name, until RecoverOrphansOf re-dispatches them.
@@ -230,13 +246,17 @@ func NewSystem(se *sim.Engine, cfg Config) *System {
 		modelCache: memory.NewModelCache(int64(float64(dram) * 0.6)),
 		cpuKV: kvcache.NewCache("cpu-kv", int64(float64(dram)*0.3),
 			cfg.KVSlabBytes, cfg.BlockTokens),
-		models:    map[string]*model.Model{},
-		orphans:   map[string][]*Request{},
-		tracker:   slo.NewTracker(),
-		mon:       cfg.SLOMon,
-		tracer:    cfg.Tracer,
-		obs:       cfg.Obs,
-		breakdown: &metrics.Breakdown{},
+		models:      map[string]*model.Model{},
+		orphans:     map[string][]*Request{},
+		shedReasons: map[string]int{},
+		tracker:     slo.NewTracker(),
+		mon:         cfg.SLOMon,
+		tracer:      cfg.Tracer,
+		obs:         cfg.Obs,
+		breakdown:   &metrics.Breakdown{},
+	}
+	for i := range s.prioTrackers {
+		s.prioTrackers[i] = slo.NewTracker()
 	}
 	for _, m := range cfg.Models {
 		s.models[m.Name] = m
@@ -283,8 +303,13 @@ func (s *System) Submit(trace []workload.Request) error {
 		}
 		wr := wr
 		r := newRequest(wr, m)
+		r.Deadline = s.sloFor(wr.Model).Deadline(wr.Arrival, 0)
 		s.requests = append(s.requests, r)
-		s.eng.At(wr.Arrival, func() { s.dispatchPrefill(r) })
+		s.eng.At(wr.Arrival, func() {
+			if s.admitOverload(r) {
+				s.dispatchPrefill(r)
+			}
+		})
 	}
 	return nil
 }
@@ -306,11 +331,14 @@ func (s *System) SubmitLive(wr workload.Request, onToken func(i int, at sim.Time
 	}
 	wr.Arrival = s.eng.Now()
 	r := newRequest(wr, m)
+	r.Deadline = s.sloFor(wr.Model).Deadline(wr.Arrival, 0)
 	r.live = true
 	r.OnToken = onToken
 	r.OnDone = onDone
 	s.liveOpen++
-	s.dispatchPrefill(r)
+	if s.admitOverload(r) {
+		s.dispatchPrefill(r)
+	}
 	return r, nil
 }
 
@@ -445,6 +473,7 @@ func (s *System) finishRequest(r *Request) {
 	if r.live {
 		s.liveOpen--
 		s.tracker.ObserveRequest(s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
+		s.prioTrackers[r.Priority].ObserveRequest(s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
 		s.mon.ObserveRequest(r.Model.Name, s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
 	}
 	if r.OnDone != nil {
@@ -472,11 +501,23 @@ func (s *System) failRequest(r *Request, reason string) {
 	if r.live {
 		s.liveOpen--
 		s.tracker.ObserveRequest(s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
+		s.prioTrackers[r.Priority].ObserveRequest(s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
 		s.mon.ObserveRequest(r.Model.Name, s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
 		for i := r.Generated(); i < r.OutputTokens; i++ {
 			s.tracker.ObserveDropped()
+			s.prioTrackers[r.Priority].ObserveDropped()
 		}
 		s.noteDroppedTokens(r, s.eng.Now(), true)
+	} else if s.mon != nil {
+		// Batch requests are normally judged at Finalize, but a failed
+		// request's misses must reach the live monitor when they happen:
+		// the brownout controller reads burn rates mid-run, and deferring
+		// the burst to the end of the run would hide the very overload it
+		// is supposed to react to. The tracker keeps its Finalize-time
+		// accounting; only the windowed monitor is fed early.
+		s.mon.ObserveRequest(r.Model.Name, s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
+		s.noteDroppedTokens(r, s.eng.Now(), true)
+		r.monFed = true
 	}
 	if r.OnDone != nil {
 		r.OnDone(r)
@@ -502,6 +543,7 @@ func (s *System) Abort(r *Request) {
 		// Tokens delivered before the disconnect still count toward SLO
 		// attainment; the tail the client walked away from does not.
 		s.tracker.ObserveRequest(s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
+		s.prioTrackers[r.Priority].ObserveRequest(s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
 		s.mon.ObserveRequest(r.Model.Name, s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
 	}
 }
@@ -571,14 +613,20 @@ func (s *System) Finalize(endTime sim.Time) {
 		times := make([]time.Duration, len(r.TokenTimes))
 		copy(times, r.TokenTimes)
 		s.tracker.ObserveRequest(rslo, r.Arrival, times)
-		s.mon.ObserveRequest(r.Model.Name, rslo, r.Arrival, times)
+		s.prioTrackers[r.Priority].ObserveRequest(rslo, r.Arrival, times)
+		if !r.monFed {
+			s.mon.ObserveRequest(r.Model.Name, rslo, r.Arrival, times)
+		}
 		if !r.Done {
 			for i := len(r.TokenTimes); i < r.OutputTokens; i++ {
 				if rslo.Deadline(r.Arrival, i) <= endTime {
 					s.tracker.ObserveDropped() // one missed token each
+					s.prioTrackers[r.Priority].ObserveDropped()
 				}
 			}
-			s.noteDroppedTokens(r, endTime, false)
+			if !r.monFed {
+				s.noteDroppedTokens(r, endTime, false)
+			}
 		}
 		// Breakdown (Fig. 14).
 		if len(r.TokenTimes) == 0 {
@@ -617,6 +665,25 @@ func (s *System) Finalize(endTime sim.Time) {
 
 // Attainment returns the token-level SLO attainment (call Finalize first).
 func (s *System) Attainment() float64 { return s.tracker.Attainment() }
+
+// PriorityTracker returns the per-tier SLO tracker for p, mirroring every
+// observation the main tracker receives.
+func (s *System) PriorityTracker(p workload.Priority) *slo.Tracker {
+	return s.prioTrackers[p]
+}
+
+// OverloadSheds returns overload shed counts by typed reason (a copy).
+func (s *System) OverloadSheds() map[string]int {
+	out := make(map[string]int, len(s.shedReasons))
+	for k, v := range s.shedReasons {
+		out[k] = v
+	}
+	return out
+}
+
+// Overload exposes the brownout controller (nil when overload control is
+// off).
+func (s *System) Overload() *overload.Controller { return s.cfg.Overload }
 
 // Tracker exposes the SLO tracker.
 func (s *System) Tracker() *slo.Tracker { return s.tracker }

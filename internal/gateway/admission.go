@@ -11,8 +11,13 @@ type tokenBucket struct {
 	last   time.Time
 }
 
-func newTokenBucket(rate float64, burst int) tokenBucket {
-	return tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+// newTokenBucket seeds the refill clock at construction: the first allow()
+// call then refills for exactly the elapsed time since the gateway came up,
+// rather than special-casing a zero timestamp. (The old first-call guard
+// skipped the refill entirely, so a sub-second-spaced first pair of requests
+// after a quiet start could observe burst+1 effective capacity.)
+func newTokenBucket(rate float64, burst int, now time.Time) tokenBucket {
+	return tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: now}
 }
 
 // allow consumes one token if available, refilling by elapsed wall time.
@@ -20,13 +25,46 @@ func (b *tokenBucket) allow(now time.Time) bool {
 	if b.rate <= 0 {
 		return true
 	}
-	if !b.last.IsZero() {
-		b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if elapsed := now.Sub(b.last); elapsed > 0 {
+		b.tokens += elapsed.Seconds() * b.rate
 		if b.tokens > b.burst {
 			b.tokens = b.burst
 		}
 	}
 	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// retryBudget keeps client retries from amplifying an incident: every fresh
+// (attempt-zero) admission deposits a fraction of a token, and each retry
+// spends a whole one. When retries outnumber ratio × fresh traffic the
+// budget empties and further retries are rejected outright, so a retry storm
+// against an overloaded fleet decays instead of compounding. Callers must
+// hold the gateway mutex.
+type retryBudget struct {
+	ratio  float64
+	burst  float64
+	tokens float64
+}
+
+func newRetryBudget(ratio float64, burst int) retryBudget {
+	return retryBudget{ratio: ratio, burst: float64(burst), tokens: float64(burst)}
+}
+
+// deposit credits the budget for one fresh request.
+func (b *retryBudget) deposit() {
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// spend consumes one token for a retry, reporting whether it was available.
+func (b *retryBudget) spend() bool {
 	if b.tokens < 1 {
 		return false
 	}

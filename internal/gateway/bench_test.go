@@ -3,6 +3,8 @@ package gateway
 import (
 	"fmt"
 	"testing"
+
+	"aegaeon/internal/workload"
 )
 
 // BenchmarkGatewayAdmission measures the admission-control hot path — the
@@ -19,7 +21,7 @@ func BenchmarkGatewayAdmission(b *testing.B) {
 		if !ok {
 			b.Fatalf("admission rejected: %d %s", code, reason)
 		}
-		gw.releaseAdmission(m)
+		gw.releaseAdmission(m, workload.PriorityNormal)
 	}
 }
 
@@ -35,7 +37,7 @@ func BenchmarkGatewayAdmissionParallel(b *testing.B) {
 			m := names[i%len(names)]
 			i++
 			if ok, _, _, _ := gw.tryAdmit(m); ok {
-				gw.releaseAdmission(m)
+				gw.releaseAdmission(m, workload.PriorityNormal)
 			}
 		}
 	})

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,7 @@ import (
 	"aegaeon/internal/fault"
 	"aegaeon/internal/metrics"
 	"aegaeon/internal/obs"
+	"aegaeon/internal/overload"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slomon"
 	"aegaeon/internal/workload"
@@ -71,6 +73,70 @@ type Options struct {
 	// HealthChecks starts the cluster's lease renewal and failover monitor
 	// with the event loop (StopHealth is always posted on Shutdown).
 	HealthChecks bool
+	// Overload, when non-nil, enables overload control at the HTTP edge:
+	// predictive admission (estimated TTFT vs target, honest Retry-After),
+	// brownout-level shedding driven by the SLO monitor's burn rates, and a
+	// retry budget. Share its Controller with cluster.Config.Overload so the
+	// edge and the scheduler degrade in lockstep.
+	Overload *OverloadOptions
+}
+
+// OverloadOptions tunes the gateway side of overload control.
+type OverloadOptions struct {
+	// Controller is the brownout state machine (created if nil). The
+	// gateway's wall-clock loop steps it from the SLO monitor's fleet alert;
+	// sharing it with the cluster lets the scheduler see the same level.
+	Controller *overload.Controller
+	// TTFT is the first-token target predictive admission defends
+	// (default 10s, the paper's production TTFT SLO).
+	TTFT time.Duration
+	// GroupSize is the scheduler's prefill group size, which sets how many
+	// queued requests amortize one model switch in the estimate (default 8).
+	GroupSize int
+	// SwitchCostHint seeds the per-switch cost until observed switch records
+	// exist (default 300ms).
+	SwitchCostHint time.Duration
+	// ThroughputFloor clamps the prefill-throughput estimate (tokens/s,
+	// default 2000). The estimate is derived from observed TTFTs, which
+	// include queueing, so it is biased low; the floor keeps that honest
+	// bias from rejecting everything during a backlog spike.
+	ThroughputFloor float64
+	// RetryRatio is the retry-budget deposit per fresh request (default
+	// 0.1: retries may be at most ~10% of fresh traffic in steady state).
+	RetryRatio float64
+	// RetryBurst is the retry budget's capacity (default 32).
+	RetryBurst int
+}
+
+func (o *OverloadOptions) defaults() {
+	if o.Controller == nil {
+		o.Controller = overload.NewController(overload.Config{})
+	}
+	if o.TTFT <= 0 {
+		o.TTFT = 10 * time.Second
+	}
+	if o.GroupSize <= 0 {
+		o.GroupSize = 8
+	}
+	if o.SwitchCostHint <= 0 {
+		o.SwitchCostHint = 300 * time.Millisecond
+	}
+	if o.ThroughputFloor <= 0 {
+		o.ThroughputFloor = 2000
+	}
+	if o.RetryRatio <= 0 {
+		o.RetryRatio = 0.1
+	}
+	if o.RetryBurst <= 0 {
+		o.RetryBurst = 32
+	}
+}
+
+// overloadReasons are the admission-rejection reasons specific to overload
+// control, pre-seeded so their metric series exist at zero from first scrape.
+var overloadReasons = []string{
+	"admit_none", "shed_low_priority", "frozen_cold_model",
+	"retry_budget", "predicted_ttft_miss",
 }
 
 func (o *Options) defaults() {
@@ -94,6 +160,9 @@ func (o *Options) defaults() {
 	}
 	if o.ShedFraction <= 0 || o.ShedFraction > 1 {
 		o.ShedFraction = 0.9
+	}
+	if o.Overload != nil {
+		o.Overload.defaults()
 	}
 }
 
@@ -121,6 +190,17 @@ type Gateway struct {
 	drained   chan struct{}
 	drainOnce sync.Once
 
+	// Overload-control state (all but brownStop guarded by mu).
+	queuedPrio     [workload.NumPriorities]int // indexed by Priority.Rank()
+	tput           float64                     // prefill tokens/s EWMA for the TTFT estimator
+	switchEst      time.Duration               // cached per-switch cost estimate
+	switchEstAt    time.Time                   // last refresh of switchEst
+	retry          retryBudget
+	retryExhausted uint64
+	ovlRejected    map[string]uint64 // overload rejection reason -> count
+	brownStop      chan struct{}
+	brownOnce      sync.Once
+
 	// Snapshot cache for /metrics after the driver has stopped.
 	lastSwitches uint64
 	lastVirtual  time.Duration
@@ -137,31 +217,73 @@ type Gateway struct {
 // must be called before serving traffic.
 func New(drv *sim.Driver, cl *cluster.Cluster, opts Options) *Gateway {
 	opts.defaults()
-	return &Gateway{
-		drv:      drv,
-		cl:       cl,
-		opts:     opts,
-		queued:   map[string]int{},
-		rejected: map[string]uint64{},
-		statuses: map[int]uint64{},
-		breakers: map[string]*fault.Breaker{},
-		bucket:   newTokenBucket(opts.RatePerSec, opts.Burst),
-		drained:  make(chan struct{}),
-		ttft:     metrics.NewSafeCDF(opts.QuantileSamples),
-		tbt:      metrics.NewSafeCDF(opts.QuantileSamples),
+	g := &Gateway{
+		drv:       drv,
+		cl:        cl,
+		opts:      opts,
+		queued:    map[string]int{},
+		rejected:  map[string]uint64{},
+		statuses:  map[int]uint64{},
+		breakers:  map[string]*fault.Breaker{},
+		bucket:    newTokenBucket(opts.RatePerSec, opts.Burst, time.Now()),
+		brownStop: make(chan struct{}),
+		drained:   make(chan struct{}),
+		ttft:      metrics.NewSafeCDF(opts.QuantileSamples),
+		tbt:       metrics.NewSafeCDF(opts.QuantileSamples),
 		// 10ms..~41s and 2.5ms..~10s: wide enough to bucket both snappy
 		// token streams and deeply queued overload tails.
 		ttftHist: metrics.NewHistogram(metrics.ExponentialBounds(0.01, 2, 12)...),
 		tbtHist:  metrics.NewHistogram(metrics.ExponentialBounds(0.0025, 2, 12)...),
 	}
+	if ov := opts.Overload; ov != nil {
+		g.tput = ov.ThroughputFloor
+		g.switchEst = ov.SwitchCostHint
+		g.retry = newRetryBudget(ov.RetryRatio, ov.RetryBurst)
+		g.ovlRejected = make(map[string]uint64, len(overloadReasons))
+		for _, r := range overloadReasons {
+			g.ovlRejected[r] = 0
+		}
+	}
+	return g
 }
 
 // Start launches the real-time event loop (and, when configured, the
-// cluster's health-lease machinery on it).
+// cluster's health-lease machinery and the brownout controller loop on it).
 func (g *Gateway) Start() {
 	g.drv.Start()
 	if g.opts.HealthChecks {
 		_ = g.drv.Post(g.cl.StartHealth)
+	}
+	if ov := g.opts.Overload; ov != nil {
+		go g.brownoutLoop(ov)
+	}
+}
+
+// brownoutLoop steps the brownout controller on the wall clock from the SLO
+// monitor's fleet alert and burn-rate state, so the level escalates and
+// recovers even when no admissions arrive to step it. Virtual time comes
+// from the event loop (a Call), keeping controller hysteresis in the same
+// clock domain as the scheduler's admission-path steps.
+func (g *Gateway) brownoutLoop(ov *OverloadOptions) {
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-g.brownStop:
+			return
+		case <-tick.C:
+			st := g.opts.SLOMon.FleetAlert()
+			fast, _, _ := g.opts.SLOMon.FleetBurnRates()
+			var now sim.Time
+			if err := g.drv.Call(func() { now = g.cl.VirtualNow() }); err != nil {
+				return // driver stopped
+			}
+			ov.Controller.Step(now, overload.Signals{
+				Page:     st == slomon.AlertPage,
+				Warn:     st >= slomon.AlertWarn,
+				FastBurn: fast,
+			})
+		}
 	}
 }
 
@@ -185,6 +307,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/debug/slo/alerts", g.handleDebugSLOAlerts)
 	mux.HandleFunc("/debug/slo/stream", g.handleDebugSLOStream)
 	mux.HandleFunc("/debug/dash", g.handleDebugDash)
+	mux.HandleFunc("/debug/overload", g.handleDebugOverload)
 	return mux
 }
 
@@ -193,6 +316,7 @@ func (g *Gateway) Handler() http.Handler {
 // stop the event loop. Returns ctx.Err() if the deadline expires first (the
 // loop is stopped regardless).
 func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.brownOnce.Do(func() { close(g.brownStop) })
 	g.mu.Lock()
 	g.draining = true
 	if g.inflight == 0 {
@@ -244,16 +368,24 @@ func (g *Gateway) breakerFor(model string) *fault.Breaker {
 	return br
 }
 
-// tryAdmit runs admission control for one request to model. On success the
-// caller owns one admission slot and must release it via finish (normal
+// tryAdmit is admitRequest for a normal-priority, attempt-zero request with
+// no prompt-length hint — the pre-overload-control admission surface.
+func (g *Gateway) tryAdmit(model string) (ok bool, code int, reason string, retryAfter time.Duration) {
+	return g.admitRequest(model, workload.PriorityNormal, 1, 0)
+}
+
+// admitRequest runs admission control for one request to model. On success
+// the caller owns one admission slot and must release it via finish (normal
 // completion), releaseAdmission (submission failure), or abortRelease
 // (client disconnect). retryAfter accompanies 503s (graceful degradation:
-// shed load tells clients when to come back).
-func (g *Gateway) tryAdmit(model string) (ok bool, code int, reason string, retryAfter time.Duration) {
+// shed load tells clients when to come back — for predictive rejections it
+// is computed from the TTFT estimate, not a constant).
+func (g *Gateway) admitRequest(model string, prio workload.Priority, inTok, retryAttempt int) (ok bool, code int, reason string, retryAfter time.Duration) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	shed := int(float64(g.opts.MaxInFlight) * g.opts.ShedFraction)
 	retryAfter = time.Second
+	ov := g.opts.Overload
 	switch {
 	case g.draining:
 		code, reason = http.StatusServiceUnavailable, "draining"
@@ -263,6 +395,23 @@ func (g *Gateway) tryAdmit(model string) (ok bool, code int, reason string, retr
 		if brOK, ra := g.breakerFor(model).Allow(); !brOK {
 			code, reason, retryAfter = http.StatusServiceUnavailable, "circuit_open", ra
 			break
+		}
+		if ov != nil {
+			// Brownout-level policy first: the controller's word overrides
+			// per-model heuristics.
+			ctl := ov.Controller
+			switch {
+			case ctl.AdmitNone():
+				code, reason = http.StatusServiceUnavailable, "admit_none"
+			case ctl.ShedLow() && prio == workload.PriorityLow:
+				code, reason = http.StatusServiceUnavailable, "shed_low_priority"
+			case ctl.FreezeCold() && g.queued[model] == 0:
+				code, reason = http.StatusServiceUnavailable, "frozen_cold_model"
+			}
+			if reason != "" {
+				g.ovlRejected[reason]++
+				break
+			}
 		}
 		switch {
 		case g.inflight >= shed && g.queued[model] == 0:
@@ -275,8 +424,37 @@ func (g *Gateway) tryAdmit(model string) (ok bool, code int, reason string, retr
 		case !g.bucket.allow(time.Now()):
 			code, reason = http.StatusTooManyRequests, "rate_limited"
 		default:
+			if ov != nil {
+				// Predictive admission: estimate this request's TTFT from the
+				// queue at its priority or above, the observed switch cost,
+				// and recent prefill throughput. A request that cannot meet
+				// its target is cheaper to reject now, with an honest
+				// Retry-After, than to serve late.
+				depth := 0
+				for rank := prio.Rank(); rank < workload.NumPriorities; rank++ {
+					depth += g.queuedPrio[rank]
+				}
+				est := EstimateTTFT(depth, g.switchEstLocked(time.Now()), g.tput, inTok, ov.GroupSize)
+				if est > ov.TTFT {
+					code, reason = http.StatusServiceUnavailable, "predicted_ttft_miss"
+					retryAfter = RetryAfter(est, ov.TTFT)
+					g.ovlRejected[reason]++
+					break
+				}
+				if retryAttempt > 0 {
+					if !g.retry.spend() {
+						code, reason = http.StatusServiceUnavailable, "retry_budget"
+						g.retryExhausted++
+						g.ovlRejected[reason]++
+						break
+					}
+				} else {
+					g.retry.deposit()
+				}
+			}
 			g.inflight++
 			g.queued[model]++
+			g.queuedPrio[prio.Rank()]++
 			g.admitted++
 			return true, http.StatusOK, "", 0
 		}
@@ -285,12 +463,43 @@ func (g *Gateway) tryAdmit(model string) (ok bool, code int, reason string, retr
 	return false, code, reason, retryAfter
 }
 
-// releaseAdmission undoes tryAdmit without recording a completion.
-func (g *Gateway) releaseAdmission(model string) {
+// switchEstLocked returns the per-switch cost estimate, refreshed from the
+// observability collector's recent switch records at most once per second.
+// Must be called with g.mu held.
+func (g *Gateway) switchEstLocked(now time.Time) time.Duration {
+	if now.Sub(g.switchEstAt) < time.Second {
+		return g.switchEst
+	}
+	g.switchEstAt = now
+	if g.opts.Obs != nil {
+		if recs, _ := g.opts.Obs.Switches(); len(recs) > 0 {
+			lo := len(recs) - 32
+			if lo < 0 {
+				lo = 0
+			}
+			var sum time.Duration
+			n := 0
+			for _, sr := range recs[lo:] {
+				if sr.Stall > 0 {
+					sum += sr.Stall
+					n++
+				}
+			}
+			if n > 0 {
+				g.switchEst = sum / time.Duration(n)
+			}
+		}
+	}
+	return g.switchEst
+}
+
+// releaseAdmission undoes admitRequest without recording a completion.
+func (g *Gateway) releaseAdmission(model string, prio workload.Priority) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.inflight--
 	g.queued[model]--
+	g.queuedPrio[prio.Rank()]--
 	if g.draining && g.inflight == 0 {
 		g.closeDrained()
 	}
@@ -301,17 +510,32 @@ func (g *Gateway) releaseAdmission(model string) {
 // consecutive failures trip it open so follow-on traffic is shed at
 // admission instead of queueing behind a dead partition.
 func (g *Gateway) finish(model string, r *core.Request) {
+	var tputSample float64
 	if n := len(r.TokenTimes); n > 0 {
-		g.ttft.AddDuration(r.TokenTimes[0] - r.Arrival)
-		g.ttftHist.ObserveDuration(r.TokenTimes[0] - r.Arrival)
+		ttft := r.TokenTimes[0] - r.Arrival
+		g.ttft.AddDuration(ttft)
+		g.ttftHist.ObserveDuration(ttft)
 		for i := 1; i < n; i++ {
 			g.tbt.AddDuration(r.TokenTimes[i] - r.TokenTimes[i-1])
 			g.tbtHist.ObserveDuration(r.TokenTimes[i] - r.TokenTimes[i-1])
+		}
+		if ttft > 0 {
+			// Prefill throughput sample for the admission estimator. TTFT
+			// includes queueing, so this under-reads raw prefill speed; the
+			// floor clamp below bounds that (documented, conservative) bias.
+			tputSample = float64(r.InputTokens) / time.Duration(ttft).Seconds()
 		}
 	}
 	g.mu.Lock()
 	g.inflight--
 	g.queued[model]--
+	g.queuedPrio[r.Priority.Rank()]--
+	if ov := g.opts.Overload; ov != nil && tputSample > 0 {
+		g.tput = 0.8*g.tput + 0.2*tputSample
+		if g.tput < ov.ThroughputFloor {
+			g.tput = ov.ThroughputFloor
+		}
+	}
 	if r.Failed {
 		g.failed++
 		g.breakerFor(model).Failure()
@@ -328,10 +552,11 @@ func (g *Gateway) finish(model string, r *core.Request) {
 // abortRelease releases an admission slot for a client-disconnected request
 // and counts the abort. Runs on the simulation goroutine (after the abort
 // took effect).
-func (g *Gateway) abortRelease(model string) {
+func (g *Gateway) abortRelease(model string, prio workload.Priority) {
 	g.mu.Lock()
 	g.inflight--
 	g.queued[model]--
+	g.queuedPrio[prio.Rank()]--
 	g.aborted++
 	if g.draining && g.inflight == 0 {
 		g.closeDrained()
@@ -400,6 +625,9 @@ type completionRequest struct {
 	// InputTokens overrides the prompt-length estimate.
 	InputTokens int  `json:"input_tokens"`
 	Stream      bool `json:"stream"`
+	// Priority is the request's service tier: "high", "normal" (default),
+	// or "low". Overload control sheds lower tiers first.
+	Priority string `json:"priority"`
 }
 
 type completionChoice struct {
@@ -452,12 +680,32 @@ func (g *Gateway) handleCompletions(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, "max_tokens and input_tokens must be non-negative")
 		return
 	}
+	prio, perr := workload.ParsePriority(req.Priority)
+	if perr != nil {
+		g.countStatus(http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, "invalid priority %q", req.Priority)
+		return
+	}
+	// X-Retry-Attempt: 0 (or absent) marks a fresh request; retries spend
+	// from the retry budget so client retry storms cannot amplify incidents.
+	retryAttempt := 0
+	if v := r.Header.Get("X-Retry-Attempt"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			retryAttempt = n
+		}
+	}
 	outTok := req.MaxTokens
 	if outTok == 0 {
 		outTok = 64
 	}
 	if outTok > g.opts.MaxTokensCap {
 		outTok = g.opts.MaxTokensCap
+	}
+	if ov := g.opts.Overload; ov != nil {
+		// Brownout decode shrinking is applied here, before the stream is
+		// set up, so the client is promised exactly the tokens the core
+		// will produce.
+		outTok = ov.Controller.OutputCap(outTok)
 	}
 	inTok := req.InputTokens
 	if inTok <= 0 {
@@ -473,7 +721,7 @@ func (g *Gateway) handleCompletions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ok, code, reason, retryAfter := g.tryAdmit(req.Model)
+	ok, code, reason, retryAfter := g.admitRequest(req.Model, prio, inTok, retryAttempt)
 	if !ok {
 		g.countStatus(code)
 		secs := int(retryAfter / time.Second)
@@ -497,7 +745,7 @@ func (g *Gateway) handleCompletions(w http.ResponseWriter, r *http.Request) {
 	var cr *core.Request
 	err := g.drv.Post(func() {
 		sub, err := g.cl.SubmitLive(
-			workload.Request{ID: id, Model: req.Model, InputTokens: inTok, OutputTokens: outTok},
+			workload.Request{ID: id, Model: req.Model, InputTokens: inTok, OutputTokens: outTok, Priority: prio},
 			func(i int, at sim.Time) {
 				select {
 				case tokens <- tokenEvent{i, at}:
@@ -511,14 +759,14 @@ func (g *Gateway) handleCompletions(w http.ResponseWriter, r *http.Request) {
 			},
 		)
 		if err != nil {
-			g.releaseAdmission(req.Model)
+			g.releaseAdmission(req.Model, prio)
 			errCh <- err
 			return
 		}
 		cr = sub
 	})
 	if err != nil {
-		g.releaseAdmission(req.Model)
+		g.releaseAdmission(req.Model, prio)
 		g.countStatus(http.StatusServiceUnavailable)
 		w.Header().Set("Retry-After", "1")
 		writeJSONError(w, http.StatusServiceUnavailable, "gateway stopped")
@@ -535,7 +783,7 @@ func (g *Gateway) handleCompletions(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			g.cl.Abort(cr)
-			g.abortRelease(req.Model)
+			g.abortRelease(req.Model, prio)
 		})
 	}
 

@@ -1,0 +1,49 @@
+package gateway
+
+import "time"
+
+// EstimateTTFT predicts time-to-first-token for a request joining the
+// admission queue, in virtual time:
+//
+//	est = (depth+1) · prompt/throughput + ceil((depth+1)/groupSize) · switchCost
+//
+// where depth is the number of admitted-but-unfinished requests at the same
+// or higher priority, prompt is this request's input length (a stand-in for
+// the queue's per-request prefill work), throughput is the recent prefill
+// rate in tokens/second, and every groupSize requests pay one model switch —
+// the grouped-FCFS amortization of Algorithm 1. The estimate is deliberately
+// simple and honest about its bias: queue depth includes requests already
+// decoding (prefill done), so it overestimates under mixed load, making
+// predictive rejection conservative — it trips only when the backlog is
+// decisively past the deadline.
+func EstimateTTFT(queueDepth int, switchCost time.Duration, throughputTokPerSec float64, promptTokens, groupSize int) time.Duration {
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	if promptTokens < 1 {
+		promptTokens = 1
+	}
+	if groupSize < 1 {
+		groupSize = 1
+	}
+	if throughputTokPerSec <= 0 {
+		throughputTokPerSec = 1
+	}
+	ahead := queueDepth + 1
+	prefill := time.Duration(float64(ahead) * float64(promptTokens) / throughputTokPerSec * float64(time.Second))
+	switches := (ahead + groupSize - 1) / groupSize
+	return prefill + time.Duration(switches)*switchCost
+}
+
+// RetryAfter converts a TTFT estimate that misses its target into an honest
+// Retry-After: how long until the backlog ahead should have cleared enough
+// for a fresh attempt to meet target, floored at one second (HTTP Retry-After
+// has one-second resolution, and telling a client "retry immediately" during
+// overload would invite a stampede).
+func RetryAfter(estimate, target time.Duration) time.Duration {
+	ra := estimate - target + time.Second
+	if ra < time.Second {
+		ra = time.Second
+	}
+	return ra
+}

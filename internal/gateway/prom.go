@@ -63,6 +63,12 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for m, br := range g.breakers {
 		breakerStates[m] = br.State().String()
 	}
+	overloadOn := g.opts.Overload != nil
+	retryExhausted := g.retryExhausted
+	ovlRejected := make(map[string]uint64, len(g.ovlRejected))
+	for reason, n := range g.ovlRejected {
+		ovlRejected[reason] = n
+	}
 	g.mu.Unlock()
 
 	var b strings.Builder
@@ -142,6 +148,17 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	counter("aegaeon_failovers_total", "Instance failovers claimed and recovered by the proxy.")
 	fmt.Fprintf(&b, "aegaeon_failovers_total %d\n", failovers)
+
+	if overloadOn {
+		gauge("aegaeon_overload_level", "Brownout level (0 normal, 1 shed-low, 2 shrink, 3 freeze, 4 admit-none).")
+		fmt.Fprintf(&b, "aegaeon_overload_level %d\n", g.overloadLevel())
+		counter("aegaeon_admission_rejected_total", "Overload-control admission rejections by reason.")
+		for _, reason := range sortedStringKeys(ovlRejected) {
+			fmt.Fprintf(&b, "aegaeon_admission_rejected_total{reason=%q} %d\n", reason, ovlRejected[reason])
+		}
+		counter("aegaeon_retry_budget_exhausted_total", "Retries rejected because the retry budget was empty.")
+		fmt.Fprintf(&b, "aegaeon_retry_budget_exhausted_total %d\n", retryExhausted)
+	}
 
 	if g.opts.SLOMon != nil {
 		writeSLOMetrics(&b, g.opts.SLOMon.Snapshot(virtual))

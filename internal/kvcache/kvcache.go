@@ -246,6 +246,9 @@ type Stats struct {
 	BytesIn     int64
 	ControlOps  uint64
 	ControlTime time.Duration
+	// AbortReclaims counts sequences released via Reclaim — KV returned
+	// because its request was shed or aborted rather than completed.
+	AbortReclaims uint64
 }
 
 // NewManager builds a transfer manager for dev, using the shared CPU cache.
@@ -518,6 +521,15 @@ func (m *Manager) SwapIn(seq *Sequence) (*gpu.Event, error) {
 	m.stats.BytesIn += bytes
 	m.control(2)
 	return ev, nil
+}
+
+// Reclaim releases the blocks of a sequence whose request was shed or
+// aborted before finishing. It is Free plus accounting: the AbortReclaims
+// counter lets audits distinguish overload reclamation from normal
+// completion frees.
+func (m *Manager) Reclaim(seq *Sequence) error {
+	m.stats.AbortReclaims++
+	return m.Free(seq)
 }
 
 // Free releases the sequence's blocks (request completed or aborted). A

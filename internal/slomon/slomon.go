@@ -299,6 +299,23 @@ func (m *Monitor) FleetAlert() AlertState {
 	return m.fleet.alert.state
 }
 
+// FleetBurnRates returns the fleet burn rates over the fast, mid, and slow
+// windows as of the last bucket rotation. Zero on a nil monitor. Overload
+// control feeds these into the brownout controller alongside FleetAlert.
+func (m *Monitor) FleetBurnRates() (fast, mid, slow float64) {
+	if m == nil {
+		return 0, 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fm, fx := m.fleet.ring.sums(m.cfg.FastWindow)
+	mm, mx := m.fleet.ring.sums(m.cfg.MidWindow)
+	sm, sx := m.fleet.ring.sums(m.cfg.SlowWindow)
+	return burnRate(fm, fx, m.cfg.Objective),
+		burnRate(mm, mx, m.cfg.Objective),
+		burnRate(sm, sx, m.cfg.Objective)
+}
+
 // Cumulative returns the per-model cumulative trackers (nil on a nil
 // monitor) — the same attainment definition as the offline slo.Tracker.
 func (m *Monitor) Cumulative() *slo.ByModel {

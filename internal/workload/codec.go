@@ -19,6 +19,9 @@ type wireRequest struct {
 	ArrivalS float64 `json:"arrival_s"`
 	Input    int     `json:"input_tokens"`
 	Output   int     `json:"output_tokens"`
+	// Priority is "high", "normal", or "low"; absent means normal, so files
+	// written before priorities existed still round-trip.
+	Priority string `json:"priority,omitempty"`
 }
 
 // WriteTrace encodes the trace as JSON Lines.
@@ -26,13 +29,17 @@ func WriteTrace(w io.Writer, trace []Request) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for i, r := range trace {
-		if err := enc.Encode(wireRequest{
+		wr := wireRequest{
 			ID:       r.ID,
 			Model:    r.Model,
 			ArrivalS: r.Arrival.Seconds(),
 			Input:    r.InputTokens,
 			Output:   r.OutputTokens,
-		}); err != nil {
+		}
+		if r.Priority != PriorityNormal {
+			wr.Priority = r.Priority.String()
+		}
+		if err := enc.Encode(wr); err != nil {
 			return fmt.Errorf("workload: encoding request %d: %w", i, err)
 		}
 	}
@@ -61,12 +68,17 @@ func ReadTrace(r io.Reader) ([]Request, error) {
 			return nil, fmt.Errorf("workload: line %d: invalid lengths in=%d out=%d",
 				i+1, wr.Input, wr.Output)
 		}
+		prio, err := ParsePriority(wr.Priority)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", i+1, err)
+		}
 		out = append(out, Request{
 			ID:           wr.ID,
 			Model:        wr.Model,
 			Arrival:      time.Duration(wr.ArrivalS * float64(time.Second)),
 			InputTokens:  wr.Input,
 			OutputTokens: wr.Output,
+			Priority:     prio,
 		})
 	}
 	sortAndNumberPreservingIDs(out)

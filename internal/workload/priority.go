@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Priority is a request's service tier, consumed by the overload-control
+// layer: admission sheds lower tiers first, and the prefill scheduler breaks
+// FCFS ties in favor of higher tiers when the fleet is degraded. The zero
+// value is PriorityNormal, so traces and callers predating priorities are
+// unchanged.
+type Priority int
+
+const (
+	PriorityNormal Priority = iota
+	PriorityHigh
+	PriorityLow
+)
+
+// NumPriorities is the number of defined tiers.
+const NumPriorities = 3
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityHigh:
+		return "high"
+	case PriorityNormal:
+		return "normal"
+	case PriorityLow:
+		return "low"
+	}
+	return "unknown"
+}
+
+// Rank orders tiers for scheduling: higher rank is served first.
+func (p Priority) Rank() int {
+	switch p {
+	case PriorityHigh:
+		return 2
+	case PriorityNormal:
+		return 1
+	}
+	return 0
+}
+
+// ParsePriority parses "high", "normal", "low", or "" (normal).
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "", "normal":
+		return PriorityNormal, nil
+	case "high":
+		return PriorityHigh, nil
+	case "low":
+		return PriorityLow, nil
+	}
+	return PriorityNormal, fmt.Errorf("workload: unknown priority %q", s)
+}
+
+// AssignPriorities tags a trace with a random priority mix: each request
+// independently draws high with probability highFrac, low with lowFrac, and
+// stays normal otherwise. The draw order follows the (arrival-sorted) slice,
+// so a fixed seed gives a reproducible mix.
+func AssignPriorities(rng *rand.Rand, trace []Request, highFrac, lowFrac float64) {
+	for i := range trace {
+		u := rng.Float64()
+		switch {
+		case u < highFrac:
+			trace[i].Priority = PriorityHigh
+		case u < highFrac+lowFrac:
+			trace[i].Priority = PriorityLow
+		default:
+			trace[i].Priority = PriorityNormal
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePriority(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Priority
+		err  bool
+	}{
+		{"", PriorityNormal, false},
+		{"normal", PriorityNormal, false},
+		{"high", PriorityHigh, false},
+		{"low", PriorityLow, false},
+		{"urgent", PriorityNormal, true},
+	}
+	for _, tc := range cases {
+		got, err := ParsePriority(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParsePriority(%q) = (%v, %v), want (%v, err=%v)", tc.in, got, err, tc.want, tc.err)
+		}
+	}
+	if PriorityHigh.Rank() <= PriorityNormal.Rank() || PriorityNormal.Rank() <= PriorityLow.Rank() {
+		t.Fatal("priority ranks must order high > normal > low")
+	}
+}
+
+// TestPriorityCodecRoundTrip checks priorities survive the JSON-Lines codec
+// and that normal priority is omitted from the wire for backward compat.
+func TestPriorityCodecRoundTrip(t *testing.T) {
+	trace := []Request{
+		{ID: "r000000", Model: "m0", Arrival: 0, InputTokens: 8, OutputTokens: 4, Priority: PriorityHigh},
+		{ID: "r000001", Model: "m1", Arrival: time.Second, InputTokens: 8, OutputTokens: 4},
+		{ID: "r000002", Model: "m0", Arrival: 2 * time.Second, InputTokens: 8, OutputTokens: 4, Priority: PriorityLow},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(strings.Split(buf.String(), "\n")[1], "priority") {
+		t.Fatalf("normal priority should be omitted from the wire: %s", buf.String())
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trace) {
+		t.Fatalf("round-trip lost requests: %d != %d", len(got), len(trace))
+	}
+	for i := range got {
+		if got[i].Priority != trace[i].Priority {
+			t.Errorf("request %d: priority %v, want %v", i, got[i].Priority, trace[i].Priority)
+		}
+	}
+	if _, err := ReadTrace(strings.NewReader(`{"model":"m","arrival_s":0,"input_tokens":1,"output_tokens":1,"priority":"bogus"}`)); err == nil {
+		t.Fatal("bogus priority must be rejected")
+	}
+}
+
+// TestAssignPriorities checks the mix lands near the requested fractions and
+// is reproducible for a fixed seed.
+func TestAssignPriorities(t *testing.T) {
+	trace := make([]Request, 10000)
+	AssignPriorities(rand.New(rand.NewSource(7)), trace, 0.2, 0.3)
+	counts := map[Priority]int{}
+	for _, r := range trace {
+		counts[r.Priority]++
+	}
+	if h := float64(counts[PriorityHigh]) / 10000; h < 0.17 || h > 0.23 {
+		t.Errorf("high fraction = %v, want ≈0.2", h)
+	}
+	if l := float64(counts[PriorityLow]) / 10000; l < 0.27 || l > 0.33 {
+		t.Errorf("low fraction = %v, want ≈0.3", l)
+	}
+	again := make([]Request, 10000)
+	AssignPriorities(rand.New(rand.NewSource(7)), again, 0.2, 0.3)
+	for i := range trace {
+		if trace[i].Priority != again[i].Priority {
+			t.Fatal("same seed must give the same mix")
+		}
+	}
+}

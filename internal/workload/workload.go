@@ -21,6 +21,9 @@ type Request struct {
 	Arrival      time.Duration // offset from trace start
 	InputTokens  int
 	OutputTokens int
+	// Priority is the request's service tier for overload control. The zero
+	// value (PriorityNormal) matches pre-priority traces.
+	Priority Priority
 }
 
 // Dataset samples request lengths.

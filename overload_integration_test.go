@@ -1,0 +1,72 @@
+package aegaeon_test
+
+import (
+	"testing"
+	"time"
+
+	"aegaeon"
+)
+
+// TestOverloadControlProtectsHighTier is the end-to-end overload contract:
+// the same 3x-capacity trace served with and without overload control. With
+// control on, the high tier's attainment must beat the uncontrolled fleet
+// number, typed sheds must appear, and every request must still reach a
+// terminal state (completed + failed = submitted).
+func TestOverloadControlProtectsHighTier(t *testing.T) {
+	build := func(overload bool) *aegaeon.System {
+		sys, err := aegaeon.New(aegaeon.Config{
+			PrefillGPUs: 2, DecodeGPUs: 2, NumModels: 8, Seed: 3, Overload: overload,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+
+	gen := build(false)
+	trace := gen.GenerateTrace(aegaeon.TraceSpec{RatePerModel: 0.9, Horizon: time.Minute})
+	gen.AssignPriorities(trace, 0.2, 0.3)
+
+	unRep, err := build(false).Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctlRep, err := build(true).Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ctlRep.Completed+ctlRep.Failed != ctlRep.Requests {
+		t.Fatalf("controlled run leaked requests: %d completed + %d failed != %d",
+			ctlRep.Completed, ctlRep.Failed, ctlRep.Requests)
+	}
+	total := 0
+	for _, n := range ctlRep.Sheds {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("3x overload shed nothing — control is not engaging")
+	}
+	hi, ok := ctlRep.AttainmentByPriority["high"]
+	if !ok {
+		t.Fatalf("no high-tier attainment in report: %v", ctlRep.AttainmentByPriority)
+	}
+	if hi <= unRep.Attainment {
+		t.Fatalf("high tier %.4f not protected over uncontrolled fleet %.4f", hi, unRep.Attainment)
+	}
+	if hi < 0.9 {
+		t.Fatalf("high-tier attainment %.4f below the 90%% overload floor", hi)
+	}
+	if low := ctlRep.AttainmentByPriority["low"]; low >= hi {
+		t.Fatalf("low tier %.4f not degraded below high %.4f — tiers are not differentiating", low, hi)
+	}
+	if ctlRep.OverloadLevel == "" {
+		t.Fatal("controlled run reported no overload level")
+	}
+	if ctlRep.OverloadTransitions == 0 {
+		t.Fatal("brownout controller never left normal under 3x load")
+	}
+	t.Logf("uncontrolled fleet %.2f%%; controlled high %.2f%% low %.2f%%, level %s, sheds %v",
+		100*unRep.Attainment, 100*hi, 100*ctlRep.AttainmentByPriority["low"],
+		ctlRep.OverloadLevel, ctlRep.Sheds)
+}
