@@ -35,6 +35,7 @@ import (
 	"aegaeon/internal/model"
 	"aegaeon/internal/obs"
 	"aegaeon/internal/overload"
+	"aegaeon/internal/prefixcache"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
 	"aegaeon/internal/slomon"
@@ -55,6 +56,10 @@ type FaultStats = fault.Stats
 
 // Dataset re-exports the length-distribution interface.
 type Dataset = workload.Dataset
+
+// PrefixStats re-exports the global prefix cache's counters: lookups, hits,
+// prefill tokens saved, per-tier residency and evictions, promotions.
+type PrefixStats = prefixcache.Stats
 
 // DefaultSLO returns the paper's production targets: TTFT 10 s, TBT 100 ms.
 func DefaultSLO() SLO { return slo.Default() }
@@ -121,6 +126,18 @@ type Config struct {
 	// AssignPriorities. The controller's arc and shed accounting land in
 	// the Report.
 	Overload bool
+	// PrefixCache enables the global prefix cache: prompt prefixes computed
+	// by earlier requests are indexed (chunked block-aligned hashing, so
+	// partial matches hit) over a host tier in the unified CPU KV pool with
+	// per-instance device copies earned by reuse, and prefill skips matched
+	// tokens, charging the tier-dependent copy instead. Multi-turn and
+	// shared-system-prompt traces (see TraceSpec.Workload) are where it pays.
+	PrefixCache bool
+	// PrefixRouting additionally makes prefill dispatch cache-aware: requests
+	// are steered toward the instance whose device tier holds their longest
+	// prefix, as a bounded credit against queue depth — never an override of
+	// load balance or admission control. Implies PrefixCache.
+	PrefixRouting bool
 	// Faults is a fault schedule injected during Serve, as a comma-separated
 	// spec of "kind@at[+dur][*factor][:target]" items — e.g.
 	// "crash@40s:decode0,xfer@60s+5s,fetchslow@90s+30s*4". Kinds: crash,
@@ -216,6 +233,10 @@ func New(cfg Config) (*System, error) {
 		}
 		mon = slomon.New(mcfg)
 	}
+	var pfx *prefixcache.Config
+	if cfg.PrefixCache || cfg.PrefixRouting {
+		pfx = &prefixcache.Config{Routing: cfg.PrefixRouting}
+	}
 	sys := core.NewSystem(se, core.Config{
 		Prof:       prof,
 		TP:         cfg.TP,
@@ -228,6 +249,7 @@ func New(cfg Config) (*System, error) {
 		SLOMon:     mon,
 		Faults:     flt,
 		Overload:   ovl,
+		Prefix:     pfx,
 	})
 	return &System{cfg: cfg, eng: se, sys: sys, models: models, flt: flt, sched: sched, ovl: ovl}, nil
 }
@@ -235,17 +257,39 @@ func New(cfg Config) (*System, error) {
 // Models returns the models the system serves.
 func (s *System) Models() []*Model { return s.models }
 
+// WorkloadKind selects a synthetic arrival pattern.
+type WorkloadKind string
+
+// Workload kinds. The session-structured kinds (multi-turn chat, agentic
+// tool-call loops, shared-system-prompt tenants) re-send growing or shared
+// prefixes and are what the prefix cache accelerates.
+const (
+	Poisson      WorkloadKind = "poisson"
+	MultiTurn    WorkloadKind = "multiturn"
+	Agentic      WorkloadKind = "agentic"
+	SharedPrompt WorkloadKind = "sharedprompt"
+)
+
 // TraceSpec describes a synthetic workload.
 type TraceSpec struct {
-	// RatePerModel is the Poisson arrival rate per model in req/s.
+	// RatePerModel is the per-model arrival rate in req/s — of requests for
+	// Poisson and SharedPrompt, of sessions for MultiTurn, of tasks for
+	// Agentic.
 	RatePerModel float64
 	// Horizon is the trace length.
 	Horizon time.Duration
 	// Dataset defaults to ShareGPT.
 	Dataset Dataset
+	// Workload selects the arrival pattern; empty means Poisson.
+	Workload WorkloadKind
+	// SystemPromptTokens sets the shared per-model prefix length for the
+	// session workloads. Defaults: 128 (MultiTurn), 512 (Agentic), 2048
+	// (SharedPrompt); ignored for Poisson.
+	SystemPromptTokens int
 }
 
-// GenerateTrace synthesizes a workload for the system's models.
+// GenerateTrace synthesizes a workload for the system's models. Unknown
+// Workload kinds panic: the set is closed and checked at call sites.
 func (s *System) GenerateTrace(spec TraceSpec) []Request {
 	ds := spec.Dataset
 	if ds == nil {
@@ -255,7 +299,29 @@ func (s *System) GenerateTrace(spec TraceSpec) []Request {
 	for i, m := range s.models {
 		names[i] = m.Name
 	}
-	return workload.PoissonTrace(s.eng.Rand(), names, spec.RatePerModel, spec.Horizon, ds)
+	rng := s.eng.Rand()
+	switch spec.Workload {
+	case Poisson, "":
+		return workload.PoissonTrace(rng, names, spec.RatePerModel, spec.Horizon, ds)
+	case MultiTurn:
+		sys := spec.SystemPromptTokens
+		if sys <= 0 {
+			sys = 128
+		}
+		return workload.MultiTurnTrace(rng, names, spec.RatePerModel, spec.Horizon, ds,
+			workload.MultiTurnConfig{SystemPromptTokens: sys})
+	case Agentic:
+		return workload.AgenticTrace(rng, names, spec.RatePerModel, spec.Horizon, ds,
+			workload.AgenticConfig{SystemPromptTokens: spec.SystemPromptTokens})
+	case SharedPrompt:
+		sys := spec.SystemPromptTokens
+		if sys <= 0 {
+			sys = 2048
+		}
+		return workload.SharedPrefixTrace(rng, names, spec.RatePerModel, spec.Horizon, sys, ds)
+	default:
+		panic(fmt.Sprintf("aegaeon: unknown workload kind %q", spec.Workload))
+	}
 }
 
 // Report summarizes a serving run.
@@ -303,6 +369,10 @@ type Report struct {
 	OverloadTransitions  int
 	Sheds                map[string]int
 	AttainmentByPriority map[string]float64
+	// Prefix is the global prefix cache's final counters — hit ratio, prefill
+	// tokens saved, tier residency and evictions. Nil without
+	// Config.PrefixCache/PrefixRouting.
+	Prefix *PrefixStats
 }
 
 // Serve runs the trace to completion in virtual time and reports. A System
@@ -356,6 +426,10 @@ func (s *System) Serve(trace []Request) (Report, error) {
 	}
 	for _, r := range s.sys.Requests() {
 		rep.GeneratedTokens += len(r.TokenTimes)
+	}
+	if pc := s.sys.PrefixCache(); pc != nil {
+		st := pc.Stats()
+		rep.Prefix = &st
 	}
 	if s.ovl != nil {
 		snap := s.ovl.Snapshot()

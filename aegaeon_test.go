@@ -153,3 +153,51 @@ func TestStoreFaultNeedsCluster(t *testing.T) {
 		t.Fatal("partition fault injected with no metadata store to partition")
 	}
 }
+
+func TestPrefixCacheFlow(t *testing.T) {
+	sys, err := New(Config{PrefillGPUs: 2, DecodeGPUs: 2, NumModels: 2, PrefixRouting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := sys.GenerateTrace(TraceSpec{
+		RatePerModel: 0.03, Horizon: 3 * time.Minute, Workload: MultiTurn,
+	})
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	sawSession := false
+	for _, r := range trace {
+		if r.SessionID != "" && r.Turn > 0 {
+			sawSession = true
+		}
+	}
+	if !sawSession {
+		t.Fatal("multi-turn trace drew no later turns")
+	}
+	rep, err := sys.Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Prefix == nil {
+		t.Fatal("prefix-enabled run reported no prefix stats")
+	}
+	if rep.Prefix.Hits == 0 || rep.Prefix.TokensSaved == 0 {
+		t.Fatalf("multi-turn trace never hit the cache: %+v", rep.Prefix)
+	}
+	if rep.Prefix.PinnedEntries != 0 {
+		t.Fatalf("%d entries pinned after drain", rep.Prefix.PinnedEntries)
+	}
+
+	// Without the flag the report stays clean.
+	plain, err := New(Config{PrefillGPUs: 1, DecodeGPUs: 1, NumModels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := plain.Serve(plain.GenerateTrace(TraceSpec{RatePerModel: 0.05, Horizon: time.Minute}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Prefix != nil {
+		t.Fatal("prefix stats reported with the cache disabled")
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"aegaeon/internal/model"
 	"aegaeon/internal/obs"
 	"aegaeon/internal/overload"
+	"aegaeon/internal/prefixcache"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
 	"aegaeon/internal/slomon"
@@ -65,6 +66,7 @@ func main() {
 	objective := flag.Float64("slo-objective", 0.99, "SLO attainment objective for burn-rate alerting, in (0,1)")
 	overloadOn := flag.Bool("overload", false, "enable overload control: predictive admission, priority shedding, brownout (implies SLO monitoring)")
 	retryRatio := flag.Float64("retry-ratio", 0.1, "retry budget deposit per fresh admission (with -overload)")
+	prefixOn := flag.Bool("prefix", false, "enable the global prefix cache with cache-aware routing: pass session_id/turn on completions to reuse earlier turns' KV; adds /debug/prefix and aegaeon_prefix_* metrics")
 	flag.Parse()
 	if *overloadOn {
 		*noSLO = false // brownout steps off burn-rate alerts
@@ -89,6 +91,10 @@ func main() {
 	if *overloadOn {
 		ovl = overload.NewController(overload.Config{})
 	}
+	var pfx *prefixcache.Config
+	if *prefixOn {
+		pfx = &prefixcache.Config{Routing: true}
+	}
 	se := sim.NewEngine(*seed)
 	cl, err := cluster.New(se, cluster.Config{
 		Prof:     prof,
@@ -96,6 +102,7 @@ func main() {
 		Obs:      col,
 		SLOMon:   mon,
 		Overload: ovl,
+		Prefix:   pfx,
 		Deployments: []cluster.DeploymentConfig{{
 			Name:       "live",
 			TP:         *tp,

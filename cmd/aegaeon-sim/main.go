@@ -97,6 +97,11 @@ func main() {
 		ovlBench   = flag.String("overload-bench", "", "run the three-arm overload benchmark (capacity / uncontrolled / controlled at -overload-factor x) and write BENCH JSON here")
 		ovlFactor  = flag.Float64("overload-factor", 3, "load multiplier for the overloaded arms of -overload-bench")
 		ovlFloor   = flag.Float64("overload-floor", 0, "assert controlled high-priority attainment >= floor, uncontrolled < floor, and controlled throughput >= 90% of capacity (0 = report only)")
+		prefixOn   = flag.Bool("prefix", false, "enable the global prefix cache with cache-aware routing (aegaeon system only)")
+		wlKind     = flag.String("workload", "poisson", "arrival pattern: poisson, multiturn, agentic, sharedprompt (-rps is sessions/tasks per s for the session kinds)")
+		sysToks    = flag.Int("system-prompt-tokens", 0, "shared system prompt length for session workloads (0 = per-kind default)")
+		pfxBench   = flag.String("prefix-bench", "", "run the three-arm prefix benchmark (nocache / cache / cache_routing over multiturn, agentic, sharedprompt) and write BENCH JSON here")
+		pfxFloor   = flag.Float64("prefix-floor", 0, "assert the cache_routing arm saves >= floor of sharedprompt prefill tokens and strictly dominates nocache on TTFT and savings (0 = report only)")
 	)
 	flag.Parse()
 	if *sloJSON != "" {
@@ -116,6 +121,24 @@ func main() {
 	}
 	if *overloadOn && *system != "aegaeon" {
 		fmt.Fprintln(os.Stderr, "-overload requires -system aegaeon (baselines have no overload control)")
+		os.Exit(2)
+	}
+	if *prefixOn && *system != "aegaeon" {
+		fmt.Fprintln(os.Stderr, "-prefix requires -system aegaeon (baselines have no prefix cache)")
+		os.Exit(2)
+	}
+	var wk aegaeon.WorkloadKind
+	switch *wlKind {
+	case "poisson":
+		wk = aegaeon.Poisson
+	case "multiturn":
+		wk = aegaeon.MultiTurn
+	case "agentic":
+		wk = aegaeon.Agentic
+	case "sharedprompt":
+		wk = aegaeon.SharedPrompt
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wlKind)
 		os.Exit(2)
 	}
 	highFrac, lowFrac, err := parsePriorityMix(*prioMix)
@@ -138,6 +161,16 @@ func main() {
 	}
 
 	slo := aegaeon.DefaultSLO().Scale(*sloScale).ScaleTTFT(*ttftScale).ScaleTBT(*tbtScale)
+
+	if *pfxBench != "" {
+		runPrefixBench(prefixBenchOpts{
+			gpu: *gpu, tp: *tp, prefill: *prefill, decode: *decode,
+			nModels: *nModels, rate: *rps, horizon: *horizon, dataset: ds,
+			datasetName: *dataset, slo: slo, seed: *seed,
+			floor: *pfxFloor, out: *pfxBench,
+		})
+		return
+	}
 
 	if *ovlBench != "" {
 		runOverloadBench(benchOpts{
@@ -162,12 +195,16 @@ func main() {
 		Tracing:              *perfetto != "",
 		SLOMonitor:           *sloReport,
 		Overload:             *overloadOn,
+		PrefixRouting:        *prefixOn,
 		Faults:               *faults,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	trace := sys.GenerateTrace(aegaeon.TraceSpec{RatePerModel: *rps, Horizon: *horizon, Dataset: ds})
+	trace := sys.GenerateTrace(aegaeon.TraceSpec{
+		RatePerModel: *rps, Horizon: *horizon, Dataset: ds,
+		Workload: wk, SystemPromptTokens: *sysToks,
+	})
 	if highFrac > 0 || lowFrac > 0 {
 		sys.AssignPriorities(trace, highFrac, lowFrac)
 	}
@@ -209,6 +246,11 @@ func main() {
 			fs.Crashes, fs.Resumed, fs.Recomputed, fs.Rejected)
 		fmt.Printf("retries           fetch %d (%d exhausted), transfer %d, store %d\n",
 			fs.FetchRetries, fs.FetchExhausted, fs.TransferRetries, fs.StoreRetries)
+	}
+	if rep.Prefix != nil {
+		fmt.Printf("prefix cache      %.1f%% hit ratio, %d tokens saved (%.1f%% of prefill), %d promotions\n",
+			100*rep.Prefix.HitRatio(), rep.Prefix.TokensSaved,
+			100*rep.Prefix.SavedRatio(), rep.Prefix.Promotions)
 	}
 	if *overloadOn {
 		fmt.Printf("overload level    %s (%d transitions)\n", rep.OverloadLevel, rep.OverloadTransitions)

@@ -19,6 +19,7 @@ import (
 	"aegaeon/internal/model"
 	"aegaeon/internal/obs"
 	"aegaeon/internal/overload"
+	"aegaeon/internal/prefixcache"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
 	"aegaeon/internal/slomon"
@@ -52,6 +53,12 @@ type Config struct {
 	Overload bool
 	// HighFrac / LowFrac set the priority mix when Overload is on.
 	HighFrac, LowFrac float64
+	// Prefix enables the global prefix cache (with cache-aware routing) and
+	// switches the workload to multi-turn chat over a shared system prompt,
+	// so crash recovery is audited with prefix pins, device copies, and
+	// eviction in play. Rate is reinterpreted as turns/s per model (sessions
+	// arrive at Rate/3, averaging ~3 turns each).
+	Prefix bool
 }
 
 func (c *Config) defaults() {
@@ -91,6 +98,8 @@ type Result struct {
 	Stats      fault.Stats
 	// Sheds counts overload-control rejections by reason (Overload runs only).
 	Sheds map[string]int
+	// Prefix snapshots the cache's end state (Prefix runs only).
+	Prefix *prefixcache.Stats
 	// Violations lists every broken invariant (empty on a clean run).
 	Violations []string
 }
@@ -118,6 +127,9 @@ func Run(cfg Config) (*Result, error) {
 		clCfg.SLOMon = slomon.New(slomon.Config{Objective: 0.99, Source: clCfg.Obs})
 		clCfg.Overload = overload.NewController(overload.Config{})
 	}
+	if cfg.Prefix {
+		clCfg.Prefix = &prefixcache.Config{Routing: true}
+	}
 	c, err := cluster.New(se, clCfg)
 	if err != nil {
 		return nil, err
@@ -127,7 +139,13 @@ func Run(cfg Config) (*Result, error) {
 		names[i] = m.Name
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 2))
-	trace := workload.PoissonTrace(rng, names, cfg.Rate, cfg.Horizon, workload.ShareGPT())
+	var trace []workload.Request
+	if cfg.Prefix {
+		trace = workload.MultiTurnTrace(rng, names, cfg.Rate/3, cfg.Horizon,
+			workload.ShareGPT(), workload.MultiTurnConfig{MeanTurns: 3, SystemPromptTokens: 128})
+	} else {
+		trace = workload.PoissonTrace(rng, names, cfg.Rate, cfg.Horizon, workload.ShareGPT())
+	}
 	if cfg.Overload {
 		workload.AssignPriorities(rng, trace, cfg.HighFrac, cfg.LowFrac)
 	}
@@ -164,6 +182,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Overload {
 		res.Sheds = c.OverloadSheds()
+	}
+	if pc := sys.PrefixCache(); pc != nil {
+		st := pc.Stats()
+		res.Prefix = &st
 	}
 	return res, nil
 }
@@ -226,12 +248,21 @@ func VerifyInvariants(c *cluster.Cluster) []string {
 			v = append(v, fmt.Sprintf("%s: terminal counts drifted (done %d vs %d, failed %d vs %d)",
 				d.Name, done, sys.Completed(), failed, sys.FailedRequests()))
 		}
+		// With the prefix cache on, a drained pool is not empty: it holds
+		// exactly the cache's accounted residency — anything beyond that is a
+		// leak, anything short a double-free.
+		pc := sys.PrefixCache()
 		for _, e := range sys.Engines() {
 			if !sys.AliveNamed(e.Name) {
 				continue // a dead instance's VRAM died with it
 			}
-			if used := e.KV().GPUCache.Pool().UsedBytes(); used != 0 {
-				v = append(v, fmt.Sprintf("%s/%s leaks %d GPU KV bytes", d.Name, e.Name, used))
+			var wantGPU int64
+			if pc != nil {
+				wantGPU = pc.DeviceResidentBytes(e.Name)
+			}
+			if used := e.KV().GPUCache.Pool().UsedBytes(); used != wantGPU {
+				v = append(v, fmt.Sprintf("%s/%s GPU KV pool holds %d bytes, prefix cache accounts %d (leak or double-free)",
+					d.Name, e.Name, used, wantGPU))
 			}
 			if n := e.KV().MoveListLen(); n != 0 {
 				v = append(v, fmt.Sprintf("%s/%s move list still holds %d entries", d.Name, e.Name, n))
@@ -239,8 +270,24 @@ func VerifyInvariants(c *cluster.Cluster) []string {
 		}
 		// The unified CPU KV cache is shared; any engine's manager sees it.
 		if es := sys.Engines(); len(es) > 0 {
-			if used := es[0].KV().CPUCache.Pool().UsedBytes(); used != 0 {
-				v = append(v, fmt.Sprintf("%s leaks %d CPU KV bytes", d.Name, used))
+			var wantCPU int64
+			if pc != nil {
+				wantCPU = pc.HostResidentBytes()
+			}
+			if used := es[0].KV().CPUCache.Pool().UsedBytes(); used != wantCPU {
+				v = append(v, fmt.Sprintf("%s CPU KV pool holds %d bytes, prefix cache accounts %d (leak or double-free)",
+					d.Name, used, wantCPU))
+			}
+		}
+		if pc != nil {
+			// Refcounts must return to steady state: nothing in flight, so
+			// nothing pinned, and the index's internal accounting must audit
+			// clean even after crashes dropped device tiers mid-chain.
+			if n := pc.PinnedEntries(); n != 0 {
+				v = append(v, fmt.Sprintf("%s: %d prefix entries still pinned after drain", d.Name, n))
+			}
+			for _, bad := range pc.CheckConsistency() {
+				v = append(v, fmt.Sprintf("%s: prefix cache: %s", d.Name, bad))
 			}
 		}
 	}

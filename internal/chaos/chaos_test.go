@@ -1,8 +1,18 @@
 package chaos
 
 import (
+	"math/rand"
 	"testing"
 	"time"
+
+	"aegaeon/internal/cluster"
+	"aegaeon/internal/fault"
+	"aegaeon/internal/latency"
+	"aegaeon/internal/model"
+	"aegaeon/internal/prefixcache"
+	"aegaeon/internal/sim"
+	"aegaeon/internal/slo"
+	"aegaeon/internal/workload"
 )
 
 // Golden seeded regression table: each schedule is deterministic given its
@@ -102,6 +112,151 @@ func TestChaosSweep(t *testing.T) {
 			t.Fatalf("seed %d: completed %d + failed %d != %d requests",
 				seed, res.Completed, res.Failed, res.Requests)
 		}
+	}
+}
+
+// TestPrefixChaosInvariants runs fault schedules with the prefix cache on
+// and a multi-turn workload: crashes drop device tiers mid-chain, recovery
+// re-prefills pinned chains, and the drained end state must show refcounts
+// back at zero and every slab accounted for (no leak, no double-free).
+func TestPrefixChaosInvariants(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{
+			// A prefill crash is the interesting one: device copies die with
+			// the instance and in-flight pins must be released on recovery.
+			name: "prefix-prefill-crash",
+			cfg:  Config{Seed: 13, Prefix: true, Spec: "crash@40s:chaos/prefill0"},
+		},
+		{
+			name: "prefix-decode-crash",
+			cfg:  Config{Seed: 14, Prefix: true, Spec: "crash@45s:chaos/decode0"},
+		},
+		{
+			name: "prefix-double-prefill-crash",
+			cfg:  Config{Seed: 15, Prefix: true, Spec: "crash@30s:chaos/prefill0,crash@55s:chaos/prefill1"},
+		},
+		{
+			name: "prefix-random-faults",
+			cfg:  Config{Seed: 16, Prefix: true},
+		},
+	}
+	for i := range cases {
+		tc := &cases[i]
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, viol := range res.Violations {
+				t.Errorf("invariant: %s", viol)
+			}
+			if res.Prefix == nil {
+				t.Fatal("prefix run produced no prefix stats")
+			}
+			t.Logf("spec=%s requests=%d completed=%d failed=%d prefix hits=%d saved=%d drops=%d",
+				res.Spec, res.Requests, res.Completed, res.Failed,
+				res.Prefix.Hits, res.Prefix.TokensSaved, res.Prefix.DeviceDrops)
+			if res.Completed+res.Failed != res.Requests {
+				t.Fatalf("completed %d + failed %d != %d requests",
+					res.Completed, res.Failed, res.Requests)
+			}
+			if res.Prefix.Hits == 0 {
+				t.Error("multi-turn chaos run never reused a prefix")
+			}
+			if res.Prefix.PinnedEntries != 0 {
+				t.Errorf("%d entries pinned after drain", res.Prefix.PinnedEntries)
+			}
+		})
+	}
+}
+
+// TestPrefixEvictionRacesReuse is the seeded -race schedule: a tiny host
+// budget keeps the cache under constant eviction pressure while multi-turn
+// sessions reuse chains and a prefill crash drops a device tier mid-run, and
+// a concurrent prober reads the cache's synchronized surface the whole time
+// (as the live gateway's scrape handlers do). Run under -race in CI.
+func TestPrefixEvictionRacesReuse(t *testing.T) {
+	const seed = 21
+	se := sim.NewEngine(seed)
+	f := fault.New(se, seed+1)
+	models := model.SmallMix(4)
+	c, err := cluster.New(se, cluster.Config{
+		Prof:   latency.H800(),
+		SLO:    slo.Default(),
+		Faults: f,
+		Deployments: []cluster.DeploymentConfig{{
+			Name: "chaos", TP: 1, NumPrefill: 2, NumDecode: 2, Models: models,
+		}},
+		// Budgets a few blocks deep: every few inserts must evict.
+		Prefix: &prefixcache.Config{HostBytes: 64 << 20, DeviceBytes: 32 << 20, Routing: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	rng := rand.New(rand.NewSource(seed + 2))
+	trace := workload.MultiTurnTrace(rng, names, 0.05, 120*time.Second,
+		workload.ShareGPT(), workload.MultiTurnConfig{MeanTurns: 3, SystemPromptTokens: 128})
+	if err := c.Submit(trace); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := fault.ParseSpec("crash@40s:chaos/prefill0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.NewInjector(se, c, sched).Arm()
+	se.At(0, c.StartHealth)
+	se.At(300*time.Second, c.StopHealth)
+
+	pc := c.Deployments()[0].System.PrefixCache()
+	sysSegs := []workload.PromptSeg{{Seed: workload.SeedString("system\x00" + names[0]), Len: 128}}
+	done := make(chan struct{})
+	probed := make(chan int)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-done:
+				probed <- n
+				return
+			default:
+			}
+			_ = pc.Stats()
+			_, _ = pc.MatchTokensOn("prefill1", names[0], sysSegs, 129)
+			_ = pc.HostResidentBytes()
+			if bad := pc.CheckConsistency(); len(bad) != 0 {
+				t.Errorf("mid-run consistency: %v", bad)
+				probed <- n
+				return
+			}
+			n++
+		}
+	}()
+
+	se.Run()
+	c.Finalize(se.Now())
+	close(done)
+	if n := <-probed; n == 0 {
+		t.Error("prober never ran")
+	}
+
+	for _, viol := range VerifyInvariants(c) {
+		t.Errorf("invariant: %s", viol)
+	}
+	st := pc.Stats()
+	t.Logf("hits=%d saved=%d hostEvictions=%d devEvictions=%d drops=%d",
+		st.Hits, st.TokensSaved, st.HostEvictions, st.DeviceEvictions, st.DeviceDrops)
+	if st.Hits == 0 {
+		t.Error("no prefix reuse under the seeded schedule")
+	}
+	if st.HostEvictions == 0 {
+		t.Error("tiny budget never forced a host eviction — no eviction/reuse race exercised")
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"aegaeon/internal/model"
 	"aegaeon/internal/obs"
 	"aegaeon/internal/overload"
+	"aegaeon/internal/prefixcache"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
 	"aegaeon/internal/slomon"
@@ -73,6 +74,12 @@ type Config struct {
 	// overload control.
 	Overload *overload.Controller
 
+	// Prefix, when non-nil, enables the global prefix cache in every
+	// deployment (each deployment gets its own cache over its own CPU KV
+	// pool; models are disjoint across deployments, so nothing is lost by
+	// not sharing). Nil keeps serving byte-identical to a cache-free build.
+	Prefix *prefixcache.Config
+
 	// LeaseTTL is how long an instance's health lease stays valid without
 	// renewal (default 3s); instances renew every LeaseTTL/2. HealthPoll is
 	// the proxy's monitor interval (default 1s). Both only matter once
@@ -122,6 +129,7 @@ func New(se *sim.Engine, cfg Config) (*Cluster, error) {
 			SLOMon:     cfg.SLOMon,
 			Faults:     cfg.Faults,
 			Overload:   cfg.Overload,
+			Prefix:     cfg.Prefix,
 		})
 		dep := &Deployment{Name: dc.Name, TP: dc.TP, System: sys, models: map[string]bool{}}
 		for _, m := range dc.Models {
@@ -304,6 +312,18 @@ func (c *Cluster) Completed() int {
 // Overload exposes the shared brownout controller (nil when overload
 // control is not configured).
 func (c *Cluster) Overload() *overload.Controller { return c.cfg.Overload }
+
+// PrefixCaches returns each deployment's prefix cache keyed by deployment
+// name (empty map when the prefix cache is disabled).
+func (c *Cluster) PrefixCaches() map[string]*prefixcache.Cache {
+	out := map[string]*prefixcache.Cache{}
+	for _, d := range c.deps {
+		if pc := d.System.PrefixCache(); pc != nil {
+			out[d.Name] = pc
+		}
+	}
+	return out
+}
 
 // AttainmentByPriority returns token attainment per service tier, merged
 // across deployments. Tiers that judged no tokens report 1 (vacuous

@@ -99,6 +99,13 @@ func (s *System) CrashPrefillInstance(idx int) error {
 	p.queue = nil
 	p.inflight = nil
 	p.running = false
+	if s.prefix != nil {
+		// The instance's VRAM — and with it every prefix device copy — died.
+		// Forget the copies without returning blocks to the dead pool; host-
+		// tier entries survive, and orphan re-prefill releases any pins held
+		// by interrupted attempts when it restarts them.
+		s.prefix.DropInstance(p.eng.Name)
+	}
 	s.orphans[p.eng.Name] = append(s.orphans[p.eng.Name], owned...)
 	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"time"
 
@@ -192,13 +193,19 @@ func (p *prefillInstance) prefetchNext(idx int) {
 	}
 }
 
-// runPrefill executes one prefill job: allocate the sequence's GPU KV, run
-// the forward pass, emit the first token, start the KV swap-out to the
-// unified CPU cache, and hand the request to the decoding partition.
+// runPrefill executes one prefill job: allocate the sequence's GPU KV,
+// consult the global prefix cache and skip recomputing a matched prefix
+// (charging the tier-dependent copy instead), run the forward pass over the
+// remainder, emit the first token, insert the computed prefix for later
+// turns, start the KV swap-out to the unified CPU cache, and hand the
+// request to the decoding partition.
 func (p *prefillInstance) runPrefill(r *Request, attempt int) {
 	if p.dead {
 		return
 	}
+	// A pin can survive from an attempt interrupted by a crash; every fresh
+	// attempt starts unpinned.
+	p.sys.releasePrefix(r)
 	if r.terminal() {
 		p.inflight = nil
 		p.step()
@@ -208,11 +215,17 @@ func (p *prefillInstance) runPrefill(r *Request, attempt int) {
 	// Recovered requests recompute their whole context (prompt plus tokens
 	// already delivered before the crash).
 	ctx := r.InputTokens + r.Generated()
-	seq, err := p.eng.KV().NewSequence(r.ID, r.Model.ShardKVShape(p.sys.cfg.TP), ctx+1)
+	shape := r.Model.ShardKVShape(p.sys.cfg.TP)
+	seq, err := p.eng.KV().NewSequence(r.ID, shape, ctx+1)
 	if err != nil {
 		if errors.Is(err, memory.ErrOutOfMemory) && attempt < 1000 {
-			// GPU KV is transiently full of still-offloading sequences;
-			// retry shortly.
+			// GPU KV is transiently full of still-offloading sequences; give
+			// back prefix device copies first (they are accelerators, not
+			// required state), then retry shortly.
+			if p.sys.prefix != nil {
+				p.sys.prefix.EvictDeviceBytes(p.eng.Name,
+					shape.BytesPerToken()*int64(ctx+1))
+			}
 			p.eng.Sim().After(10*time.Millisecond, func() { p.runPrefill(r, attempt+1) })
 			return
 		}
@@ -222,12 +235,28 @@ func (p *prefillInstance) runPrefill(r *Request, attempt int) {
 	r.prefillStart = p.eng.Sim().Now()
 	p.sys.obs.PrefillStart(p.eng.Name, r.ID, r.prefillStart)
 	p.prefetchNextIfGroupEnding()
-	p.eng.PrefillFor(r.ID, ctx, func() {
+
+	// Prefix lookup happens after the sequence allocation succeeded so OOM
+	// retries never stack pins. The hit stays pinned until the forward pass
+	// completes (or the request dies), so eviction cannot reclaim blocks the
+	// reuse copy still reads.
+	skip := 0
+	if p.sys.prefix != nil && len(r.Segments) > 0 {
+		if hit := p.sys.prefix.Acquire(p.eng.Name, r.Model.Name, shape,
+			r.Segments, r.InputTokens, r.prefillStart); hit != nil {
+			r.prefixHit = hit
+			skip = hit.MatchedTokens
+		}
+	}
+	r.PrefixMatched = skip
+
+	done := func() {
 		if p.dead {
 			return // the request was re-dispatched by crash recovery
 		}
 		if r.terminal() {
 			// Aborted mid-prefill: its sequence was already released.
+			p.sys.releasePrefix(r)
 			p.inflight = nil
 			p.step()
 			return
@@ -235,6 +264,18 @@ func (p *prefillInstance) runPrefill(r *Request, attempt int) {
 		now := p.eng.Sim().Now()
 		p.sys.obs.PrefillDone(p.eng.Name, r.ID, now)
 		r.prefillEnd = now
+		if p.sys.prefix != nil && len(r.Segments) > 0 {
+			// The full prompt KV now exists on this instance: index it for
+			// later turns. The host copy piggybacks on the P→C offload below,
+			// so insertion charges no extra transfer. A miss additionally
+			// records the recompute interval for SLO miss attribution.
+			p.sys.prefix.Insert(r.Model.Name, shape, r.Segments, r.InputTokens, now)
+			if r.prefixHit == nil {
+				p.sys.obs.RequestSpan(p.eng.Name, r.ID, "prefix-recompute", "cold prefix",
+					r.prefillStart, now)
+			}
+		}
+		p.sys.releasePrefix(r)
 		if r.Generated() == 0 {
 			n := len(r.TokenTimes)
 			r.recordToken(now) // token 0
@@ -256,7 +297,31 @@ func (p *prefillInstance) runPrefill(r *Request, attempt int) {
 		// crash during the transfer wait orphans it for recovery instead of
 		// stranding it between partitions.
 		p.handoff(r, seq, now)
-	})
+	}
+	if skip > 0 {
+		// Materialize the matched prefix into the fresh sequence: host-tier
+		// blocks cross PCIe, device-resident blocks are an on-device copy.
+		// TTFT reflects the skip — the forward pass covers only the tail.
+		hit := r.prefixHit
+		copyStart := r.prefillStart
+		p.eng.ReusePrefix(r.ID, hit.HostBytes, hit.DeviceBytes, func() {
+			if p.dead {
+				return
+			}
+			if r.terminal() {
+				p.sys.releasePrefix(r)
+				p.inflight = nil
+				p.step()
+				return
+			}
+			p.sys.obs.RequestSpan(p.eng.Name, r.ID, "prefix-reuse",
+				fmt.Sprintf("%d tokens (%d device)", skip, hit.DeviceTokens),
+				copyStart, p.eng.Sim().Now())
+			p.eng.PrefillFor(r.ID, ctx-skip, done)
+		})
+		return
+	}
+	p.eng.PrefillFor(r.ID, ctx, done)
 }
 
 // handoff offloads the prefilled sequence to the unified CPU cache and

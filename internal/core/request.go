@@ -10,6 +10,7 @@ import (
 
 	"aegaeon/internal/kvcache"
 	"aegaeon/internal/model"
+	"aegaeon/internal/prefixcache"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/workload"
 )
@@ -65,6 +66,18 @@ type Request struct {
 	// rates reflect overload as it happens); Finalize must not re-feed them.
 	monFed bool
 
+	// SessionID and Segments carry the conversation identity and the
+	// deterministic prompt content from the workload layer; the prefix cache
+	// matches prompts through them. Empty Segments means opaque content.
+	SessionID string
+	Segments  []workload.PromptSeg
+
+	// prefixHit is the pinned prefix-cache match being reused by the current
+	// prefill attempt (nil when none). PrefixMatched is the matched token
+	// count of the *last successful* prefill, for reporting.
+	prefixHit     *prefixcache.Hit
+	PrefixMatched int
+
 	// Latency breakdown bookkeeping (Fig. 14).
 	prefillStart sim.Time
 	prefillEnd   sim.Time
@@ -80,6 +93,8 @@ func newRequest(wr workload.Request, m *model.Model) *Request {
 		InputTokens:  wr.InputTokens,
 		OutputTokens: wr.OutputTokens,
 		Priority:     wr.Priority,
+		SessionID:    wr.SessionID,
+		Segments:     wr.Segments,
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"aegaeon/internal/model"
 	"aegaeon/internal/obs"
 	"aegaeon/internal/overload"
+	"aegaeon/internal/prefixcache"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slo"
 	"aegaeon/internal/slomon"
@@ -89,6 +90,14 @@ type Config struct {
 	// reaper aborts doomed requests mid-queue. Nil (the default) leaves
 	// scheduling byte-identical to the uncontrolled system.
 	Overload *overload.Controller
+
+	// Prefix, when non-nil, enables the global prefix cache (PR 6): prefill
+	// consults it to skip recomputing cached prompt prefixes, computed
+	// prefixes are inserted for later turns, and — when Prefix.Routing is
+	// set — dispatch steers a conversation's next turn toward the instance
+	// holding its prefix. Nil leaves the serving path byte-identical to a
+	// cache-free build.
+	Prefix *prefixcache.Config
 
 	DaemonPoll time.Duration
 }
@@ -186,6 +195,7 @@ type System struct {
 
 	modelCache *memory.ModelCache
 	cpuKV      *kvcache.Cache
+	prefix     *prefixcache.Cache // nil when the prefix cache is off
 	models     map[string]*model.Model
 
 	prefills []*prefillInstance
@@ -280,10 +290,22 @@ func NewSystem(se *sim.Engine, cfg Config) *System {
 			Faults:             cfg.Faults,
 		})
 	}
+	if cfg.Prefix != nil {
+		// The prefix cache's host tier allocates from the same shared CPU KV
+		// pool sequence swap-outs use; its budget keeps the two from starving
+		// each other.
+		s.prefix = prefixcache.New(*cfg.Prefix, s.cpuKV)
+	}
 	for i := 0; i < cfg.NumPrefill; i++ {
 		e := mkEngine(fmt.Sprintf("prefill%d", i))
 		e.WarmBoot() // instances are long-running; experiments start warm
 		s.prefills = append(s.prefills, newPrefillInstance(s, e))
+		if s.prefix != nil {
+			// Only prefill instances hold device copies: that is where prompt
+			// KV is produced and reused. Decode instances receive KV through
+			// the existing swap-in path.
+			s.prefix.AttachDevice(e.Name, e.KV().GPUCache)
+		}
 	}
 	for i := 0; i < cfg.NumDecode; i++ {
 		e := mkEngine(fmt.Sprintf("decode%d", i))
@@ -348,12 +370,25 @@ func (s *System) LiveInFlight() int { return s.liveOpen }
 
 // dispatchPrefill implements Algorithm 1's arrival event: join an existing
 // same-model group anywhere in the pool if one has room; otherwise open a
-// new group on the least-loaded prefill instance.
+// new group on the least-loaded prefill instance. With cache-aware routing
+// enabled, placement instead minimizes load minus the expected prefix-reuse
+// benefit on each instance — affinity is a bounded credit against queue
+// depth, never an override of it (or of admission control, which already ran).
 func (s *System) dispatchPrefill(r *Request) {
 	if r.terminal() {
 		return
 	}
 	s.obs.RequestArrived(r.ID, r.Model.Name, s.eng.Now())
+	if s.prefix != nil && s.prefix.Routing() && len(r.Segments) > 0 {
+		if best := s.routePrefix(r); best != nil {
+			if !best.tryJoinGroup(r) {
+				best.newGroup(r)
+			}
+			return
+		}
+		s.failRequest(r, "no surviving prefill capacity")
+		return
+	}
 	for _, p := range s.prefills {
 		if !p.dead && p.tryJoinGroup(r) {
 			return
@@ -375,6 +410,55 @@ func (s *System) dispatchPrefill(r *Request) {
 	}
 	best.newGroup(r)
 }
+
+// routePrefix scores every live prefill instance as (queue load − expected
+// prefix benefit) and returns the minimum; nil when no instance survives.
+// The benefit is the prefill compute the instance's cached prefix would
+// avoid, minus the tier-dependent copy cost of materializing it — so a long
+// hit on a deeply queued instance loses to a miss on an idle one exactly
+// when recomputing is faster than waiting, which keeps cache affinity
+// subordinate to the PR 5 overload machinery.
+func (s *System) routePrefix(r *Request) *prefillInstance {
+	var best *prefillInstance
+	var bestScore time.Duration
+	shape := r.Model.ShardKVShape(s.cfg.TP)
+	full := 0
+	for _, p := range s.prefills {
+		if p.dead {
+			continue
+		}
+		score := p.load()
+		matched, onDevice := s.prefix.MatchTokensOn(p.eng.Name, r.Model.Name, r.Segments, r.InputTokens)
+		if matched > 0 {
+			if full == 0 {
+				full = r.InputTokens + r.Generated()
+			}
+			saved := p.eng.PrefillEstimate(r.Model, full) - p.eng.PrefillEstimate(r.Model, full-matched)
+			hostBytes := shape.BytesPerToken() * int64(matched-onDevice)
+			devBytes := shape.BytesPerToken() * int64(onDevice)
+			copyCost := s.cfg.Prof.PCIeCopy(hostBytes) + p.eng.CostFor(r.Model).OnDeviceCopy(devBytes)
+			if benefit := saved - copyCost; benefit > 0 {
+				score -= benefit
+			}
+		}
+		if best == nil || score < bestScore {
+			best, bestScore = p, score
+		}
+	}
+	return best
+}
+
+// releasePrefix unpins the request's prefix-cache hit, if any. Safe on every
+// terminal and retry path; the Hit itself is idempotent.
+func (s *System) releasePrefix(r *Request) {
+	if r.prefixHit != nil {
+		r.prefixHit.Release(s.eng.Now())
+		r.prefixHit = nil
+	}
+}
+
+// PrefixCache exposes the global prefix cache (nil when disabled).
+func (s *System) PrefixCache() *prefixcache.Cache { return s.prefix }
 
 // dispatchDecode routes a freshly prefilled request to a decoding instance:
 // prefer an instance already holding an open batch of the same model with
@@ -466,6 +550,7 @@ func (s *System) finishRequest(r *Request) {
 	if r.terminal() {
 		return // already failed or aborted; completion raced a terminal path
 	}
+	s.releasePrefix(r) // safety net; the prefill path normally released it
 	s.obs.RequestDone(r.ID, s.eng.Now())
 	r.Done = true
 	r.finished = s.eng.Now()
@@ -490,6 +575,7 @@ func (s *System) failRequest(r *Request, reason string) {
 	if r.terminal() {
 		return
 	}
+	s.releasePrefix(r)
 	s.freeSeq(r)
 	r.Failed = true
 	r.FailReason = reason
@@ -537,6 +623,7 @@ func (s *System) Abort(r *Request) {
 	r.finished = s.eng.Now()
 	s.aborted++
 	s.removeFromQueues(r)
+	s.releasePrefix(r)
 	s.freeSeq(r)
 	if r.live {
 		s.liveOpen--

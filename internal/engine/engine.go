@@ -108,6 +108,11 @@ type Stats struct {
 	PrefillJobs   uint64
 	DecodeSteps   uint64
 	SwitchLatency metrics.CDF // exposed scale-up latency per switch (Fig. 15)
+	// Prefix-cache reuse activity (PR 6): copies charged instead of
+	// recomputed prefill.
+	PrefixReuses      uint64
+	PrefixHostBytes   int64
+	PrefixDeviceBytes int64
 }
 
 // Engine is one simulated inference engine.
@@ -772,6 +777,24 @@ func (e *Engine) PrefillFor(reqID string, promptTokens int, done func()) {
 	dur := e.CostFor(e.current).Prefill(promptTokens)
 	e.compute.SubmitOp(gpu.Compute, dur,
 		gpu.OpInfo{Tag: "prefill", Model: e.current.Name, Request: reqID}, done)
+}
+
+// ReusePrefix charges the tier-dependent cost of materializing a cached
+// prefix into a fresh sequence instead of recomputing it: hostBytes travel
+// over PCIe (host tier → VRAM, on the loader stream so it overlaps compute),
+// deviceBytes are an on-device copy from the instance's resident prefix
+// blocks. done fires when the KV is in place and the (shortened) prefill may
+// start.
+func (e *Engine) ReusePrefix(reqID string, hostBytes, deviceBytes int64, done func()) {
+	if e.current == nil {
+		panic("engine: ReusePrefix with no model loaded")
+	}
+	e.stats.PrefixReuses++
+	e.stats.PrefixHostBytes += hostBytes
+	e.stats.PrefixDeviceBytes += deviceBytes
+	dur := e.cfg.Prof.PCIeCopy(hostBytes) + e.CostFor(e.current).OnDeviceCopy(deviceBytes)
+	e.loader.SubmitOp(gpu.H2D, dur,
+		gpu.OpInfo{Tag: "prefix-reuse", Model: e.current.Name, Request: reqID}, done)
 }
 
 // DecodeStep executes one decoding iteration over a batch with the given

@@ -308,6 +308,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/debug/slo/stream", g.handleDebugSLOStream)
 	mux.HandleFunc("/debug/dash", g.handleDebugDash)
 	mux.HandleFunc("/debug/overload", g.handleDebugOverload)
+	mux.HandleFunc("/debug/prefix", g.handleDebugPrefix)
 	return mux
 }
 
@@ -628,6 +629,14 @@ type completionRequest struct {
 	// Priority is the request's service tier: "high", "normal" (default),
 	// or "low". Overload control sheds lower tiers first.
 	Priority string `json:"priority"`
+	// SessionID groups the turns of one conversation. With the prefix cache
+	// enabled, a turn's prompt is modeled as a deterministic stream keyed by
+	// (model, session_id): each turn re-sends the growing conversation, so
+	// later turns hit the prefix cached by earlier ones, and cache-aware
+	// routing steers the session to the instance holding it.
+	SessionID string `json:"session_id"`
+	// Turn is the 0-based turn number within the session (informational).
+	Turn int `json:"turn"`
 }
 
 type completionChoice struct {
@@ -743,9 +752,19 @@ func (g *Gateway) handleCompletions(w http.ResponseWriter, r *http.Request) {
 	// both run on the event-loop goroutine, and driver posts are FIFO, so
 	// the submit always lands first.
 	var cr *core.Request
+	// A session's prompt content is a deterministic stream keyed by (model,
+	// session): turn n's prompt is a prefix of turn n+1's, which is exactly
+	// the accumulating-context pattern the prefix cache exploits.
+	var segs []workload.PromptSeg
+	if req.SessionID != "" {
+		segs = []workload.PromptSeg{
+			{Seed: workload.SeedString(req.Model + "\x00" + req.SessionID), Len: inTok},
+		}
+	}
 	err := g.drv.Post(func() {
 		sub, err := g.cl.SubmitLive(
-			workload.Request{ID: id, Model: req.Model, InputTokens: inTok, OutputTokens: outTok, Priority: prio},
+			workload.Request{ID: id, Model: req.Model, InputTokens: inTok, OutputTokens: outTok,
+				Priority: prio, SessionID: req.SessionID, Turn: req.Turn, Segments: segs},
 			func(i int, at sim.Time) {
 				select {
 				case tokens <- tokenEvent{i, at}:

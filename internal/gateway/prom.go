@@ -10,6 +10,7 @@ import (
 
 	"aegaeon/internal/fault"
 	"aegaeon/internal/metrics"
+	"aegaeon/internal/prefixcache"
 	"aegaeon/internal/slomon"
 )
 
@@ -28,6 +29,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var storeGets, storeSets, storeDeletes, storeFailed uint64
 	var fs fault.Stats
 	var failovers int
+	var prefixSnaps map[string]prefixcache.Stats
 	err := g.drv.Call(func() {
 		switches = g.cl.Switches()
 		virtual = g.cl.VirtualNow()
@@ -35,6 +37,12 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		storeFailed = g.cl.Store().FailedOps()
 		fs = g.cl.FaultStats()
 		failovers = g.cl.Failovers()
+		if caches := g.cl.PrefixCaches(); len(caches) > 0 {
+			prefixSnaps = make(map[string]prefixcache.Stats, len(caches))
+			for name, pc := range caches {
+				prefixSnaps[name] = pc.Stats()
+			}
+		}
 	})
 	g.mu.Lock()
 	if err == nil {
@@ -164,6 +172,10 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeSLOMetrics(&b, g.opts.SLOMon.Snapshot(virtual))
 	}
 
+	if len(prefixSnaps) > 0 {
+		writePrefixMetrics(&b, prefixSnaps)
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
 }
@@ -267,6 +279,78 @@ func writeSLOMetrics(b *strings.Builder, snap *slomon.Snapshot) {
 	for _, sc := range snap.Models {
 		fmt.Fprintf(b, "aegaeon_slo_tbt_p99_seconds{model=%q} %g\n", sc.Model, sc.TBT.P99S)
 	}
+}
+
+// writePrefixMetrics renders the global prefix cache's families, summed
+// across deployments (models are disjoint across deployments, so per-model
+// series never collide). Per-model series are emitted in sorted model order;
+// every family carries # HELP and # TYPE.
+func writePrefixMetrics(b *strings.Builder, snaps map[string]prefixcache.Stats) {
+	counter := func(name, help string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+
+	var total prefixcache.Stats
+	perModel := map[string]prefixcache.ModelStats{}
+	for _, st := range snaps {
+		total.Lookups += st.Lookups
+		total.Hits += st.Hits
+		total.TokensSaved += st.TokensSaved
+		total.PrefillTokens += st.PrefillTokens
+		total.Inserts += st.Inserts
+		total.HostEvictions += st.HostEvictions
+		total.DeviceEvictions += st.DeviceEvictions
+		total.Promotions += st.Promotions
+		total.DeviceDrops += st.DeviceDrops
+		total.HostEntries += st.HostEntries
+		total.DeviceCopies += st.DeviceCopies
+		total.PinnedEntries += st.PinnedEntries
+		total.HostBytes += st.HostBytes
+		total.DeviceBytes += st.DeviceBytes
+		for m, ms := range st.PerModel {
+			agg := perModel[m]
+			agg.Lookups += ms.Lookups
+			agg.Hits += ms.Hits
+			agg.TokensSaved += ms.TokensSaved
+			perModel[m] = agg
+		}
+	}
+	models := sortedStringKeys(perModel)
+
+	counter("aegaeon_prefix_lookups_total", "Prefix cache lookups at prefill admission, by model.")
+	for _, m := range models {
+		fmt.Fprintf(b, "aegaeon_prefix_lookups_total{model=%q} %d\n", m, perModel[m].Lookups)
+	}
+	counter("aegaeon_prefix_hits_total", "Prefix cache lookups that matched at least one block, by model.")
+	for _, m := range models {
+		fmt.Fprintf(b, "aegaeon_prefix_hits_total{model=%q} %d\n", m, perModel[m].Hits)
+	}
+	counter("aegaeon_prefix_tokens_saved_total", "Prefill tokens skipped thanks to prefix reuse, by model.")
+	for _, m := range models {
+		fmt.Fprintf(b, "aegaeon_prefix_tokens_saved_total{model=%q} %d\n", m, perModel[m].TokensSaved)
+	}
+	counter("aegaeon_prefix_inserts_total", "Prefix chains inserted after prefill completion.")
+	fmt.Fprintf(b, "aegaeon_prefix_inserts_total %d\n", total.Inserts)
+	counter("aegaeon_prefix_evictions_total", "Prefix entries evicted, by tier.")
+	fmt.Fprintf(b, "aegaeon_prefix_evictions_total{tier=\"device\"} %d\n", total.DeviceEvictions)
+	fmt.Fprintf(b, "aegaeon_prefix_evictions_total{tier=\"host\"} %d\n", total.HostEvictions)
+	counter("aegaeon_prefix_promotions_total", "Host-tier entries promoted to a device copy on reuse.")
+	fmt.Fprintf(b, "aegaeon_prefix_promotions_total %d\n", total.Promotions)
+	counter("aegaeon_prefix_device_drops_total", "Device copies forgotten because their instance crashed.")
+	fmt.Fprintf(b, "aegaeon_prefix_device_drops_total %d\n", total.DeviceDrops)
+
+	gauge("aegaeon_prefix_bytes", "Bytes of KV blocks held by the prefix cache, by tier.")
+	fmt.Fprintf(b, "aegaeon_prefix_bytes{tier=\"device\"} %d\n", total.DeviceBytes)
+	fmt.Fprintf(b, "aegaeon_prefix_bytes{tier=\"host\"} %d\n", total.HostBytes)
+	gauge("aegaeon_prefix_entries", "Resident prefix index entries (host tier of record).")
+	fmt.Fprintf(b, "aegaeon_prefix_entries %d\n", total.HostEntries)
+	gauge("aegaeon_prefix_device_copies", "Per-instance device copies currently resident.")
+	fmt.Fprintf(b, "aegaeon_prefix_device_copies %d\n", total.DeviceCopies)
+	gauge("aegaeon_prefix_pinned_entries", "Entries pinned by in-flight prefills (never evictable).")
+	fmt.Fprintf(b, "aegaeon_prefix_pinned_entries %d\n", total.PinnedEntries)
 }
 
 // writeHistogram renders exact cumulative buckets in the Prometheus

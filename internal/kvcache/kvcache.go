@@ -93,6 +93,11 @@ func (c *Cache) FreeTokensAvailable(class string) int64 {
 // Pool exposes the underlying slab pool (for fragmentation statistics).
 func (c *Cache) Pool() *memory.SlabPool { return c.pool }
 
+// BlockTokens returns the tokens-per-block granularity of the tier. Layers
+// that share blocks with this tier (the prefix cache) must use the same
+// granularity or their shape classes would clash.
+func (c *Cache) BlockTokens() int { return c.blockTokens }
+
 // alloc acquires blocks for tokens of the class. Capacity is pre-checked in
 // O(1) so an oversized request fails fast instead of allocating hundreds of
 // blocks and rolling them back — swap-in retry storms under memory pressure

@@ -299,6 +299,23 @@ func (c *Collector) PrefillStart(instance, id string, at sim.Time) {
 	}
 }
 
+// RequestSpan appends an already-closed span to a request's timeline — used
+// for intervals whose endpoints are only known in retrospect, like the
+// prefix-cache reuse copy ("prefix-reuse") or the recompute charge of a cold
+// conversation ("prefix-recompute"). The span lands in the same timeline the
+// miss attributor joins against, so new causes need no new plumbing.
+func (c *Collector) RequestSpan(instance, id, name, detail string, start, end sim.Time) {
+	if c == nil {
+		return
+	}
+	c.ring.Emitf(end, trace.KindPrefix, instance, id, "%s %s", name, detail)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t := c.timeline(id); t != nil {
+		t.Spans = append(t.Spans, Span{Name: name, Detail: detail, Start: start, End: end})
+	}
+}
+
 // PrefillDone closes the prefill span and opens the decode-wait span.
 func (c *Collector) PrefillDone(instance, id string, at sim.Time) {
 	if c == nil {

@@ -1,0 +1,66 @@
+package prefixcache
+
+import "aegaeon/internal/workload"
+
+// Prompt content is modeled as deterministic token streams (workload.PromptSeg:
+// a seed plus a length), so two requests share a prefix exactly when their
+// segment lists agree over it. The index never stores tokens: it stores one
+// chained hash per block, so a lookup is a walk down the chain and a partial
+// match stops at the first block whose chunk hash is absent.
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap, well-mixed
+// 64-bit permutation used both to derive token values from (seed, position)
+// and to fold tokens into the running chunk hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d4a2a7f6bfec3
+	return x ^ (x >> 31)
+}
+
+// tokenAt returns the deterministic token value at absolute position pos of
+// the prompt described by segs. Positions beyond the segments return 0s —
+// callers bound their walks by the segment sum.
+func tokenAt(segs []workload.PromptSeg, pos int) uint64 {
+	for _, s := range segs {
+		if pos < s.Len {
+			return splitmix64(s.Seed ^ splitmix64(uint64(pos)+1))
+		}
+		pos -= s.Len
+	}
+	return 0
+}
+
+// SegTokens returns the total token count described by the segments.
+func SegTokens(segs []workload.PromptSeg) int {
+	n := 0
+	for _, s := range segs {
+		n += s.Len
+	}
+	return n
+}
+
+// ChunkHashes returns the chained block-aligned hashes of the first nblocks
+// blocks of the prompt: hash k covers tokens [0, (k+1)*block) because each
+// chunk hash folds in its predecessor. Equal hash at depth k therefore means
+// equal content over the whole prefix, which is what lets a lookup stop at
+// the first absent chunk and still trust everything before it.
+func ChunkHashes(segs []workload.PromptSeg, nblocks, block int) []uint64 {
+	if nblocks <= 0 || block <= 0 {
+		return nil
+	}
+	if avail := SegTokens(segs) / block; nblocks > avail {
+		nblocks = avail
+	}
+	out := make([]uint64, 0, nblocks)
+	h := uint64(0x61656761656f6e00) // chain seed; arbitrary but fixed
+	pos := 0
+	for k := 0; k < nblocks; k++ {
+		for i := 0; i < block; i++ {
+			h = splitmix64(h ^ tokenAt(segs, pos))
+			pos++
+		}
+		out = append(out, h)
+	}
+	return out
+}

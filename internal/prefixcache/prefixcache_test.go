@@ -1,0 +1,445 @@
+package prefixcache
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"aegaeon/internal/kvcache"
+	"aegaeon/internal/model"
+	"aegaeon/internal/sim"
+	"aegaeon/internal/workload"
+)
+
+const testBlkTok = 16
+
+// testShape is a tiny KV geometry: 128 B/token, 2 KiB per 16-token block.
+var testShape = model.KVShape{Layers: 2, KVHeads: 2, HeadDim: 8, BytesPerElem: 2}
+
+var testBlockBytes = testShape.BytesPerToken() * testBlkTok
+
+func newHost() *kvcache.Cache {
+	return kvcache.NewCache("cpu", 1<<20, 1<<14, testBlkTok)
+}
+
+func seg(seed uint64, n int) workload.PromptSeg { return workload.PromptSeg{Seed: seed, Len: n} }
+
+// TestChunkHashesGolden pins the chained chunk-hash values so index contents
+// stay stable across refactors, and exercises the partial-match geometry:
+// empty prompts, exact matches, matches ending exactly at a block boundary,
+// and divergent suffixes.
+func TestChunkHashesGolden(t *testing.T) {
+	// A is one 32-token stream; B re-generates A's first 16 tokens from the
+	// same seed, then diverges. With block 4: 8 chunks each, first 4 shared.
+	segA := []workload.PromptSeg{seg(0x1111, 32)}
+	segB := []workload.PromptSeg{seg(0x1111, 16), seg(0x2222, 16)}
+	goldenA := []uint64{
+		0x3c29c5ce86fb530f, 0xabd892df2b690057, 0x7b137fc647f3c5ce, 0x97a3ed7c8bc6091a,
+		0x8164cb6d0a35afa8, 0x17b5ffc404a344f3, 0xd908abf506f95a77, 0x236bf9e6d7ab90d4,
+	}
+	goldenB := []uint64{
+		0x3c29c5ce86fb530f, 0xabd892df2b690057, 0x7b137fc647f3c5ce, 0x97a3ed7c8bc6091a,
+		0xa3b58085e3557547, 0x37c631d7672b0e44, 0x6f7ea885d7458982, 0x1a749434cebbe35a,
+	}
+
+	// Empty inputs produce no chunks.
+	if got := ChunkHashes(nil, 4, 4); len(got) != 0 {
+		t.Errorf("empty segs: %d chunks", len(got))
+	}
+	if got := ChunkHashes([]workload.PromptSeg{seg(1, 3)}, 4, 4); len(got) != 0 {
+		t.Errorf("sub-block prompt: %d chunks", len(got))
+	}
+	if got := ChunkHashes(segA, 0, 4); len(got) != 0 {
+		t.Errorf("nblocks=0: %d chunks", len(got))
+	}
+
+	// Exact: recomputation is bit-stable and equals the golden values.
+	gotA := ChunkHashes(segA, 8, 4)
+	if len(gotA) != len(goldenA) {
+		t.Fatalf("A: %d chunks, want %d", len(gotA), len(goldenA))
+	}
+	for i := range goldenA {
+		if gotA[i] != goldenA[i] {
+			t.Errorf("A chunk %d = %#x, want %#x", i, gotA[i], goldenA[i])
+		}
+	}
+
+	// Block boundary: B matches A for exactly the 4 chunks covering the
+	// shared 16 tokens, then every later chunk differs (the chain folds the
+	// divergence into all following hashes).
+	gotB := ChunkHashes(segB, 8, 4)
+	for i := range goldenB {
+		if gotB[i] != goldenB[i] {
+			t.Errorf("B chunk %d = %#x, want %#x", i, gotB[i], goldenB[i])
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if gotA[i] != gotB[i] {
+			t.Errorf("shared prefix chunk %d differs", i)
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if gotA[i] == gotB[i] {
+			t.Errorf("divergent-suffix chunk %d collides", i)
+		}
+	}
+
+	// nblocks caps at the available whole blocks.
+	if got := ChunkHashes(segA, 100, 4); len(got) != 8 {
+		t.Errorf("over-asked: %d chunks, want 8", len(got))
+	}
+	// A fully different stream shares nothing.
+	other := ChunkHashes([]workload.PromptSeg{seg(0x9999, 32)}, 8, 4)
+	if other[0] == gotA[0] {
+		t.Error("independent streams share chunk 0")
+	}
+}
+
+func TestAcquireMissInsertHit(t *testing.T) {
+	c := New(Config{}, newHost())
+	segs := []workload.PromptSeg{seg(7, 64)}
+
+	if h := c.Acquire("p0", "m", testShape, segs, 64, 0); h != nil {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert("m", testShape, segs, 64, 1)
+
+	// 64-token prompt: the match is capped one token short, so 3 of the 4
+	// cached blocks match.
+	h := c.Acquire("p0", "m", testShape, segs, 64, 2)
+	if h == nil {
+		t.Fatal("miss after insert")
+	}
+	if h.MatchedTokens != 48 || h.DeviceTokens != 0 {
+		t.Fatalf("matched %d (device %d), want 48 (0)", h.MatchedTokens, h.DeviceTokens)
+	}
+	if h.HostBytes != 3*testBlockBytes || h.DeviceBytes != 0 {
+		t.Fatalf("host bytes %d, want %d", h.HostBytes, 3*testBlockBytes)
+	}
+	if got := c.PinnedEntries(); got != 3 {
+		t.Fatalf("pinned = %d during hit, want 3", got)
+	}
+	h.Release(3)
+	h.Release(3) // idempotent
+	if got := c.PinnedEntries(); got != 0 {
+		t.Fatalf("pinned = %d after release, want 0", got)
+	}
+
+	// A longer prompt extending the same stream matches all 4 blocks.
+	long := []workload.PromptSeg{seg(7, 96)}
+	h2 := c.Acquire("p0", "m", testShape, long, 96, 4)
+	if h2 == nil || h2.MatchedTokens != 64 {
+		t.Fatalf("extended prompt matched %v, want 64", h2)
+	}
+	h2.Release(5)
+
+	st := c.Stats()
+	if st.Lookups != 3 || st.Hits != 2 || st.TokensSaved != 48+64 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HostEntries != 4 || st.HostBytes != 4*testBlockBytes {
+		t.Fatalf("residency = %d entries / %d bytes", st.HostEntries, st.HostBytes)
+	}
+	if ms := st.PerModel["m"]; ms.Hits != 2 || ms.TokensSaved != 112 {
+		t.Fatalf("per-model = %+v", ms)
+	}
+	if bad := c.CheckConsistency(); len(bad) != 0 {
+		t.Fatalf("consistency: %v", bad)
+	}
+}
+
+// TestPartialMatchDivergentSuffix: a prompt sharing only the first block of a
+// cached chain matches exactly that block.
+func TestPartialMatchDivergentSuffix(t *testing.T) {
+	c := New(Config{}, newHost())
+	c.Insert("m", testShape, []workload.PromptSeg{seg(1, 32)}, 32, 0)
+
+	div := []workload.PromptSeg{seg(1, 16), seg(2, 16)}
+	h := c.Acquire("p0", "m", testShape, div, 32, 1)
+	if h == nil || h.MatchedTokens != 16 {
+		t.Fatalf("divergent suffix matched %v, want 16", h)
+	}
+	h.Release(2)
+
+	// Different model namespaces never cross-match.
+	if h := c.Acquire("p0", "other", testShape, []workload.PromptSeg{seg(1, 32)}, 32, 3); h != nil {
+		t.Fatal("cross-model hit")
+	}
+}
+
+// TestEvictionNeverReclaimsPinned is the eviction-under-pin property test:
+// under sustained insert pressure against a tiny budget, chains pinned by
+// in-flight hits survive intact, byte accounting matches, and the budget
+// holds. Deterministically seeded.
+func TestEvictionNeverReclaimsPinned(t *testing.T) {
+	for _, pol := range []Policy{PolicyLRU, PolicyFreq} {
+		budget := 6 * testBlockBytes
+		c := New(Config{HostBytes: budget, Policy: pol}, newHost())
+		rng := rand.New(rand.NewSource(11))
+
+		type pinned struct {
+			h    *Hit
+			segs []workload.PromptSeg
+		}
+		var pins []pinned
+		now := sim.Time(0)
+		for i := 0; i < 300; i++ {
+			now++
+			switch {
+			case len(pins) < 2 && rng.Intn(3) == 0:
+				segs := []workload.PromptSeg{seg(rng.Uint64(), 48)}
+				c.Insert("m", testShape, segs, 48, now)
+				now++
+				if h := c.Acquire("p0", "m", testShape, segs, 49, now); h != nil {
+					pins = append(pins, pinned{h, segs})
+				}
+			case len(pins) > 0 && rng.Intn(4) == 0:
+				pins[0].h.Release(now)
+				pins = pins[1:]
+			default:
+				n := (1 + rng.Intn(3)) * testBlkTok
+				c.Insert("m", testShape, []workload.PromptSeg{seg(rng.Uint64(), n)}, n, now)
+			}
+
+			// Invariants after every step.
+			if got := c.HostResidentBytes(); got > budget {
+				t.Fatalf("[%v] step %d: resident %d exceeds budget %d", pol, i, got, budget)
+			}
+			for _, p := range pins {
+				if m, _ := c.MatchTokensOn("p0", "m", p.segs, 49); m != 48 {
+					t.Fatalf("[%v] step %d: pinned chain shrank to %d tokens", pol, i, m)
+				}
+			}
+			if i%25 == 0 {
+				if bad := c.CheckConsistency(); len(bad) != 0 {
+					t.Fatalf("[%v] step %d: %v", pol, i, bad)
+				}
+			}
+		}
+		for _, p := range pins {
+			p.h.Release(now)
+		}
+		if got := c.PinnedEntries(); got != 0 {
+			t.Fatalf("[%v] pinned = %d after drain", pol, got)
+		}
+		if bad := c.CheckConsistency(); len(bad) != 0 {
+			t.Fatalf("[%v] final consistency: %v", pol, bad)
+		}
+		if st := c.Stats(); st.HostEvictions == 0 {
+			t.Fatalf("[%v] no evictions — pressure test exerted no pressure", pol)
+		}
+	}
+}
+
+// TestInsertStopsWhenAllPinned: insertion degrades to a shorter cached chain
+// rather than evicting pinned entries.
+func TestInsertStopsWhenAllPinned(t *testing.T) {
+	c := New(Config{HostBytes: testBlockBytes}, newHost())
+	a := []workload.PromptSeg{seg(1, 16)}
+	c.Insert("m", testShape, a, 16, 0)
+	h := c.Acquire("p0", "m", testShape, a, 17, 1)
+	if h == nil {
+		t.Fatal("miss on cached block")
+	}
+	b := []workload.PromptSeg{seg(2, 16)}
+	c.Insert("m", testShape, b, 16, 2)
+	if m, _ := c.MatchTokensOn("p0", "m", b, 17); m != 0 {
+		t.Fatalf("insert displaced a pinned entry (matched %d)", m)
+	}
+	if m, _ := c.MatchTokensOn("p0", "m", a, 17); m != 16 {
+		t.Fatalf("pinned entry gone (matched %d)", m)
+	}
+	h.Release(3)
+	// Unpinned now: the next insert may evict it.
+	c.Insert("m", testShape, b, 16, 4)
+	if m, _ := c.MatchTokensOn("p0", "m", b, 17); m != 16 {
+		t.Fatalf("insert still blocked after release (matched %d)", m)
+	}
+}
+
+func TestFreqPolicyKeepsHotEntry(t *testing.T) {
+	mk := func(pol Policy) *Cache {
+		c := New(Config{HostBytes: 2 * testBlockBytes, Policy: pol, PromoteAfter: 100}, newHost())
+		hot := []workload.PromptSeg{seg(1, 16)}
+		c.Insert("m", testShape, hot, 16, 0)
+		for i := 0; i < 3; i++ {
+			if h := c.Acquire("p0", "m", testShape, hot, 17, sim.Time(1+i)); h != nil {
+				h.Release(sim.Time(1 + i))
+			}
+		}
+		c.Insert("m", testShape, []workload.PromptSeg{seg(2, 16)}, 16, 10) // colder but newer
+		c.Insert("m", testShape, []workload.PromptSeg{seg(3, 16)}, 16, 11) // forces one eviction
+		return c
+	}
+
+	c := mk(PolicyFreq)
+	if m, _ := c.MatchTokensOn("p0", "m", []workload.PromptSeg{seg(1, 16)}, 17); m != 16 {
+		t.Error("freq policy evicted the frequently reused entry")
+	}
+	if m, _ := c.MatchTokensOn("p0", "m", []workload.PromptSeg{seg(2, 16)}, 17); m != 0 {
+		t.Error("freq policy kept the cold entry over the hot one")
+	}
+
+	// LRU sees only recency: the hot entry's last use (t=3) predates the
+	// cold insert (t=10), so pure LRU flushes it — exactly the failure mode
+	// PolicyFreq exists to avoid.
+	c = mk(PolicyLRU)
+	if m, _ := c.MatchTokensOn("p0", "m", []workload.PromptSeg{seg(1, 16)}, 17); m != 0 {
+		t.Error("lru kept the older entry despite newer residents")
+	}
+	if m, _ := c.MatchTokensOn("p0", "m", []workload.PromptSeg{seg(2, 16)}, 17); m != 16 {
+		t.Error("lru evicted the most recently inserted entry")
+	}
+}
+
+func TestPromotionDeviceTierAndCrash(t *testing.T) {
+	host := newHost()
+	dev := kvcache.NewCache("gpu0", 1<<20, 1<<14, testBlkTok)
+	c := New(Config{DeviceBytes: 2 * testBlockBytes}, host)
+	c.AttachDevice("p0", dev)
+
+	segs := []workload.PromptSeg{seg(5, 48)}
+	c.Insert("m", testShape, segs, 48, 0)
+
+	// First reuse: hits reach PromoteAfter (1), so Release promotes
+	// root-first until the 2-block device budget is exhausted.
+	h := c.Acquire("p0", "m", testShape, segs, 49, 1)
+	if h == nil || h.DeviceTokens != 0 {
+		t.Fatalf("first hit = %+v", h)
+	}
+	h.Release(2)
+	if got := c.DeviceResidentBytes("p0"); got != 2*testBlockBytes {
+		t.Fatalf("device resident %d, want %d", got, 2*testBlockBytes)
+	}
+	if used := dev.Pool().UsedBytes(); used != 2*testBlockBytes {
+		t.Fatalf("device pool used %d, want %d", used, 2*testBlockBytes)
+	}
+
+	// Second reuse sees the contiguous device prefix.
+	h = c.Acquire("p0", "m", testShape, segs, 49, 3)
+	if h == nil || h.DeviceTokens != 32 || h.DeviceBytes != 2*testBlockBytes {
+		t.Fatalf("second hit = %+v", h)
+	}
+	if h.HostBytes != testBlockBytes {
+		t.Fatalf("host remainder = %d", h.HostBytes)
+	}
+	h.Release(4)
+
+	// Other instances are blind to p0's copies.
+	if _, onDev := c.MatchTokensOn("p1", "m", segs, 49); onDev != 0 {
+		t.Error("device residency leaked across instances")
+	}
+
+	// Pressure valve: leaf-only device eviction frees the deepest copy and
+	// returns the blocks to the instance pool.
+	if freed := c.EvictDeviceBytes("p0", testBlockBytes); freed != testBlockBytes {
+		t.Fatalf("EvictDeviceBytes freed %d", freed)
+	}
+	if used := dev.Pool().UsedBytes(); used != testBlockBytes {
+		t.Fatalf("device pool used %d after valve, want %d", used, testBlockBytes)
+	}
+
+	// Crash: copies are forgotten without touching the dead pool.
+	before := dev.Pool().UsedBytes()
+	c.DropInstance("p0")
+	if got := c.DeviceResidentBytes("p0"); got != 0 {
+		t.Fatalf("device resident %d after crash", got)
+	}
+	if dev.Pool().UsedBytes() != before {
+		t.Error("DropInstance freed blocks into a dead pool")
+	}
+	st := c.Stats()
+	if st.DeviceDrops == 0 || st.DeviceEvictions != 1 || st.Promotions != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if bad := c.CheckConsistency(); len(bad) != 0 {
+		t.Fatalf("consistency: %v", bad)
+	}
+}
+
+// TestConcurrentLookupInsertEvict hammers the cache from four goroutine
+// families — acquire/release on shared sessions, inserts of fresh prompts,
+// the device pressure valve, and stats/consistency readers — and must pass
+// under -race. Refcounts must return to zero and accounting must balance.
+func TestConcurrentLookupInsertEvict(t *testing.T) {
+	host := newHost()
+	dev := kvcache.NewCache("gpu0", 1<<20, 1<<14, testBlkTok)
+	c := New(Config{HostBytes: 32 * testBlockBytes, DeviceBytes: 8 * testBlockBytes}, host)
+	c.AttachDevice("p0", dev)
+
+	shared := []workload.PromptSeg{seg(0xABCD, 64)}
+	c.Insert("m", testShape, shared, 64, 0)
+
+	const iters = 400
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				now := sim.Time(w*iters + i)
+				if h := c.Acquire("p0", "m", testShape, shared, 65, now); h != nil {
+					h.Release(now)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < iters; i++ {
+			n := (1 + rng.Intn(4)) * testBlkTok
+			c.Insert("m", testShape, []workload.PromptSeg{seg(rng.Uint64(), n)}, n, sim.Time(i))
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/4; i++ {
+			c.EvictDeviceBytes("p0", testBlockBytes)
+			_, _ = c.MatchTokensOn("p0", "m", shared, 65)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/8; i++ {
+			_ = c.Stats()
+			if bad := c.CheckConsistency(); len(bad) != 0 {
+				t.Errorf("mid-run consistency: %v", bad)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := c.PinnedEntries(); got != 0 {
+		t.Fatalf("pinned = %d after drain", got)
+	}
+	if bad := c.CheckConsistency(); len(bad) != 0 {
+		t.Fatalf("final consistency: %v", bad)
+	}
+	st := c.Stats()
+	if st.HostBytes != c.HostResidentBytes() {
+		t.Fatal("stats/resident divergence")
+	}
+	if host.Pool().UsedBytes() != st.HostBytes {
+		t.Fatalf("host pool used %d != cache accounting %d", host.Pool().UsedBytes(), st.HostBytes)
+	}
+	if dev.Pool().UsedBytes() != st.DeviceBytes {
+		t.Fatalf("device pool used %d != cache accounting %d", dev.Pool().UsedBytes(), st.DeviceBytes)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{"": PolicyLRU, "lru": PolicyLRU, "freq": PolicyFreq} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("mru"); err == nil {
+		t.Error("ParsePolicy accepted garbage")
+	}
+}

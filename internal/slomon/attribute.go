@@ -20,7 +20,12 @@ const (
 	CauseSwitchOther
 	CauseDecodePreempt // parked between decode turns (quota preemption)
 	CauseDecodeExec    // inside a decode turn but too slow (TBT overrun)
-	CauseFault         // inside an active fault window
+	// CausePrefixMissRecompute: prefill recomputed a cold conversation
+	// prefix the cache could have served — only emitted when the prefix
+	// cache is on, distinguishing cold-prefix misses from switch-cost and
+	// generic prefill misses.
+	CausePrefixMissRecompute
+	CauseFault // inside an active fault window
 	CauseUnknown
 	numCauses
 )
@@ -28,7 +33,7 @@ const (
 var causeNames = [numCauses]string{
 	"queue_wait", "prefill",
 	"switch_reinit", "switch_fetch", "switch_weight_load", "switch_kv_sync", "switch_other",
-	"decode_preempt", "decode_exec", "fault", "unknown",
+	"decode_preempt", "decode_exec", "prefix_miss_recompute", "fault", "unknown",
 }
 
 func (c Cause) String() string {
@@ -44,9 +49,12 @@ func Causes() []string { return append([]string(nil), causeNames[:]...) }
 // causePriority breaks overlap ties: switch stalls are the scarce, actionable
 // signal (the paper's whole contribution is shrinking them), so they win over
 // the generic wait families; execution overrun is the weakest claim.
+// CausePrefixMissRecompute sits above CausePrefill: its span covers exactly
+// the prefill interval of a cold-prefix request, and when the two tie the
+// sharper label must win.
 var causePriority = [...]Cause{
 	CauseSwitchReinit, CauseSwitchFetch, CauseSwitchWeightLoad, CauseSwitchKVSync, CauseSwitchOther,
-	CauseQueueWait, CausePrefill, CauseDecodePreempt, CauseDecodeExec,
+	CauseQueueWait, CausePrefixMissRecompute, CausePrefill, CauseDecodePreempt, CauseDecodeExec,
 }
 
 // spanCause maps a span (name, detail) to its cause family. The switch-stall
@@ -61,6 +69,8 @@ func spanCause(name, detail string) (Cause, bool) {
 		return CauseDecodePreempt, true
 	case "decode-turn":
 		return CauseDecodeExec, true
+	case "prefix-recompute":
+		return CausePrefixMissRecompute, true
 	case "switch-stall":
 		switch detail {
 		case "reinit", "gc-pause":

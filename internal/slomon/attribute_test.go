@@ -126,6 +126,29 @@ func TestClassifyFallbacks(t *testing.T) {
 	}
 }
 
+// TestClassifyPrefixMissRecompute: a cold-prefix prefill carries a
+// prefix-recompute span covering exactly its prefill interval, and the
+// sharper label must win that exact tie. A prefix-reuse span (the cache DID
+// serve the prefix) is not a miss cause and must not perturb attribution.
+func TestClassifyPrefixMissRecompute(t *testing.T) {
+	c := buildTimeline(t) // prefill [2s,5s)
+	c.RequestSpan("g0", "r1", "prefix-recompute", "cold prefix", 2*time.Second, 5*time.Second)
+	if got := classify(c, nil, "m0", "r1", "g0", 0, 2*time.Second, 5*time.Second); got != CausePrefixMissRecompute {
+		t.Fatalf("cold-prefix prefill = %v, want prefix_miss_recompute", got)
+	}
+	// The overrun can extend past prefill; the recompute span still dominates
+	// as long as it covers the largest share.
+	if got := classify(c, nil, "m0", "r1", "g0", 0, 2*time.Second, 6*time.Second); got != CausePrefixMissRecompute {
+		t.Fatalf("extended overrun = %v, want prefix_miss_recompute", got)
+	}
+
+	warm := buildTimeline(t)
+	warm.RequestSpan("g0", "r1", "prefix-reuse", "48 tokens (16 device)", 2*time.Second, 3*time.Second)
+	if got := classify(warm, nil, "m0", "r1", "g0", 0, 2*time.Second, 5*time.Second); got != CausePrefill {
+		t.Fatalf("warm prefill = %v, want plain prefill (reuse is not a miss cause)", got)
+	}
+}
+
 func TestCauseNamesComplete(t *testing.T) {
 	for c := Cause(0); c < numCauses; c++ {
 		if c.String() == "" || c.String() == "invalid" {

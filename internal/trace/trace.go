@@ -34,6 +34,7 @@ const (
 	KindFailure
 	KindRecovery
 	KindRetry
+	KindPrefix
 	numKinds
 )
 
@@ -41,7 +42,7 @@ var kindNames = [...]string{
 	"arrival", "prefill-enqueue", "prefill-start", "prefill-done",
 	"decode-enqueue", "turn-start", "turn-end", "switch-start",
 	"switch-done", "swap-out", "swap-in", "token-batch", "request-done",
-	"evict", "failure", "recovery", "retry",
+	"evict", "failure", "recovery", "retry", "prefix",
 }
 
 func (k Kind) String() string {

@@ -22,6 +22,16 @@ type wireRequest struct {
 	// Priority is "high", "normal", or "low"; absent means normal, so files
 	// written before priorities existed still round-trip.
 	Priority string `json:"priority,omitempty"`
+	// Session fields are absent for single-shot traces, so files written
+	// before multi-turn workloads existed still round-trip.
+	Session  string    `json:"session,omitempty"`
+	Turn     int       `json:"turn,omitempty"`
+	Segments []wireSeg `json:"segments,omitempty"`
+}
+
+type wireSeg struct {
+	Seed uint64 `json:"seed"`
+	Len  int    `json:"len"`
 }
 
 // WriteTrace encodes the trace as JSON Lines.
@@ -38,6 +48,13 @@ func WriteTrace(w io.Writer, trace []Request) error {
 		}
 		if r.Priority != PriorityNormal {
 			wr.Priority = r.Priority.String()
+		}
+		if r.SessionID != "" {
+			wr.Session = r.SessionID
+			wr.Turn = r.Turn
+		}
+		for _, s := range r.Segments {
+			wr.Segments = append(wr.Segments, wireSeg{Seed: s.Seed, Len: s.Len})
 		}
 		if err := enc.Encode(wr); err != nil {
 			return fmt.Errorf("workload: encoding request %d: %w", i, err)
@@ -72,6 +89,22 @@ func ReadTrace(r io.Reader) ([]Request, error) {
 		if err != nil {
 			return nil, fmt.Errorf("workload: line %d: %w", i+1, err)
 		}
+		var segs []PromptSeg
+		if len(wr.Segments) > 0 {
+			sum := 0
+			for j, s := range wr.Segments {
+				if s.Len <= 0 {
+					return nil, fmt.Errorf("workload: line %d: segment %d has non-positive length %d",
+						i+1, j, s.Len)
+				}
+				segs = append(segs, PromptSeg{Seed: s.Seed, Len: s.Len})
+				sum += s.Len
+			}
+			if sum != wr.Input {
+				return nil, fmt.Errorf("workload: line %d: segment lengths sum to %d, input_tokens is %d",
+					i+1, sum, wr.Input)
+			}
+		}
 		out = append(out, Request{
 			ID:           wr.ID,
 			Model:        wr.Model,
@@ -79,6 +112,9 @@ func ReadTrace(r io.Reader) ([]Request, error) {
 			InputTokens:  wr.Input,
 			OutputTokens: wr.Output,
 			Priority:     prio,
+			SessionID:    wr.Session,
+			Turn:         wr.Turn,
+			Segments:     segs,
 		})
 	}
 	sortAndNumberPreservingIDs(out)

@@ -24,6 +24,27 @@ type Request struct {
 	// Priority is the request's service tier for overload control. The zero
 	// value (PriorityNormal) matches pre-priority traces.
 	Priority Priority
+	// SessionID groups the turns of one conversation (empty for single-shot
+	// requests). The gateway and router use it to steer a session's next
+	// turn to the instance caching its prefix.
+	SessionID string
+	// Turn is the 0-based turn number within the session.
+	Turn int
+	// Segments describes the prompt's token content as deterministic
+	// streams, so the prefix cache can tell when two prompts share a prefix.
+	// Empty means opaque content (never matches anything). When present the
+	// segment lengths must sum to InputTokens.
+	Segments []PromptSeg
+}
+
+// PromptSeg is a run of deterministic prompt tokens: position i of the
+// segment has the token value derived from (Seed, i). Two prompts share a
+// prefix exactly as far as their segment lists agree, which is how the
+// workload generators express "turn n+1 re-sends turn n's context": the
+// next turn reuses the same seeds and extends the lengths.
+type PromptSeg struct {
+	Seed uint64
+	Len  int
 }
 
 // Dataset samples request lengths.

@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -174,7 +175,7 @@ func TestTraceDeterminism(t *testing.T) {
 		t.Fatal("non-deterministic trace length")
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("traces diverge at %d: %+v vs %+v", i, a[i], b[i])
 		}
 	}
