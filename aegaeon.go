@@ -30,6 +30,7 @@ import (
 	"aegaeon/internal/core"
 	"aegaeon/internal/engine"
 	"aegaeon/internal/fault"
+	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/latency"
 	"aegaeon/internal/metrics"
 	"aegaeon/internal/model"
@@ -138,6 +139,15 @@ type Config struct {
 	// prefix, as a bounded credit against queue depth — never an override of
 	// load balance or admission control. Implies PrefixCache.
 	PrefixRouting bool
+	// FleetAccounting enables the fleet utilization ledger: every simulated
+	// GPU-second is classified into one exhaustive, mutually exclusive state
+	// (idle, prefill, decode, each §5 switch stage, weight-load, KV
+	// transfer, faulted) under a hard conservation invariant — per-device
+	// state integrals sum exactly to wall time — with goodput tokens, KV
+	// pool watermarks, and a cost integral attributed per device and model.
+	// The final snapshot lands in Report.Fleet; the live ledger is reachable
+	// via Fleet. Off by default; the disabled path adds no overhead.
+	FleetAccounting bool
 	// Faults is a fault schedule injected during Serve, as a comma-separated
 	// spec of "kind@at[+dur][*factor][:target]" items — e.g.
 	// "crash@40s:decode0,xfer@60s+5s,fetchslow@90s+30s*4". Kinds: crash,
@@ -160,6 +170,7 @@ type System struct {
 	sched    []fault.Fault
 	injector *fault.Injector
 	ovl      *overload.Controller
+	fleet    *fleetobs.Ledger
 }
 
 // New builds a system.
@@ -237,6 +248,10 @@ func New(cfg Config) (*System, error) {
 	if cfg.PrefixCache || cfg.PrefixRouting {
 		pfx = &prefixcache.Config{Routing: cfg.PrefixRouting}
 	}
+	var fleet *fleetobs.Ledger
+	if cfg.FleetAccounting {
+		fleet = fleetobs.New(se)
+	}
 	sys := core.NewSystem(se, core.Config{
 		Prof:       prof,
 		TP:         cfg.TP,
@@ -247,11 +262,12 @@ func New(cfg Config) (*System, error) {
 		SLO:        cfg.SLO,
 		Obs:        col,
 		SLOMon:     mon,
+		Fleet:      fleet,
 		Faults:     flt,
 		Overload:   ovl,
 		Prefix:     pfx,
 	})
-	return &System{cfg: cfg, eng: se, sys: sys, models: models, flt: flt, sched: sched, ovl: ovl}, nil
+	return &System{cfg: cfg, eng: se, sys: sys, models: models, flt: flt, sched: sched, ovl: ovl, fleet: fleet}, nil
 }
 
 // Models returns the models the system serves.
@@ -373,6 +389,12 @@ type Report struct {
 	// tokens saved, tier residency and evictions. Nil without
 	// Config.PrefixCache/PrefixRouting.
 	Prefix *PrefixStats
+	// Fleet is the fleet utilization ledger's final snapshot: per-device
+	// state integrals summing exactly to wall time, goodput tokens per
+	// GPU-second per model, switch-overhead ratio, KV watermarks, and the
+	// GPU-hours/cost integral. Its ConservationErrors field is empty in any
+	// correct build. Nil without Config.FleetAccounting.
+	Fleet *fleetobs.Snapshot
 }
 
 // Serve runs the trace to completion in virtual time and reports. A System
@@ -431,6 +453,9 @@ func (s *System) Serve(trace []Request) (Report, error) {
 		st := pc.Stats()
 		rep.Prefix = &st
 	}
+	if s.fleet != nil {
+		rep.Fleet = s.fleet.Snapshot(s.eng.Now())
+	}
 	if s.ovl != nil {
 		snap := s.ovl.Snapshot()
 		rep.OverloadLevel = snap.Level
@@ -463,6 +488,14 @@ func (s *System) Overload() *overload.Controller { return s.ovl }
 // Monitor returns the live SLO monitor, or nil unless the system was built
 // with Config.SLOMonitor.
 func (s *System) Monitor() *slomon.Monitor { return s.sys.Monitor() }
+
+// Fleet returns the fleet utilization ledger, or nil unless the system was
+// built with Config.FleetAccounting.
+func (s *System) Fleet() *fleetobs.Ledger { return s.fleet }
+
+// EventsProcessed returns how many discrete events the simulation kernel has
+// fired — the numerator of the kernel's events/sec self-metric.
+func (s *System) EventsProcessed() uint64 { return s.eng.Processed() }
 
 // Breakdown returns the request latency breakdown after Serve (Fig. 14).
 func (s *System) Breakdown() *metrics.Breakdown { return s.sys.Breakdown() }

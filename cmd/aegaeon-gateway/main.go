@@ -13,7 +13,9 @@
 //	GET  /debug/slo        live SLO snapshot: windowed attainment, alerts, causes
 //	GET  /debug/slo/alerts burn-rate alert states only
 //	GET  /debug/overload   brownout level, rejection counters, retry budget (with -overload)
-//	GET  /debug/dash       dependency-free live HTML dashboard (SSE)
+//	GET  /debug/fleet      fleet utilization ledger: per-device GPU-second accounting (with -fleet)
+//	GET  /debug/pprof/     net/http/pprof profiling handlers (with -pprof)
+//	GET  /debug/dash       dependency-free live HTML dashboard (SSE; fleet heatmap with -fleet)
 //
 // Example:
 //
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"aegaeon/internal/cluster"
+	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/gateway"
 	"aegaeon/internal/latency"
 	"aegaeon/internal/model"
@@ -67,6 +70,8 @@ func main() {
 	overloadOn := flag.Bool("overload", false, "enable overload control: predictive admission, priority shedding, brownout (implies SLO monitoring)")
 	retryRatio := flag.Float64("retry-ratio", 0.1, "retry budget deposit per fresh admission (with -overload)")
 	prefixOn := flag.Bool("prefix", false, "enable the global prefix cache with cache-aware routing: pass session_id/turn on completions to reuse earlier turns' KV; adds /debug/prefix and aegaeon_prefix_* metrics")
+	fleetOn := flag.Bool("fleet", false, "enable the fleet utilization ledger: every GPU-second classified by state with goodput attribution; adds /debug/fleet, the dashboard heatmap, and aegaeon_fleet_* metrics")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	flag.Parse()
 	if *overloadOn {
 		*noSLO = false // brownout steps off burn-rate alerts
@@ -96,6 +101,13 @@ func main() {
 		pfx = &prefixcache.Config{Routing: true}
 	}
 	se := sim.NewEngine(*seed)
+	// One ledger shared between the cluster (devices register with it) and
+	// the gateway (/debug/fleet, metrics), so scrapes read the one source of
+	// GPU-second truth.
+	var fleet *fleetobs.Ledger
+	if *fleetOn {
+		fleet = fleetobs.New(se)
+	}
 	cl, err := cluster.New(se, cluster.Config{
 		Prof:     prof,
 		SLO:      slo.Default(),
@@ -103,6 +115,7 @@ func main() {
 		SLOMon:   mon,
 		Overload: ovl,
 		Prefix:   pfx,
+		Fleet:    fleet,
 		Deployments: []cluster.DeploymentConfig{{
 			Name:       "live",
 			TP:         *tp,
@@ -129,6 +142,8 @@ func main() {
 		Burst:            *burst,
 		Obs:              gwCol,
 		SLOMon:           mon,
+		Fleet:            fleet,
+		Pprof:            *pprofOn,
 	}
 	if *overloadOn {
 		gwOpts.Overload = &gateway.OverloadOptions{Controller: ovl, RetryRatio: *retryRatio}

@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
 	"aegaeon"
+	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/slomon"
 )
 
@@ -72,6 +74,84 @@ func secs(v float64) time.Duration {
 	return time.Duration(v * float64(time.Second)).Round(time.Millisecond)
 }
 
+// printFleetReport renders the fleet utilization ledger's final snapshot:
+// the fleet rollup, each device's state decomposition, and per-model
+// goodput economics. Every printed GPU-second is accounted — the state
+// columns sum to wall time per device.
+func printFleetReport(s *fleetobs.Snapshot) {
+	fmt.Printf("--- fleet utilization ledger (%d devices, %.1f GPU-s) ---\n",
+		s.Fleet.Devices, s.Fleet.GPUSeconds)
+	fmt.Printf("fleet             busy %.1f%%, switch overhead %.2f%%, idle %.1fs, faulted %.1fs\n",
+		100*s.Fleet.BusyFraction, 100*s.Fleet.SwitchRatio, s.Fleet.IdleS, s.Fleet.FaultedS)
+	fmt.Printf("fleet economics   %d goodput tokens (%.1f tok/busy-GPU-s), %.4f GPU-h, $%.4f\n",
+		s.Fleet.Tokens, s.Fleet.TokensPerBusyGPUSecond, s.Fleet.GPUHours, s.Fleet.CostDollars)
+	for _, d := range s.Devices {
+		status := ""
+		if d.Faulted {
+			status = " [faulted]"
+		}
+		fmt.Printf("device %-10s busy %5.1f%% switch %5.2f%% (prefill %.1fs decode %.1fs load %.1fs kv %.1fs)%s\n",
+			d.Device, 100*d.BusyFraction, 100*d.SwitchRatio,
+			d.StatesS["prefill"], d.StatesS["decode"],
+			d.StatesS["weight-load"], d.StatesS["kv-transfer"], status)
+	}
+	for _, m := range s.Models {
+		fmt.Printf("model  %-16s %8d tokens, %6.1f compute-s (%.1f%% occupancy, %.1f tok/GPU-s)\n",
+			m.Model, m.Tokens, m.ComputeS, 100*m.OccupancyShare, m.TokensPerGPUSecond)
+	}
+	if len(s.ConservationErrors) > 0 {
+		fmt.Printf("fleet CONSERVATION VIOLATED: %d errors, first: %s\n",
+			len(s.ConservationErrors), s.ConservationErrors[0])
+	}
+}
+
+// kernelMetrics are the simulation kernel's self-metrics for one run — the
+// substrate's own throughput, independent of what the simulated fleet did.
+type kernelMetrics struct {
+	SchemaVersion   int     `json:"schema_version"`
+	Events          uint64  `json:"events"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	Requests        int     `json:"requests"`
+	RequestsPerSec  float64 `json:"requests_per_sec"`
+	TokensGenerated int     `json:"tokens_generated"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	VirtualSeconds  float64 `json:"virtual_seconds"`
+	SpeedupFactor   float64 `json:"speedup_factor"`
+	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"`
+	Mallocs         uint64  `json:"mallocs"`
+	NumGC           uint32  `json:"num_gc"`
+}
+
+// writeKernelMetrics measures and writes the kernel self-metrics JSON.
+func writeKernelMetrics(path string, sys *aegaeon.System, rep *aegaeon.Report, wall time.Duration) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	wallS := wall.Seconds()
+	km := kernelMetrics{
+		SchemaVersion:   1,
+		Events:          sys.EventsProcessed(),
+		Requests:        rep.Requests,
+		TokensGenerated: rep.GeneratedTokens,
+		WallSeconds:     wallS,
+		VirtualSeconds:  rep.VirtualDuration.Seconds(),
+		HeapAllocBytes:  ms.HeapAlloc,
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		NumGC:           ms.NumGC,
+	}
+	if wallS > 0 {
+		km.EventsPerSec = float64(km.Events) / wallS
+		km.RequestsPerSec = float64(km.Requests) / wallS
+		km.SpeedupFactor = km.VirtualSeconds / wallS
+	}
+	data, err := json.MarshalIndent(km, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	var (
 		gpu        = flag.String("gpu", "H800", "GPU profile: H800, A10, H20")
@@ -102,10 +182,17 @@ func main() {
 		sysToks    = flag.Int("system-prompt-tokens", 0, "shared system prompt length for session workloads (0 = per-kind default)")
 		pfxBench   = flag.String("prefix-bench", "", "run the three-arm prefix benchmark (nocache / cache / cache_routing over multiturn, agentic, sharedprompt) and write BENCH JSON here")
 		pfxFloor   = flag.Float64("prefix-floor", 0, "assert the cache_routing arm saves >= floor of sharedprompt prefill tokens and strictly dominates nocache on TTFT and savings (0 = report only)")
+		fleetOn    = flag.Bool("fleet-report", false, "run the fleet utilization ledger and print the per-device GPU-second accounting; exits non-zero if the conservation invariant breaks (aegaeon system only)")
+		fleetJSON  = flag.String("fleet-json", "", "write the final fleet snapshot as JSON to this file (implies -fleet-report)")
+		fleetCSV   = flag.String("fleet-csv", "", "write the per-device fleet accounting as CSV to this file, comparable against results/figure_8_10.csv exposed switch costs (implies -fleet-report)")
+		kernelJSON = flag.String("kernel-json", "", "write simulation-kernel self-metrics (events/sec, requests/sec, heap allocations) as JSON to this file (aegaeon system only)")
 	)
 	flag.Parse()
 	if *sloJSON != "" {
 		*sloReport = true
+	}
+	if *fleetJSON != "" || *fleetCSV != "" {
+		*fleetOn = true
 	}
 	if *perfetto != "" && *system != "aegaeon" {
 		fmt.Fprintln(os.Stderr, "-perfetto requires -system aegaeon (baselines are not instrumented)")
@@ -125,6 +212,14 @@ func main() {
 	}
 	if *prefixOn && *system != "aegaeon" {
 		fmt.Fprintln(os.Stderr, "-prefix requires -system aegaeon (baselines have no prefix cache)")
+		os.Exit(2)
+	}
+	if *fleetOn && *system != "aegaeon" {
+		fmt.Fprintln(os.Stderr, "-fleet-report requires -system aegaeon (baselines are not instrumented)")
+		os.Exit(2)
+	}
+	if *kernelJSON != "" && *system != "aegaeon" {
+		fmt.Fprintln(os.Stderr, "-kernel-json requires -system aegaeon (baselines run a private kernel)")
 		os.Exit(2)
 	}
 	var wk aegaeon.WorkloadKind
@@ -196,6 +291,7 @@ func main() {
 		SLOMonitor:           *sloReport,
 		Overload:             *overloadOn,
 		PrefixRouting:        *prefixOn,
+		FleetAccounting:      *fleetOn,
 		Faults:               *faults,
 	})
 	if err != nil {
@@ -209,6 +305,7 @@ func main() {
 		sys.AssignPriorities(trace, highFrac, lowFrac)
 	}
 
+	wallStart := time.Now()
 	var rep aegaeon.Report
 	switch *system {
 	case "aegaeon":
@@ -223,6 +320,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
 		os.Exit(2)
 	}
+	wallElapsed := time.Since(wallStart)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -281,6 +379,39 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("slo snapshot      %s (schema v%d)\n", *sloJSON, rep.SLO.SchemaVersion)
+	}
+
+	if *fleetOn && rep.Fleet != nil {
+		printFleetReport(rep.Fleet)
+		if *fleetJSON != "" {
+			data, err := json.MarshalIndent(rep.Fleet, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*fleetJSON, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("fleet snapshot    %s (schema v%d)\n", *fleetJSON, rep.Fleet.SchemaVersion)
+		}
+		if *fleetCSV != "" {
+			if err := os.WriteFile(*fleetCSV, []byte(rep.Fleet.CSV()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("fleet csv         %s\n", *fleetCSV)
+		}
+		if errs := rep.Fleet.Validate(); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "fleet conservation violated: %s\n", e)
+			}
+			os.Exit(1)
+		}
+	}
+
+	if *kernelJSON != "" {
+		if err := writeKernelMetrics(*kernelJSON, sys, &rep, wallElapsed); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("kernel metrics    %s\n", *kernelJSON)
 	}
 
 	if *perfetto != "" {

@@ -15,6 +15,7 @@ import (
 
 	"aegaeon/internal/cluster"
 	"aegaeon/internal/fault"
+	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/latency"
 	"aegaeon/internal/model"
 	"aegaeon/internal/obs"
@@ -100,6 +101,9 @@ type Result struct {
 	Sheds map[string]int
 	// Prefix snapshots the cache's end state (Prefix runs only).
 	Prefix *prefixcache.Stats
+	// Fleet is the utilization ledger's snapshot at the drained instant:
+	// every GPU-second of the run classified, crashes included.
+	Fleet *fleetobs.Snapshot
 	// Violations lists every broken invariant (empty on a clean run).
 	Violations []string
 }
@@ -114,6 +118,10 @@ func Run(cfg Config) (*Result, error) {
 		Prof:   latency.H800(),
 		SLO:    slo.Default(),
 		Faults: f,
+		// Every chaos run carries the fleet ledger so the GPU-second
+		// conservation invariant is audited under crashes and recovery, not
+		// just on clean runs.
+		Fleet: fleetobs.New(se),
 		Deployments: []cluster.DeploymentConfig{{
 			Name: "chaos", TP: 1,
 			NumPrefill: cfg.NumPrefill, NumDecode: cfg.NumDecode,
@@ -187,6 +195,7 @@ func Run(cfg Config) (*Result, error) {
 		st := pc.Stats()
 		res.Prefix = &st
 	}
+	res.Fleet = c.Fleet().Snapshot(se.Now())
 	return res, nil
 }
 
@@ -288,6 +297,57 @@ func VerifyInvariants(c *cluster.Cluster) []string {
 			}
 			for _, bad := range pc.CheckConsistency() {
 				v = append(v, fmt.Sprintf("%s: prefix cache: %s", d.Name, bad))
+			}
+		}
+	}
+	v = append(v, verifyFleet(c)...)
+	return v
+}
+
+// verifyFleet audits the fleet ledger's GPU-second accounting after a chaos
+// run: the conservation invariant holds at the drained instant (state
+// integrals sum exactly to wall time on every device, so crashes neither
+// double-count nor lose GPU-seconds), and every crashed instance is parked
+// in the faulted state with nonzero faulted time. No-op when the cluster was
+// built without a ledger.
+func verifyFleet(c *cluster.Cluster) []string {
+	fl := c.Fleet()
+	if fl == nil {
+		return nil
+	}
+	var v []string
+	now := c.VirtualNow()
+	for _, bad := range fl.CheckConservation(now) {
+		v = append(v, "fleet ledger: "+bad)
+	}
+	snap := fl.Snapshot(now)
+	byName := map[string]*fleetobs.DeviceSnapshot{}
+	for i := range snap.Devices {
+		byName[snap.Devices[i].Device] = &snap.Devices[i]
+	}
+	for _, d := range c.Deployments() {
+		for _, name := range d.System.InstanceNames() {
+			ds := byName[name]
+			if ds == nil {
+				v = append(v, fmt.Sprintf("fleet ledger: instance %s/%s never registered", d.Name, name))
+				continue
+			}
+			if d.System.AliveNamed(name) {
+				if ds.Faulted {
+					v = append(v, fmt.Sprintf("fleet ledger: live instance %s/%s marked faulted", d.Name, name))
+				}
+				continue
+			}
+			if !ds.Faulted {
+				v = append(v, fmt.Sprintf("fleet ledger: crashed instance %s/%s not marked faulted", d.Name, name))
+			}
+			if ds.Current != fleetobs.Faulted.String() {
+				v = append(v, fmt.Sprintf("fleet ledger: crashed instance %s/%s charged to %s, want faulted",
+					d.Name, name, ds.Current))
+			}
+			if ds.StatesS[fleetobs.Faulted.String()] <= 0 {
+				v = append(v, fmt.Sprintf("fleet ledger: crashed instance %s/%s accumulated no faulted time",
+					d.Name, name))
 			}
 		}
 	}

@@ -311,3 +311,69 @@ func TestOverloadChaosInvariants(t *testing.T) {
 		})
 	}
 }
+
+// TestFleetChaosAccounting crashes one decode instance and audits the fleet
+// ledger directly: the crashed device is parked in the faulted state with
+// its post-crash time charged there, every device's state integrals conserve
+// GPU-seconds exactly (verifyFleet found nothing), and survivors keep
+// accumulating busy time — no GPU-second is double-counted or lost across
+// the crash edge.
+func TestFleetChaosAccounting(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Spec: "crash@40s:chaos/decode0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, viol := range res.Violations {
+		t.Errorf("invariant: %s", viol)
+	}
+	snap := res.Fleet
+	if snap == nil {
+		t.Fatal("chaos run produced no fleet snapshot")
+	}
+	if len(snap.ConservationErrors) > 0 {
+		t.Fatalf("conservation violated: %v", snap.ConservationErrors)
+	}
+	var crashed, survivors int
+	for _, d := range snap.Devices {
+		if d.Device == "decode0" {
+			crashed++
+			if !d.Faulted {
+				t.Errorf("decode0 crashed but not marked faulted")
+			}
+			if d.Current != "faulted" {
+				t.Errorf("decode0 currently charged to %s, want faulted", d.Current)
+			}
+			faultedS := d.StatesS["faulted"]
+			wantS := snap.NowSeconds - 40 // crash instant through drain
+			if faultedS <= 0 || faultedS > wantS+1e-6 {
+				t.Errorf("decode0 faulted %vs, want in (0, %vs]", faultedS, wantS)
+			}
+			// Post-crash time is faulted, so non-faulted states account for
+			// at most the 40 pre-crash seconds.
+			if other := d.WallS - faultedS; other > 40+1e-6 {
+				t.Errorf("decode0 non-faulted time %vs exceeds pre-crash window", other)
+			}
+		} else {
+			survivors++
+			if d.Faulted {
+				t.Errorf("%s marked faulted without a crash", d.Device)
+			}
+			if d.StatesS["faulted"] != 0 {
+				t.Errorf("%s accumulated %vs faulted time without a crash",
+					d.Device, d.StatesS["faulted"])
+			}
+		}
+	}
+	if crashed != 1 {
+		t.Fatalf("crashed device missing from snapshot (%d devices)", len(snap.Devices))
+	}
+	if survivors == 0 {
+		t.Fatal("no surviving devices in snapshot")
+	}
+	if snap.Fleet.FaultedS <= 0 {
+		t.Error("fleet rollup shows no faulted time after a crash")
+	}
+	if snap.Fleet.BusyS <= 0 {
+		t.Error("fleet rollup shows no busy time — ledger observed no work")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"aegaeon/internal/core"
 	"aegaeon/internal/engine"
 	"aegaeon/internal/fault"
+	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/latency"
 	"aegaeon/internal/metastore"
 	"aegaeon/internal/model"
@@ -74,6 +75,14 @@ type Config struct {
 	// overload control.
 	Overload *overload.Controller
 
+	// Fleet, when non-nil, is the shared fleet utilization ledger: every
+	// deployment registers its devices with it so GPU-second accounting,
+	// goodput attribution, and the /debug/fleet surfaces span the whole
+	// cluster. Share the same ledger with the gateway's Options so scrapes
+	// read the one source of truth. Nil keeps serving free of accounting
+	// overhead.
+	Fleet *fleetobs.Ledger
+
 	// Prefix, when non-nil, enables the global prefix cache in every
 	// deployment (each deployment gets its own cache over its own CPU KV
 	// pool; models are disjoint across deployments, so nothing is lost by
@@ -127,6 +136,7 @@ func New(se *sim.Engine, cfg Config) (*Cluster, error) {
 			SLO:        cfg.SLO,
 			Obs:        cfg.Obs,
 			SLOMon:     cfg.SLOMon,
+			Fleet:      cfg.Fleet,
 			Faults:     cfg.Faults,
 			Overload:   cfg.Overload,
 			Prefix:     cfg.Prefix,
@@ -219,6 +229,9 @@ func (c *Cluster) Abort(r *core.Request) {
 
 // Monitor exposes the live SLO monitor (nil when monitoring is off).
 func (c *Cluster) Monitor() *slomon.Monitor { return c.cfg.SLOMon }
+
+// Fleet exposes the fleet utilization ledger (nil when accounting is off).
+func (c *Cluster) Fleet() *fleetobs.Ledger { return c.cfg.Fleet }
 
 // Routes returns the model -> deployment routing table (copy).
 func (c *Cluster) Routes() map[string]string {

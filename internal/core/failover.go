@@ -42,6 +42,7 @@ func (s *System) CrashDecodeInstance(idx int) error {
 	d.dead = true
 	s.cfg.Faults.CountCrash()
 	s.obs.Fault(d.eng.Name, "crash", "decode instance fail-stop", s.eng.Now())
+	s.fleet.Fault(d.eng.Name)
 
 	var owned []*Request
 	seen := map[*Request]bool{}
@@ -82,6 +83,7 @@ func (s *System) CrashPrefillInstance(idx int) error {
 	p.dead = true
 	s.cfg.Faults.CountCrash()
 	s.obs.Fault(p.eng.Name, "crash", "prefill instance fail-stop", s.eng.Now())
+	s.fleet.Fault(p.eng.Name)
 
 	var owned []*Request
 	seen := map[*Request]bool{}

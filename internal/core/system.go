@@ -6,6 +6,7 @@ import (
 
 	"aegaeon/internal/engine"
 	"aegaeon/internal/fault"
+	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/kvcache"
 	"aegaeon/internal/latency"
 	"aegaeon/internal/memory"
@@ -90,6 +91,13 @@ type Config struct {
 	// reaper aborts doomed requests mid-queue. Nil (the default) leaves
 	// scheduling byte-identical to the uncontrolled system.
 	Overload *overload.Controller
+
+	// Fleet, when non-nil, is the fleet utilization ledger: every device's
+	// GPU-seconds are partitioned into exclusive states (idle, prefill,
+	// decode, switch stages, DMA, faulted) with goodput token attribution
+	// per model and KV pool watermarks. Nil (the default) keeps the serving
+	// path free of accounting overhead.
+	Fleet *fleetobs.Ledger
 
 	// Prefix, when non-nil, enables the global prefix cache (PR 6): prefill
 	// consults it to skip recomputing cached prompt prefixes, computed
@@ -210,6 +218,7 @@ type System struct {
 	shedReasons map[string]int
 	reaperArmed bool
 	mon         *slomon.Monitor
+	fleet       *fleetobs.Ledger
 	tracer      *trace.Tracer
 	obs         *obs.Collector
 	breakdown   *metrics.Breakdown
@@ -261,6 +270,7 @@ func NewSystem(se *sim.Engine, cfg Config) *System {
 		shedReasons: map[string]int{},
 		tracker:     slo.NewTracker(),
 		mon:         cfg.SLOMon,
+		fleet:       cfg.Fleet,
 		tracer:      cfg.Tracer,
 		obs:         cfg.Obs,
 		breakdown:   &metrics.Breakdown{},
@@ -287,6 +297,7 @@ func NewSystem(se *sim.Engine, cfg Config) *System {
 			CPUKV:              s.cpuKV,
 			DaemonPoll:         cfg.DaemonPoll,
 			Obs:                cfg.Obs,
+			Fleet:              cfg.Fleet,
 			Faults:             cfg.Faults,
 		})
 	}
@@ -504,7 +515,13 @@ func (s *System) sloFor(modelName string) slo.SLO {
 // before the recordToken call: recordToken no-ops on terminal requests, so
 // an unchanged length means no token was actually emitted.
 func (s *System) noteToken(instance string, r *Request, prevLen int, at sim.Time) {
-	if s.mon == nil || len(r.TokenTimes) == prevLen {
+	if len(r.TokenTimes) == prevLen {
+		return
+	}
+	// Goodput attribution: the token was produced on this device for this
+	// model, regardless of whether the live monitor is on.
+	s.fleet.AddTokens(instance, r.Model.Name, 1)
+	if s.mon == nil {
 		return
 	}
 	i := len(r.TokenTimes) - 1
@@ -777,6 +794,9 @@ func (s *System) Tracker() *slo.Tracker { return s.tracker }
 
 // Monitor exposes the live SLO monitor (nil when monitoring is off).
 func (s *System) Monitor() *slomon.Monitor { return s.mon }
+
+// Fleet exposes the fleet utilization ledger (nil when accounting is off).
+func (s *System) Fleet() *fleetobs.Ledger { return s.fleet }
 
 // Breakdown exposes the latency breakdown (call Finalize first).
 func (s *System) Breakdown() *metrics.Breakdown { return s.breakdown }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"aegaeon/internal/fault"
+	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/gpu"
 	"aegaeon/internal/kvcache"
 	"aegaeon/internal/latency"
@@ -92,6 +93,12 @@ type Config struct {
 	// Obs receives device op timelines and switch-cost attribution. Nil
 	// disables capture at zero overhead.
 	Obs *obs.Collector
+
+	// Fleet receives per-device GPU-second state accounting: engine
+	// occupancy edges plus the host-side switch stages (reinit, gc-pause,
+	// fetch, activate) that never touch a device engine. Nil disables
+	// capture at zero overhead.
+	Fleet *fleetobs.Ledger
 
 	// Faults is the shared fault-injection state. Nil (the default) keeps
 	// every fetch and transfer path byte-identical to a fault-free build.
@@ -200,7 +207,9 @@ func New(se *sim.Engine, name string, cfg Config) *Engine {
 	gpuKV := kvcache.NewCache(name+"/kv", cfg.KVRegionBytes, cfg.KVSlabBytes, cfg.BlockTokens)
 	e.kv = kvcache.NewManager(dev, cfg.Prof, gpuKV, cfg.CPUKV, cfg.DaemonPoll)
 	e.kv.SetFaults(cfg.Faults, name, cfg.Obs)
+	e.kv.SetFleet(cfg.Fleet, name)
 	cfg.Obs.ObserveDevice(dev)
+	cfg.Fleet.ObserveDevice(dev)
 	return e
 }
 
@@ -254,7 +263,9 @@ func (e *Engine) switchColocated(m *model.Model, start sim.Time, done func()) {
 		// Resident (possibly still streaming in): activate once loaded.
 		run := func() {
 			as := e.eng.Now()
+			e.cfg.Fleet.Enter(e.Name, fleetobs.Activate, m.Name)
 			e.eng.After(activationDelay, func() {
+				e.cfg.Fleet.Exit(e.Name, fleetobs.Activate)
 				e.cfg.Obs.SwitchStage(e.Name, "activate", as, e.eng.Now())
 				finish()
 			})
@@ -323,8 +334,10 @@ func (e *Engine) switchColocated(m *model.Model, start sim.Time, done func()) {
 		e.stats.Reinits++
 		p := e.cfg.Prof
 		reinitStart := e.eng.Now()
+		e.cfg.Fleet.Enter(e.Name, fleetobs.Reinit, m.Name)
 		e.eng.After(p.DistExecInit+p.ProfileOpt+p.KVInit+p.MiscInit, func() {
 			e.booted = true
+			e.cfg.Fleet.Exit(e.Name, fleetobs.Reinit)
 			e.cfg.Obs.SwitchStage(e.Name, "reinit", reinitStart, e.eng.Now())
 			load()
 		})
@@ -520,8 +533,10 @@ func (e *Engine) SwitchTo(m *model.Model, done func()) {
 			p := e.cfg.Prof
 			reinit := p.DistExecInit + p.ProfileOpt + p.KVInit + p.MiscInit
 			reinitStart := e.eng.Now()
+			e.cfg.Fleet.Enter(e.Name, fleetobs.Reinit, m.Name)
 			e.eng.After(reinit, func() {
 				e.booted = true
+				e.cfg.Fleet.Exit(e.Name, fleetobs.Reinit)
 				e.cfg.Obs.SwitchStage(e.Name, "reinit", reinitStart, e.eng.Now())
 				e.loadWeights(m, finish)
 			})
@@ -547,7 +562,9 @@ func (e *Engine) SwitchTo(m *model.Model, done func()) {
 	e.stats.GCPauses++
 	e.weights.Reset()
 	gcStart := e.eng.Now()
+	e.cfg.Fleet.Enter(e.Name, fleetobs.GCPause, m.Name)
 	e.eng.After(e.cfg.Prof.GCPause, func() {
+		e.cfg.Fleet.Exit(e.Name, fleetobs.GCPause)
 		e.cfg.Obs.SwitchStage(e.Name, "gc-pause", gcStart, e.eng.Now())
 		afterUnload()
 	})
@@ -631,7 +648,9 @@ func (e *Engine) fetchRemote(m *model.Model, attempt int, done func()) {
 		fetch := time.Duration(float64(m.WeightBytes()) / e.cfg.RemoteLoadBPS *
 			float64(time.Second) * e.cfg.Faults.FetchFactor())
 		fs := e.eng.Now()
+		e.cfg.Fleet.Enter(e.Name, fleetobs.Fetch, m.Name)
 		e.eng.After(fetch, func() {
+			e.cfg.Fleet.Exit(e.Name, fleetobs.Fetch)
 			e.cfg.Obs.SwitchStage(e.Name, "fetch", fs, e.eng.Now())
 			// A full cache is tolerable: the fetched weights stream through
 			// the stage buffer regardless; only future hits are lost.

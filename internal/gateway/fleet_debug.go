@@ -1,0 +1,47 @@
+package gateway
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"aegaeon/internal/fleetobs"
+	"aegaeon/internal/sim"
+)
+
+// fleetSnapshot renders the fleet ledger at the current virtual time. The
+// ledger carries its own lock, so only the clock read needs the event loop;
+// after the driver stops the snapshot is still served at the last virtual
+// time seen, matching the SLO endpoints' post-drain behavior.
+func (g *Gateway) fleetSnapshot() *fleetobs.Snapshot {
+	var now sim.Time
+	if err := g.drv.Call(func() { now = g.cl.VirtualNow() }); err != nil {
+		g.mu.Lock()
+		now = g.lastVirtual
+		g.mu.Unlock()
+	} else {
+		g.mu.Lock()
+		g.lastVirtual = now
+		g.mu.Unlock()
+	}
+	return g.opts.Fleet.Snapshot(now)
+}
+
+// handleDebugFleet serves GET /debug/fleet: the full fleet utilization
+// snapshot — per-device state integrals (every GPU-second classified), the
+// recent state-segment timeline behind the dashboard heatmap, per-model
+// goodput and occupancy shares, and fleet rollups (switch-overhead ratio,
+// GPU-hours, cost). conservation_errors is non-empty only if the ledger's
+// accounting invariant broke — it is asserted empty in tests and CI. 404
+// when the gateway was built without a fleet ledger.
+func (g *Gateway) handleDebugFleet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSONError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if g.opts.Fleet == nil {
+		writeJSONError(w, http.StatusNotFound, "fleet accounting disabled (gateway built without a fleet ledger)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(g.fleetSnapshot())
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"aegaeon/internal/cluster"
 	"aegaeon/internal/core"
 	"aegaeon/internal/fault"
+	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/metrics"
 	"aegaeon/internal/obs"
 	"aegaeon/internal/overload"
@@ -79,6 +81,16 @@ type Options struct {
 	// retry budget. Share its Controller with cluster.Config.Overload so the
 	// edge and the scheduler degrade in lockstep.
 	Overload *OverloadOptions
+	// Fleet, when non-nil, is the fleet utilization ledger backing
+	// /debug/fleet, the fleet heatmap on /debug/dash, and the
+	// aegaeon_fleet_* metric families. Share the same ledger with
+	// cluster.Config.Fleet so scrapes read the one source of truth. Nil
+	// makes /debug/fleet answer 404 and omits the fleet families.
+	Fleet *fleetobs.Ledger
+	// Pprof also mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/ on the gateway mux, so CPU and heap profiles of the
+	// live serving path are one curl away.
+	Pprof bool
 }
 
 // OverloadOptions tunes the gateway side of overload control.
@@ -309,6 +321,14 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/debug/dash", g.handleDebugDash)
 	mux.HandleFunc("/debug/overload", g.handleDebugOverload)
 	mux.HandleFunc("/debug/prefix", g.handleDebugPrefix)
+	mux.HandleFunc("/debug/fleet", g.handleDebugFleet)
+	if g.opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

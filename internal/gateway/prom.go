@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"aegaeon/internal/fault"
+	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/metrics"
 	"aegaeon/internal/prefixcache"
 	"aegaeon/internal/slomon"
@@ -174,6 +175,12 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	if len(prefixSnaps) > 0 {
 		writePrefixMetrics(&b, prefixSnaps)
+	}
+
+	if g.opts.Fleet != nil {
+		// The ledger carries its own lock; only the virtual clock (already
+		// snapshotted above) needed the event loop.
+		writeFleetMetrics(&b, g.opts.Fleet.Snapshot(virtual))
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -351,6 +358,94 @@ func writePrefixMetrics(b *strings.Builder, snaps map[string]prefixcache.Stats) 
 	fmt.Fprintf(b, "aegaeon_prefix_device_copies %d\n", total.DeviceCopies)
 	gauge("aegaeon_prefix_pinned_entries", "Entries pinned by in-flight prefills (never evictable).")
 	fmt.Fprintf(b, "aegaeon_prefix_pinned_entries %d\n", total.PinnedEntries)
+}
+
+// writeFleetMetrics renders the fleet utilization ledger's families. State
+// integrals are time-weighted counters (every simulated GPU-second lands in
+// exactly one state, so per-device `state_seconds_total` sums to wall time);
+// device and model series are emitted in sorted label order; every family
+// carries # HELP and # TYPE.
+func writeFleetMetrics(b *strings.Builder, snap *fleetobs.Snapshot) {
+	if snap == nil {
+		return
+	}
+	counter := func(name, help string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	devs := make([]*fleetobs.DeviceSnapshot, len(snap.Devices))
+	for i := range snap.Devices {
+		devs[i] = &snap.Devices[i]
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i].Device < devs[j].Device })
+	states := fleetobs.States()
+
+	counter("aegaeon_fleet_state_seconds_total", "GPU-seconds per device by ledger state; sums to wall time per device.")
+	for _, d := range devs {
+		for _, s := range states {
+			fmt.Fprintf(b, "aegaeon_fleet_state_seconds_total{device=%q,state=%q} %g\n",
+				d.Device, s.String(), d.StatesS[s.String()])
+		}
+	}
+	counter("aegaeon_fleet_gpu_seconds_total", "Wall GPU-seconds accounted across the fleet.")
+	fmt.Fprintf(b, "aegaeon_fleet_gpu_seconds_total %g\n", snap.Fleet.GPUSeconds)
+	counter("aegaeon_fleet_goodput_tokens_total", "Goodput tokens attributed per device and model.")
+	for _, d := range devs {
+		fmt.Fprintf(b, "aegaeon_fleet_goodput_tokens_total{device=%q} %d\n", d.Device, d.Tokens)
+	}
+	counter("aegaeon_fleet_model_tokens_total", "Goodput tokens per model across the fleet.")
+	for _, m := range snap.Models {
+		fmt.Fprintf(b, "aegaeon_fleet_model_tokens_total{model=%q} %d\n", m.Model, m.Tokens)
+	}
+	counter("aegaeon_fleet_model_compute_seconds_total", "Compute-state GPU-seconds attributed per model.")
+	for _, m := range snap.Models {
+		fmt.Fprintf(b, "aegaeon_fleet_model_compute_seconds_total{model=%q} %g\n", m.Model, m.ComputeS)
+	}
+	counter("aegaeon_fleet_cost_dollars_total", "Accumulated GPU cost at each device's hourly rate.")
+	fmt.Fprintf(b, "aegaeon_fleet_cost_dollars_total %g\n", snap.Fleet.CostDollars)
+
+	gauge("aegaeon_fleet_busy_fraction", "Busy (non-idle, non-faulted) fraction of fleet GPU-seconds.")
+	fmt.Fprintf(b, "aegaeon_fleet_busy_fraction %g\n", snap.Fleet.BusyFraction)
+	gauge("aegaeon_fleet_switch_overhead_ratio", "Exposed model-switch seconds over fleet GPU-seconds.")
+	fmt.Fprintf(b, "aegaeon_fleet_switch_overhead_ratio %g\n", snap.Fleet.SwitchRatio)
+	gauge("aegaeon_fleet_tokens_per_busy_gpu_second", "Fleet goodput tokens per busy GPU-second.")
+	fmt.Fprintf(b, "aegaeon_fleet_tokens_per_busy_gpu_second %g\n", snap.Fleet.TokensPerBusyGPUSecond)
+	gauge("aegaeon_fleet_device_busy_fraction", "Per-device busy fraction of wall time.")
+	for _, d := range devs {
+		fmt.Fprintf(b, "aegaeon_fleet_device_busy_fraction{device=%q} %g\n", d.Device, d.BusyFraction)
+	}
+	gauge("aegaeon_fleet_device_switch_overhead_ratio", "Per-device exposed switch seconds over wall time.")
+	for _, d := range devs {
+		fmt.Fprintf(b, "aegaeon_fleet_device_switch_overhead_ratio{device=%q} %g\n", d.Device, d.SwitchRatio)
+	}
+	gauge("aegaeon_fleet_device_faulted", "Whether the device is fail-stopped (1) or serving (0).")
+	for _, d := range devs {
+		v := 0
+		if d.Faulted {
+			v = 1
+		}
+		fmt.Fprintf(b, "aegaeon_fleet_device_faulted{device=%q} %d\n", d.Device, v)
+	}
+	gauge("aegaeon_fleet_kv_bytes", "GPU KV pool bytes per device (used, peak watermark, capacity).")
+	for _, d := range devs {
+		fmt.Fprintf(b, "aegaeon_fleet_kv_bytes{device=%q,kind=\"capacity\"} %d\n", d.Device, d.KVCapacityBytes)
+		fmt.Fprintf(b, "aegaeon_fleet_kv_bytes{device=%q,kind=\"peak\"} %d\n", d.Device, d.KVPeakBytes)
+		fmt.Fprintf(b, "aegaeon_fleet_kv_bytes{device=%q,kind=\"used\"} %d\n", d.Device, d.KVUsedBytes)
+	}
+	gauge("aegaeon_fleet_model_occupancy_share", "Per-model share of fleet compute GPU-seconds.")
+	for _, m := range snap.Models {
+		fmt.Fprintf(b, "aegaeon_fleet_model_occupancy_share{model=%q} %g\n", m.Model, m.OccupancyShare)
+	}
+	gauge("aegaeon_fleet_model_tokens_per_gpu_second", "Per-model goodput tokens per compute GPU-second.")
+	for _, m := range snap.Models {
+		fmt.Fprintf(b, "aegaeon_fleet_model_tokens_per_gpu_second{model=%q} %g\n", m.Model, m.TokensPerGPUSecond)
+	}
+	gauge("aegaeon_fleet_gpu_hours", "Wall GPU-hours accounted across the fleet.")
+	fmt.Fprintf(b, "aegaeon_fleet_gpu_hours %g\n", snap.Fleet.GPUHours)
+	gauge("aegaeon_fleet_conservation_errors", "Accounting-invariant violations detected at snapshot (0 in a correct build).")
+	fmt.Fprintf(b, "aegaeon_fleet_conservation_errors %d\n", len(snap.ConservationErrors))
 }
 
 // writeHistogram renders exact cumulative buckets in the Prometheus

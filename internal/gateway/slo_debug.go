@@ -147,7 +147,8 @@ func (g *Gateway) handleDebugDash(w http.ResponseWriter, r *http.Request) {
 }
 
 // dashHTML is the dependency-free live dashboard: one page, inline CSS and
-// JS, refreshed from /debug/slo/stream over SSE.
+// JS, refreshed from /debug/slo/stream over SSE. The fleet heatmap panel
+// polls /debug/fleet and stays hidden when fleet accounting is off.
 const dashHTML = `<!doctype html>
 <html lang="en">
 <head>
@@ -162,6 +163,13 @@ const dashHTML = `<!doctype html>
  .ok { color: #58c27a; } .warn { color: #e0b050; } .page { color: #e06060; font-weight: 700; }
  #status { color: #667; font-size: .85rem; }
  .bar { display: inline-block; height: .6rem; background: #3b82d0; vertical-align: middle; }
+ .hm-row { display: flex; align-items: center; margin: 2px 0; }
+ .hm-label { width: 9rem; color: #8a97a8; font-size: .8rem; white-space: nowrap; overflow: hidden; }
+ .hm-track { display: flex; flex: 1; height: 16px; background: #1a2029; border-radius: 2px; overflow: hidden; }
+ .hm-seg { height: 100%; }
+ .hm-stats { width: 11rem; text-align: right; color: #8a97a8; font-size: .8rem; }
+ #fleetlegend span { display: inline-block; margin-right: .9rem; font-size: .8rem; color: #9fb0c3; }
+ #fleetlegend i { display: inline-block; width: .7rem; height: .7rem; margin-right: .3rem; border-radius: 2px; }
 </style>
 </head>
 <body>
@@ -174,6 +182,11 @@ const dashHTML = `<!doctype html>
 </tr></thead><tbody></tbody></table>
 <h2>Missed-token causes</h2>
 <table id="causes"><thead><tr><th>scope</th><th>cause</th><th>missed</th><th></th></tr></thead><tbody></tbody></table>
+<div id="fleetpanel" hidden>
+<h2>Fleet heatmap <span id="fleetsummary"></span></h2>
+<div id="fleetlegend"></div>
+<div id="fleetmap"></div>
+</div>
 <script>
  const fmtPct = v => (100*v).toFixed(2) + "%";
  const fmtS = v => v >= 1 ? v.toFixed(2) + "s" : (1000*v).toFixed(0) + "ms";
@@ -219,6 +232,65 @@ const dashHTML = `<!doctype html>
  const es = new EventSource("/debug/slo/stream");
  es.onmessage = e => render(JSON.parse(e.data));
  es.onerror = () => { document.getElementById("status").textContent = "disconnected"; };
+
+ // Fleet heatmap: device rows x recent virtual time, one colored span per
+ // ledger state segment. Polls /debug/fleet; hidden when the gateway was
+ // built without a fleet ledger (404).
+ const stateColors = {
+  "idle": "#232a33", "prefill": "#3b82d0", "decode": "#58c27a",
+  "compact": "#9b7bd0", "weight-load": "#e0b050", "kv-transfer": "#50c0c0",
+  "reinit": "#e06060", "gc-pause": "#b06868", "fetch": "#d08a50",
+  "activate": "#c8c850", "faulted": "#7a1f1f",
+ };
+ const HM_WINDOW_S = 120; // trailing virtual-time window shown
+ (function legend() {
+  const lg = document.getElementById("fleetlegend");
+  Object.entries(stateColors).forEach(([name, color]) => {
+   const s = document.createElement("span"), i = document.createElement("i");
+   i.style.background = color; s.appendChild(i); s.appendChild(document.createTextNode(name));
+   lg.appendChild(s);
+  });
+ })();
+ function renderFleet(snap) {
+  document.getElementById("fleetpanel").hidden = false;
+  document.getElementById("fleetsummary").textContent =
+   "busy " + fmtPct(snap.fleet.busy_fraction) +
+   " · switch overhead " + fmtPct(snap.fleet.switch_overhead_ratio) +
+   " · " + (snap.fleet.tokens_per_busy_gpu_second || 0).toFixed(1) + " tok/busy-GPU-s" +
+   ((snap.conservation_errors || []).length ? " · CONSERVATION BROKEN" : "");
+  const start = Math.max(0, snap.now_s - HM_WINDOW_S), span = Math.max(snap.now_s - start, 1e-9);
+  const map = document.getElementById("fleetmap"); map.innerHTML = "";
+  (snap.devices || []).forEach(d => {
+   const rowEl = document.createElement("div"); rowEl.className = "hm-row";
+   const label = document.createElement("div"); label.className = "hm-label";
+   label.textContent = d.device + (d.faulted ? " ✕" : "");
+   const track = document.createElement("div"); track.className = "hm-track";
+   (d.segments || []).forEach(sg => {
+    const a = Math.max(sg.start_s, start), b = Math.min(sg.end_s, snap.now_s);
+    if (b <= a) return;
+    const seg = document.createElement("div"); seg.className = "hm-seg";
+    seg.style.width = (100 * (b - a) / span) + "%";
+    seg.style.background = stateColors[sg.state] || "#666";
+    seg.title = sg.state + (sg.model ? " " + sg.model : "") +
+     " " + sg.start_s.toFixed(2) + "s–" + sg.end_s.toFixed(2) + "s";
+    track.appendChild(seg);
+   });
+   const stats = document.createElement("div"); stats.className = "hm-stats";
+   stats.textContent = "busy " + fmtPct(d.busy_fraction) + " · sw " + fmtPct(d.switch_overhead_ratio);
+   rowEl.appendChild(label); rowEl.appendChild(track); rowEl.appendChild(stats);
+   map.appendChild(rowEl);
+  });
+ }
+ let fleetOff = false;
+ function pollFleet() {
+  if (fleetOff) return;
+  fetch("/debug/fleet").then(r => {
+   if (r.status === 404) { fleetOff = true; return null; }
+   return r.ok ? r.json() : null;
+  }).then(snap => { if (snap) renderFleet(snap); }).catch(() => {});
+ }
+ pollFleet();
+ setInterval(pollFleet, 2000);
 </script>
 </body>
 </html>

@@ -73,6 +73,14 @@ type OpRecord struct {
 // re-enter the device.
 type OpObserver func(d *Device, r OpRecord)
 
+// BusyObserver receives engine occupancy edges as they happen: busy=true the
+// instant an operation starts executing on an engine, busy=false when it
+// retires. Unlike OpObserver (which sees only completed intervals), the
+// paired edges let an accounting layer integrate occupancy incrementally and
+// classify the op while it runs. It runs synchronously on the simulation
+// goroutine; it must not re-enter the device.
+type BusyObserver func(d *Device, k EngineKind, info OpInfo, busy bool)
+
 // Device is one simulated GPU.
 type Device struct {
 	Name string
@@ -81,6 +89,7 @@ type Device struct {
 	engines  [3]*executor
 	streams  []*Stream
 	observer OpObserver
+	busyObs  BusyObserver
 }
 
 // NewDevice creates a device attached to the simulation engine.
@@ -96,6 +105,11 @@ func NewDevice(eng *sim.Engine, name string) *Device {
 // disables capture). At most one observer is active; the hot path pays a
 // single nil check when none is registered.
 func (d *Device) Observe(fn OpObserver) { d.observer = fn }
+
+// ObserveBusy registers fn to receive engine occupancy edges (nil disables).
+// At most one busy observer is active; it is a separate slot from Observe so
+// the trace collector and the fleet ledger can coexist on one device.
+func (d *Device) ObserveBusy(fn BusyObserver) { d.busyObs = fn }
 
 // NewStream creates an asynchronous work queue on the device.
 func (d *Device) NewStream(name string) *Stream {
@@ -281,9 +295,15 @@ func (x *executor) kick() {
 	x.queue = x.queue[1:]
 	x.busy = true
 	x.busySince = x.eng.Now()
+	if bo := x.dev.busyObs; bo != nil {
+		bo(x.dev, x.kind, o.info, true)
+	}
 	x.eng.After(o.dur, func() {
 		x.busy = false
 		x.busyAccum += x.eng.Now() - x.busySince
+		if bo := x.dev.busyObs; bo != nil {
+			bo(x.dev, x.kind, o.info, false)
+		}
 		if obs := x.dev.observer; obs != nil {
 			obs(x.dev, OpRecord{Engine: x.kind, Info: o.info, Start: x.busySince, End: x.eng.Now()})
 		}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"aegaeon/internal/fault"
+	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/gpu"
 	"aegaeon/internal/latency"
 	"aegaeon/internal/memory"
@@ -240,6 +241,11 @@ type Manager struct {
 	faults   *fault.Faults
 	instance string
 	obsc     *obs.Collector
+
+	// Fleet ledger hook (nil = no accounting): sampled after every pool
+	// mutation so the ledger tracks the GPU KV watermark.
+	fleet     *fleetobs.Ledger
+	fleetName string
 }
 
 // Stats counts data-plane activity for Fig. 14's control/data overhead
@@ -281,6 +287,24 @@ func (m *Manager) SetFaults(f *fault.Faults, instance string, c *obs.Collector) 
 	m.obsc = c
 }
 
+// SetFleet attaches the fleet ledger (nil disables) under the given device
+// name; the manager samples its GPU pool into the ledger after mutations so
+// pool-memory watermarks show up in fleet snapshots.
+func (m *Manager) SetFleet(l *fleetobs.Ledger, device string) {
+	m.fleet = l
+	m.fleetName = device
+	m.noteKV()
+}
+
+// noteKV pushes the current GPU pool usage sample to the fleet ledger.
+func (m *Manager) noteKV() {
+	if m.fleet == nil {
+		return
+	}
+	pool := m.GPUCache.Pool()
+	m.fleet.NoteKV(m.fleetName, pool.UsedBytes(), pool.Capacity())
+}
+
 // Stats returns a snapshot of the manager's counters.
 func (m *Manager) Stats() Stats { return m.stats }
 
@@ -306,6 +330,7 @@ func (m *Manager) NewSequence(id string, shape model.KVShape, tokens int) (*Sequ
 		return nil, err
 	}
 	m.control(1)
+	m.noteKV()
 	return &Sequence{
 		ID:        id,
 		Class:     class,
@@ -335,6 +360,7 @@ func (m *Manager) AppendTokens(seq *Sequence, n int) error {
 		seq.gpuBlocks = append(seq.gpuBlocks, blocks...)
 	}
 	seq.tokens += n
+	m.noteKV()
 	return nil
 }
 
@@ -373,6 +399,7 @@ func (m *Manager) SwapOut(seq *Sequence) (*gpu.Event, error) {
 				if seq.state == StateSwappingOut {
 					seq.state = StateCPU
 				}
+				m.noteKV()
 			})
 		seq.lastXfer = ev
 		m.stats.SwapOuts++
@@ -475,6 +502,7 @@ func (m *Manager) SwapIn(seq *Sequence) (*gpu.Event, error) {
 		m.stats.SwapIns++
 		m.stats.BytesIn += bytes
 		m.control(2)
+		m.noteKV()
 		return ev, nil
 	}
 	// Transfer-fault path. A failed attempt must NOT park the CPU source
@@ -580,6 +608,7 @@ func (m *Manager) Free(seq *Sequence) error {
 	seq.gpuBlocks, seq.cpuBlocks = nil, nil
 	seq.state = StateFreed
 	m.control(1)
+	m.noteKV()
 	return nil
 }
 
