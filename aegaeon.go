@@ -32,6 +32,7 @@ import (
 	"aegaeon/internal/fault"
 	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/latency"
+	"aegaeon/internal/market"
 	"aegaeon/internal/metrics"
 	"aegaeon/internal/model"
 	"aegaeon/internal/obs"
@@ -81,6 +82,14 @@ func ReadTrace(r io.Reader) ([]Request, error) { return workload.ReadTrace(r) }
 
 // MarketModels returns n market models in the paper's primary 6–14B range.
 func MarketModels(n int) []*Model { return model.MarketMix(n) }
+
+// SmallModels returns n models in the 6–8B range — the mix that fits every
+// built-in market device class, including the 24 GB consumer tiers.
+func SmallModels(n int) []*Model { return model.SmallMix(n) }
+
+// MarketClassNames lists the built-in device classes accepted by
+// Config.MarketClasses, in capability order.
+func MarketClassNames() []string { return market.ClassNames() }
 
 // Config configures an Aegaeon serving system.
 type Config struct {
@@ -152,11 +161,40 @@ type Config struct {
 	// spec of "kind@at[+dur][*factor][:target]" items — e.g.
 	// "crash@40s:decode0,xfer@60s+5s,fetchslow@90s+30s*4". Kinds: crash,
 	// xfer, fetchfail, fetchslow, partition, storeslow (the store kinds need
-	// the cluster proxy and are rejected here). Crashed instances are
-	// detected after a fixed delay, then their in-flight requests recover
-	// onto survivors: host-resident KV resumes decoding, the rest recompute
-	// via prefill. Empty disables fault injection entirely.
+	// the cluster proxy and are rejected here), plus the spot kinds reclaim
+	// ("reclaim@45s+5s:decode1" — preemption notice, grace, hard revocation;
+	// needs Config.Market) and throttle ("throttle@60s+30s*4:decode0" —
+	// thermal slowdown). Crashed instances are detected after a fixed delay,
+	// then their in-flight requests recover onto survivors: host-resident KV
+	// resumes decoding, the rest recompute via prefill. Empty disables fault
+	// injection entirely.
 	Faults string
+	// Market enables the spot-market fleet model: per-device market classes
+	// (see MarketClasses), spot price traces feeding the fleet cost
+	// integral, preemption notices with KV evacuation ahead of the reclaim
+	// deadline, and capability scoring. Implies FleetAccounting (class
+	// economics join against the ledger's cost and goodput integrals). The
+	// final market snapshot — preemption records, evacuated-vs-lost KV
+	// bytes, per-class $-per-1k-tokens — lands in Report.Market.
+	Market bool
+	// MarketClasses is a comma-separated device-class list cycled across the
+	// pool in build order, e.g. "H800,A10,RTX4090" (see MarketClassNames).
+	// Empty means a homogeneous H800 fleet. Each instance runs its class's
+	// hardware profile end to end — compute, PCIe, and a VRAM split sized
+	// for the class — so every model must fit the smallest class (the 24 GB
+	// consumer tiers fit SmallModels; MarketModels needs ≥48 GB).
+	MarketClasses string
+	// MarketSpot activates spot pricing and reclaim risk: per-device price
+	// traces walk on the simulation clock, and placement discounts devices
+	// by their class's preemption hazard. Off = flat on-demand rates (the
+	// reliable arm).
+	MarketSpot bool
+	// MarketNaive turns preemption-aware placement and KV evacuation OFF
+	// while keeping the market model on: reclaim notices are ignored until
+	// the revocation fires, losing everything GPU-resident to the crash
+	// path. This is the spot-naive baseline arm the market bench compares
+	// against; production spot configs leave it false.
+	MarketNaive bool
 }
 
 // System is a ready-to-serve Aegaeon deployment in virtual time.
@@ -171,6 +209,7 @@ type System struct {
 	injector *fault.Injector
 	ovl      *overload.Controller
 	fleet    *fleetobs.Ledger
+	mkt      *market.Market
 }
 
 // New builds a system.
@@ -248,9 +287,46 @@ func New(cfg Config) (*System, error) {
 	if cfg.PrefixCache || cfg.PrefixRouting {
 		pfx = &prefixcache.Config{Routing: cfg.PrefixRouting}
 	}
+	if cfg.Market {
+		// Class economics join against the ledger's cost and goodput
+		// integrals, so the market implies fleet accounting.
+		cfg.FleetAccounting = true
+	}
 	var fleet *fleetobs.Ledger
 	if cfg.FleetAccounting {
 		fleet = fleetobs.New(se)
+	}
+	var mkt *market.Market
+	if cfg.Market {
+		classes, err := market.ParseClasses(cfg.MarketClasses)
+		if err != nil {
+			return nil, err
+		}
+		// Fail early with a usable message when a class's VRAM cannot hold
+		// the largest model shard plus a KV slab; the core would otherwise
+		// panic deriving the per-class VRAM split. SmallModels fits every
+		// built-in class, including 24 GB consumer cards.
+		var maxShard int64
+		biggest := ""
+		for _, m := range models {
+			if s := m.ShardWeightBytes(cfg.TP); s > maxShard {
+				maxShard, biggest = s, m.Name
+			}
+		}
+		for _, c := range classes {
+			usable := int64(float64(c.Prof.VRAMBytes) * 0.9)
+			if usable-(maxShard+maxShard/16) < 64<<20 {
+				return nil, fmt.Errorf(
+					"aegaeon: model %s (%.1f GB shard) does not fit market class %s (%.1f GB VRAM); use smaller models (e.g. SmallModels) or bigger classes",
+					biggest, float64(maxShard)/1e9, c.Name, float64(c.Prof.VRAMBytes)/1e9)
+			}
+		}
+		mkt = market.New(se, fleet, market.Config{
+			Classes: classes,
+			Spot:    cfg.MarketSpot,
+			Aware:   !cfg.MarketNaive,
+			Seed:    cfg.Seed,
+		})
 	}
 	sys := core.NewSystem(se, core.Config{
 		Prof:       prof,
@@ -266,8 +342,9 @@ func New(cfg Config) (*System, error) {
 		Faults:     flt,
 		Overload:   ovl,
 		Prefix:     pfx,
+		Market:     mkt,
 	})
-	return &System{cfg: cfg, eng: se, sys: sys, models: models, flt: flt, sched: sched, ovl: ovl, fleet: fleet}, nil
+	return &System{cfg: cfg, eng: se, sys: sys, models: models, flt: flt, sched: sched, ovl: ovl, fleet: fleet, mkt: mkt}, nil
 }
 
 // Models returns the models the system serves.
@@ -395,6 +472,11 @@ type Report struct {
 	// GPU-hours/cost integral. Its ConservationErrors field is empty in any
 	// correct build. Nil without Config.FleetAccounting.
 	Fleet *fleetobs.Snapshot
+	// Market is the spot-market model's final snapshot: per-device market
+	// state and price, preemption records with evacuated-vs-lost KV byte
+	// accounting, and per-class economics ($-per-1k-tokens joined against
+	// the fleet ledger). Nil without Config.Market.
+	Market *market.Snapshot
 }
 
 // Serve runs the trace to completion in virtual time and reports. A System
@@ -406,6 +488,15 @@ func (s *System) Serve(trace []Request) (Report, error) {
 	s.served = true
 	if err := s.sys.Submit(trace); err != nil {
 		return Report{}, err
+	}
+	if s.mkt != nil {
+		// Price traces must be bounded or the event loop never drains: run
+		// them past the last arrival with slack for the tail to decode.
+		horizon := 2 * time.Minute
+		if len(trace) > 0 {
+			horizon += trace[len(trace)-1].Arrival
+		}
+		s.mkt.Start(horizon)
 	}
 	if len(s.sched) > 0 {
 		s.injector = fault.NewInjector(s.eng, sysSurface{s}, s.sched)
@@ -456,6 +547,9 @@ func (s *System) Serve(trace []Request) (Report, error) {
 	if s.fleet != nil {
 		rep.Fleet = s.fleet.Snapshot(s.eng.Now())
 	}
+	if s.mkt != nil {
+		rep.Market = s.mkt.Snapshot(s.eng.Now(), rep.Fleet)
+	}
 	if s.ovl != nil {
 		snap := s.ovl.Snapshot()
 		rep.OverloadLevel = snap.Level
@@ -493,6 +587,10 @@ func (s *System) Monitor() *slomon.Monitor { return s.sys.Monitor() }
 // built with Config.FleetAccounting.
 func (s *System) Fleet() *fleetobs.Ledger { return s.fleet }
 
+// Market returns the live spot-market model, or nil unless the system was
+// built with Config.Market.
+func (s *System) Market() *market.Market { return s.mkt }
+
 // EventsProcessed returns how many discrete events the simulation kernel has
 // fired — the numerator of the kernel's events/sec self-metric.
 func (s *System) EventsProcessed() uint64 { return s.eng.Processed() }
@@ -525,6 +623,11 @@ const crashDetectionDelay = time.Second
 // rejected; everything else maps onto the core runtime directly.
 type sysSurface struct{ s *System }
 
+var (
+	_ fault.Surface     = sysSurface{}
+	_ fault.SpotSurface = sysSurface{}
+)
+
 func (ss sysSurface) Crash(target string) error {
 	// Accept cluster-style "deployment/instance" targets for spec reuse.
 	if _, inst, ok := strings.Cut(target, "/"); ok {
@@ -553,6 +656,20 @@ func (ss sysSurface) FailFetch(model string, d sim.Time) error {
 func (ss sysSurface) SlowFetch(factor float64, d sim.Time) error {
 	ss.s.flt.SlowFetch(factor, d)
 	return nil
+}
+
+func (ss sysSurface) Reclaim(target string, grace sim.Time) error {
+	if _, inst, ok := strings.Cut(target, "/"); ok {
+		target = inst
+	}
+	return ss.s.sys.ReclaimInstance(target, grace)
+}
+
+func (ss sysSurface) Throttle(target string, factor float64, d sim.Time) error {
+	if _, inst, ok := strings.Cut(target, "/"); ok {
+		target = inst
+	}
+	return ss.s.sys.ThrottleInstance(target, factor, d)
 }
 
 func (ss sysSurface) PartitionStore(sim.Time) error {

@@ -14,6 +14,7 @@
 //	GET  /debug/slo/alerts burn-rate alert states only
 //	GET  /debug/overload   brownout level, rejection counters, retry budget (with -overload)
 //	GET  /debug/fleet      fleet utilization ledger: per-device GPU-second accounting (with -fleet)
+//	GET  /debug/market     spot-market state: per-device price/eligibility, preemption records, class economics (with -market)
 //	GET  /debug/pprof/     net/http/pprof profiling handlers (with -pprof)
 //	GET  /debug/dash       dependency-free live HTML dashboard (SSE; fleet heatmap with -fleet)
 //
@@ -41,6 +42,7 @@ import (
 	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/gateway"
 	"aegaeon/internal/latency"
+	"aegaeon/internal/market"
 	"aegaeon/internal/model"
 	"aegaeon/internal/obs"
 	"aegaeon/internal/overload"
@@ -71,6 +73,10 @@ func main() {
 	retryRatio := flag.Float64("retry-ratio", 0.1, "retry budget deposit per fresh admission (with -overload)")
 	prefixOn := flag.Bool("prefix", false, "enable the global prefix cache with cache-aware routing: pass session_id/turn on completions to reuse earlier turns' KV; adds /debug/prefix and aegaeon_prefix_* metrics")
 	fleetOn := flag.Bool("fleet", false, "enable the fleet utilization ledger: every GPU-second classified by state with goodput attribution; adds /debug/fleet, the dashboard heatmap, and aegaeon_fleet_* metrics")
+	marketOn := flag.Bool("market", false, "enable the spot-market fleet model: device classes, price traces, preemption-aware placement; adds /debug/market and aegaeon_market_* metrics (implies -fleet)")
+	marketClasses := flag.String("market-classes", "", "comma-separated device classes cycled across the pool, e.g. H800,A10 (with -market; empty = homogeneous H800; small-VRAM classes need models that fit)")
+	marketSpot := flag.Bool("market-spot", false, "activate spot pricing and reclaim risk (with -market)")
+	marketNaive := flag.Bool("market-naive", false, "disable preemption-aware placement and KV evacuation: the spot-naive baseline arm (with -market)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	flag.Parse()
 	if *overloadOn {
@@ -104,9 +110,27 @@ func main() {
 	// One ledger shared between the cluster (devices register with it) and
 	// the gateway (/debug/fleet, metrics), so scrapes read the one source of
 	// GPU-second truth.
+	if *marketOn {
+		*fleetOn = true // class economics join against the ledger
+	}
 	var fleet *fleetobs.Ledger
 	if *fleetOn {
 		fleet = fleetobs.New(se)
+	}
+	// One market shared between the cluster (devices register, reclaim and
+	// throttle faults resolve) and the gateway (/debug/market, metrics).
+	var mkt *market.Market
+	if *marketOn {
+		classes, err := market.ParseClasses(*marketClasses)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mkt = market.New(se, fleet, market.Config{
+			Classes: classes,
+			Spot:    *marketSpot,
+			Aware:   !*marketNaive,
+			Seed:    *seed,
+		})
 	}
 	cl, err := cluster.New(se, cluster.Config{
 		Prof:     prof,
@@ -116,6 +140,7 @@ func main() {
 		Overload: ovl,
 		Prefix:   pfx,
 		Fleet:    fleet,
+		Market:   mkt,
 		Deployments: []cluster.DeploymentConfig{{
 			Name:       "live",
 			TP:         *tp,
@@ -127,6 +152,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Bound the price trace: a live gateway rarely outruns a virtual day,
+	// and an unbounded trace would keep the event queue from draining.
+	mkt.Start(sim.Time(24 * time.Hour))
 	drv := sim.NewDriver(se, *speedup)
 	// The trace debug endpoints stay off under -no-trace even when the
 	// collector exists purely to feed the SLO monitor's attribution join.
@@ -143,6 +171,7 @@ func main() {
 		Obs:              gwCol,
 		SLOMon:           mon,
 		Fleet:            fleet,
+		Market:           mkt,
 		Pprof:            *pprofOn,
 	}
 	if *overloadOn {

@@ -20,6 +20,7 @@ import (
 
 	"aegaeon"
 	"aegaeon/internal/fleetobs"
+	"aegaeon/internal/market"
 	"aegaeon/internal/slomon"
 )
 
@@ -105,6 +106,46 @@ func printFleetReport(s *fleetobs.Snapshot) {
 	}
 }
 
+// printMarketReport renders the spot-market snapshot: the per-device market
+// state, the preemption audit trail with evacuated-vs-lost KV accounting, and
+// per-class unit economics joined against the fleet ledger.
+func printMarketReport(s *market.Snapshot) {
+	mode := "reliable (flat on-demand rates)"
+	if s.Spot {
+		mode = "spot-aware"
+		if !s.Aware {
+			mode = "spot-naive"
+		}
+	}
+	fmt.Printf("--- spot market (%s, %d devices, %d price ticks) ---\n",
+		mode, len(s.Devices), s.Stats.PriceTicks)
+	fmt.Printf("market preemption %d notices, %d revocations, %d deadlines missed, %d throttles, %d disqualifications\n",
+		s.Stats.Preemptions, s.Stats.Revocations, s.Stats.DeadlinesMissed,
+		s.Stats.Throttles, s.Stats.Disqualifications)
+	fmt.Printf("market KV bytes   %.1fMB evacuated, %.1fMB lost, %.1fMB prefix re-homed\n",
+		float64(s.Stats.EvacuatedKVBytes)/(1<<20), float64(s.Stats.LostKVBytes)/(1<<20),
+		float64(s.Stats.RehomedPrefixBytes)/(1<<20))
+	for _, d := range s.Devices {
+		status := ""
+		if !d.Eligible {
+			status = " [disqualified]"
+		}
+		if d.UnderNotice {
+			status += " [under notice]"
+		}
+		if d.Revoked {
+			status = " [revoked]"
+		}
+		fmt.Printf("market %-10s %-8s $%5.2f/h  capability %.2f%s\n",
+			d.Device, d.Class, d.RateDollarsPerHour, d.CapabilityScore, status)
+	}
+	for _, c := range s.Classes {
+		fmt.Printf("class  %-8s %d devices, mean $%5.2f/h, $%.4f spent, %d tokens, $%.4f/1k tokens, %d preemptions\n",
+			c.Class, c.Devices, c.MeanRate, c.CostDollars, c.Tokens,
+			c.DollarsPer1KTokens, c.Preemptions)
+	}
+}
+
 // kernelMetrics are the simulation kernel's self-metrics for one run — the
 // substrate's own throughput, independent of what the simulated fleet did.
 type kernelMetrics struct {
@@ -186,6 +227,13 @@ func main() {
 		fleetJSON  = flag.String("fleet-json", "", "write the final fleet snapshot as JSON to this file (implies -fleet-report)")
 		fleetCSV   = flag.String("fleet-csv", "", "write the per-device fleet accounting as CSV to this file, comparable against results/figure_8_10.csv exposed switch costs (implies -fleet-report)")
 		kernelJSON = flag.String("kernel-json", "", "write simulation-kernel self-metrics (events/sec, requests/sec, heap allocations) as JSON to this file (aegaeon system only)")
+		marketOn   = flag.Bool("market", false, "enable the spot-market fleet model: device classes, price traces, preemption risk (implies -fleet-report; aegaeon system only)")
+		mktClasses = flag.String("market-classes", "", `comma-separated device classes cycled across the pool, e.g. "H800,A10,RTX4090" (with -market; empty = homogeneous H800; small-VRAM classes need models that fit)`)
+		mktSpot    = flag.Bool("market-spot", false, "activate spot pricing and reclaim risk (with -market)")
+		mktNaive   = flag.Bool("market-naive", false, "disable preemption-aware placement and KV evacuation: the spot-naive baseline (with -market)")
+		mktBench   = flag.String("market-bench", "", "run the three-arm spot-market benchmark (reliable / spot_naive / spot_aware on one trace) and write BENCH JSON here")
+		mktAssert  = flag.Bool("market-assert", false, "assert the -market-bench floors: spot_aware loses >=50% fewer KV bytes than spot_naive, no attainment or $-per-1k regression")
+		smallMix   = flag.Bool("small-models", false, "serve the 6-8B small-model mix instead of the default 6-15B market mix (fits 24 GB market classes like A10/RTX4090)")
 	)
 	flag.Parse()
 	if *sloJSON != "" {
@@ -193,6 +241,9 @@ func main() {
 	}
 	if *fleetJSON != "" || *fleetCSV != "" {
 		*fleetOn = true
+	}
+	if *marketOn {
+		*fleetOn = true // class economics join against the fleet ledger
 	}
 	if *perfetto != "" && *system != "aegaeon" {
 		fmt.Fprintln(os.Stderr, "-perfetto requires -system aegaeon (baselines are not instrumented)")
@@ -220,6 +271,10 @@ func main() {
 	}
 	if *kernelJSON != "" && *system != "aegaeon" {
 		fmt.Fprintln(os.Stderr, "-kernel-json requires -system aegaeon (baselines run a private kernel)")
+		os.Exit(2)
+	}
+	if (*marketOn || *mktBench != "") && *system != "aegaeon" {
+		fmt.Fprintln(os.Stderr, "-market requires -system aegaeon (baselines have no market model)")
 		os.Exit(2)
 	}
 	var wk aegaeon.WorkloadKind
@@ -267,6 +322,16 @@ func main() {
 		return
 	}
 
+	if *mktBench != "" {
+		runMarketBench(marketBenchOpts{
+			gpu: *gpu, tp: *tp, prefill: *prefill, decode: *decode,
+			nModels: *nModels, rps: *rps, horizon: *horizon, dataset: ds,
+			datasetName: *dataset, slo: slo, seed: *seed,
+			classes: *mktClasses, assert: *mktAssert, out: *mktBench,
+		})
+		return
+	}
+
 	if *ovlBench != "" {
 		runOverloadBench(benchOpts{
 			gpu: *gpu, tp: *tp, prefill: *prefill, decode: *decode,
@@ -278,7 +343,12 @@ func main() {
 		return
 	}
 
+	var modelMix []*aegaeon.Model
+	if *smallMix {
+		modelMix = aegaeon.SmallModels(*nModels)
+	}
 	sys, err := aegaeon.New(aegaeon.Config{
+		Models:               modelMix,
 		GPU:                  *gpu,
 		TP:                   *tp,
 		PrefillGPUs:          *prefill,
@@ -292,6 +362,10 @@ func main() {
 		Overload:             *overloadOn,
 		PrefixRouting:        *prefixOn,
 		FleetAccounting:      *fleetOn,
+		Market:               *marketOn,
+		MarketClasses:        *mktClasses,
+		MarketSpot:           *mktSpot,
+		MarketNaive:          *mktNaive,
 		Faults:               *faults,
 	})
 	if err != nil {
@@ -405,6 +479,10 @@ func main() {
 			}
 			os.Exit(1)
 		}
+	}
+
+	if rep.Market != nil {
+		printMarketReport(rep.Market)
 	}
 
 	if *kernelJSON != "" {

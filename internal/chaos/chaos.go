@@ -17,6 +17,7 @@ import (
 	"aegaeon/internal/fault"
 	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/latency"
+	"aegaeon/internal/market"
 	"aegaeon/internal/model"
 	"aegaeon/internal/obs"
 	"aegaeon/internal/overload"
@@ -60,6 +61,16 @@ type Config struct {
 	// eviction in play. Rate is reinterpreted as turns/s per model (sessions
 	// arrive at Rate/3, averaging ~3 turns each).
 	Prefix bool
+	// MarketClasses is the device-class cycle for the spot-market model
+	// (default homogeneous "H800"). Every chaos run carries a market so the
+	// reclaim/throttle fault kinds are injectable by random schedules;
+	// heterogeneous pools are opt-in per run.
+	MarketClasses string
+	// Spot activates spot price traces and risk-priced placement.
+	Spot bool
+	// MarketNaive disables preemption-aware placement and KV evacuation, so
+	// reclaims are audited through the bare crash path (the naive arm).
+	MarketNaive bool
 }
 
 func (c *Config) defaults() {
@@ -104,6 +115,9 @@ type Result struct {
 	// Fleet is the utilization ledger's snapshot at the drained instant:
 	// every GPU-second of the run classified, crashes included.
 	Fleet *fleetobs.Snapshot
+	// Market snapshots the spot-market state at the drained instant:
+	// preemption records, per-device eligibility, per-class economics.
+	Market *market.Snapshot
 	// Violations lists every broken invariant (empty on a clean run).
 	Violations []string
 }
@@ -138,6 +152,21 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Prefix {
 		clCfg.Prefix = &prefixcache.Config{Routing: true}
 	}
+	// Every run carries a market model so random schedules can draw the
+	// reclaim/throttle fault kinds. The default — homogeneous H800, no spot
+	// pricing, aware placement — is behavior-neutral for crash-only
+	// schedules: with no open notices every device scores capability 1 and
+	// penalty 0, so placement is unchanged.
+	classes, err := market.ParseClasses(cfg.MarketClasses)
+	if err != nil {
+		return nil, err
+	}
+	clCfg.Market = market.New(se, clCfg.Fleet, market.Config{
+		Classes: classes,
+		Spot:    cfg.Spot,
+		Aware:   !cfg.MarketNaive,
+		Seed:    cfg.Seed,
+	})
 	c, err := cluster.New(se, clCfg)
 	if err != nil {
 		return nil, err
@@ -168,6 +197,9 @@ func Run(cfg Config) (*Result, error) {
 	in := fault.NewInjector(se, c, sched)
 	in.Arm()
 
+	// Rates feed the fleet cost integral from t=0; price ticks only run when
+	// Spot is on, bounded so the event loop drains.
+	clCfg.Market.Start(2*cfg.Horizon + 60*time.Second)
 	se.At(0, c.StartHealth)
 	// Long enough for failover of the latest possible crash; serving
 	// continues past it if the tail is still draining.
@@ -196,6 +228,7 @@ func Run(cfg Config) (*Result, error) {
 		res.Prefix = &st
 	}
 	res.Fleet = c.Fleet().Snapshot(se.Now())
+	res.Market = c.Market().Snapshot(se.Now(), res.Fleet)
 	return res, nil
 }
 
@@ -301,6 +334,79 @@ func VerifyInvariants(c *cluster.Cluster) []string {
 		}
 	}
 	v = append(v, verifyFleet(c)...)
+	v = append(v, verifyMarket(c)...)
+	return v
+}
+
+// verifyMarket audits the spot-market accounting after a chaos run: the
+// cumulative counters reconcile against the per-preemption audit trail, every
+// revoked device is actually dead (and ineligible for placement), and no
+// evacuation transfer is left pending — each one either landed before the
+// deadline or its request went through the crash path. No-op when the cluster
+// was built without a market.
+func verifyMarket(c *cluster.Cluster) []string {
+	mkt := c.Market()
+	if mkt == nil {
+		return nil
+	}
+	var v []string
+	st := mkt.Stats()
+	recs := mkt.Records()
+	if st.Preemptions != len(recs) {
+		v = append(v, fmt.Sprintf("market: %d preemptions counted but %d records kept", st.Preemptions, len(recs)))
+	}
+	var evac, lost, rehomed int64
+	revoked, missed := 0, 0
+	for _, r := range recs {
+		evac += r.EvacuatedKVBytes
+		lost += r.LostKVBytes
+		rehomed += r.RehomedPrefixBytes
+		if r.RevokedAtS >= 0 {
+			revoked++
+			if deadlineS := r.NoticeAtS + r.GraceS; r.RevokedAtS < deadlineS-1e-9 {
+				v = append(v, fmt.Sprintf("market: %s revoked at %.3fs, before its %.3fs deadline", r.Device, r.RevokedAtS, deadlineS))
+			}
+		} else if r.LostKVBytes > 0 {
+			v = append(v, fmt.Sprintf("market: %s lost %d KV bytes without being revoked", r.Device, r.LostKVBytes))
+		}
+		if r.LostKVBytes > 0 {
+			missed++
+		}
+	}
+	if revoked != st.Revocations {
+		v = append(v, fmt.Sprintf("market: %d revocations counted but %d records closed", st.Revocations, revoked))
+	}
+	if missed != st.DeadlinesMissed {
+		v = append(v, fmt.Sprintf("market: %d deadlines-missed counted but %d records lost KV", st.DeadlinesMissed, missed))
+	}
+	if evac != st.EvacuatedKVBytes || lost != st.LostKVBytes || rehomed != st.RehomedPrefixBytes {
+		v = append(v, fmt.Sprintf("market: byte totals drifted from records (evac %d vs %d, lost %d vs %d, rehomed %d vs %d)",
+			st.EvacuatedKVBytes, evac, st.LostKVBytes, lost, st.RehomedPrefixBytes, rehomed))
+	}
+	for _, d := range c.Deployments() {
+		if n := d.System.EvacuatingRequests(); n != 0 {
+			v = append(v, fmt.Sprintf("market: %s still has %d evacuation transfers pending after drain", d.Name, n))
+		}
+	}
+	for _, r := range recs {
+		if r.RevokedAtS < 0 {
+			continue
+		}
+		alive := false
+		for _, d := range c.Deployments() {
+			for _, name := range d.System.InstanceNames() {
+				if name == r.Device && d.System.AliveNamed(name) {
+					alive = true
+				}
+			}
+		}
+		if alive {
+			v = append(v, fmt.Sprintf("market: revoked device %s is still alive", r.Device))
+		}
+		if mkt.Eligible(r.Device) {
+			v = append(v, fmt.Sprintf("market: revoked device %s is still placement-eligible", r.Device))
+		}
+	}
 	return v
 }
 

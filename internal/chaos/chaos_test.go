@@ -58,14 +58,18 @@ func TestSeededFaultSchedules(t *testing.T) {
 			completed: 59, failed: 0, injected: 2, failovers: 1,
 		},
 		{
+			// The draw includes a repeat crash on prefill0, which fails to
+			// inject (already dead) — 3 of 4 faults land.
 			name:      "random-seed-11",
 			cfg:       Config{Seed: 11},
-			completed: 85, failed: 0, injected: 4, failovers: 1,
+			completed: 85, failed: 0, injected: 3, failovers: 2,
 		},
 		{
+			// The draw includes a spot reclaim on prefill1: notice, aware
+			// evacuation, revocation, failover — all inside a random schedule.
 			name:      "random-seed-23",
 			cfg:       Config{Seed: 23},
-			completed: 87, failed: 0, injected: 4, failovers: 0,
+			completed: 87, failed: 0, injected: 4, failovers: 1,
 		},
 	}
 	for i := range cases {
@@ -219,14 +223,10 @@ func TestPrefixEvictionRacesReuse(t *testing.T) {
 	done := make(chan struct{})
 	probed := make(chan int)
 	go func() {
+		// Probe-then-check so at least one iteration always runs, even if the
+		// simulation drains before this goroutine is first scheduled.
 		n := 0
 		for {
-			select {
-			case <-done:
-				probed <- n
-				return
-			default:
-			}
 			_ = pc.Stats()
 			_, _ = pc.MatchTokensOn("prefill1", names[0], sysSegs, 129)
 			_ = pc.HostResidentBytes()
@@ -236,6 +236,12 @@ func TestPrefixEvictionRacesReuse(t *testing.T) {
 				return
 			}
 			n++
+			select {
+			case <-done:
+				probed <- n
+				return
+			default:
+			}
 		}
 	}()
 
@@ -375,5 +381,118 @@ func TestFleetChaosAccounting(t *testing.T) {
 	}
 	if snap.Fleet.BusyS <= 0 {
 		t.Error("fleet rollup shows no busy time — ledger observed no work")
+	}
+}
+
+// TestSpotChaosInvariants pins explicit spot-market schedules: reclaim
+// notices and thermal throttles on a heterogeneous pool, in aware and naive
+// modes, audited by the full invariant set (verifyMarket reconciles the
+// counters against the preemption records, checks revoked devices are dead
+// and ineligible, and that no evacuation transfer is left pending).
+func TestSpotChaosInvariants(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		// Exact seeded expectations on the market counters.
+		preemptions, revocations, throttles int
+	}{
+		{
+			// Aware mode: the notice evacuates decode1's KV inside the 5s
+			// grace window; a later throttle discounts decode0's capability.
+			name: "aware-decode-reclaim",
+			cfg: Config{Seed: 31, Rate: 0.5, MarketClasses: "H800,A10", Spot: true,
+				Spec: "reclaim@40s+5s:chaos/decode1,throttle@60s+20s*2.5:chaos/decode0"},
+			preemptions: 1, revocations: 1, throttles: 1,
+		},
+		{
+			// Naive mode: same notice, no advance reaction — everything
+			// GPU-resident at the deadline recovers through the crash path.
+			name: "naive-decode-reclaim",
+			cfg: Config{Seed: 31, Rate: 0.5, MarketClasses: "H800,A10", Spot: true, MarketNaive: true,
+				Spec: "reclaim@40s+5s:chaos/decode1"},
+			preemptions: 1, revocations: 1,
+		},
+		{
+			// A prefill reclaim re-homes queued groups and drops prefix
+			// device copies in favor of their host-tier chains.
+			name: "aware-prefill-reclaim-prefix",
+			cfg: Config{Seed: 32, Prefix: true, MarketClasses: "H800,A10",
+				Spec: "reclaim@45s+5s:chaos/prefill0"},
+			preemptions: 1, revocations: 1,
+		},
+		{
+			// Two of two decodes reclaimed back to back: the second notice
+			// lands while the pool is already degraded; in-flight and later
+			// decode work must terminate cleanly, nothing hangs.
+			name: "aware-double-decode-reclaim",
+			cfg: Config{Seed: 33, Rate: 0.5, Spot: true,
+				Spec: "reclaim@35s+5s:chaos/decode0,reclaim@55s+5s:chaos/decode1"},
+			preemptions: 2, revocations: 2,
+		},
+	}
+	for i := range cases {
+		tc := &cases[i]
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, viol := range res.Violations {
+				t.Errorf("invariant: %s", viol)
+			}
+			if res.Market == nil {
+				t.Fatal("chaos run produced no market snapshot")
+			}
+			st := res.Market.Stats
+			t.Logf("spec=%s requests=%d completed=%d failed=%d failovers=%d market=%+v",
+				res.Spec, res.Requests, res.Completed, res.Failed, res.Failovers, st)
+			if res.Completed+res.Failed != res.Requests {
+				t.Fatalf("completed %d + failed %d != %d requests",
+					res.Completed, res.Failed, res.Requests)
+			}
+			if st.Preemptions != tc.preemptions || st.Revocations != tc.revocations || st.Throttles != tc.throttles {
+				t.Fatalf("market counters drifted: preemptions %d/%d revocations %d/%d throttles %d/%d",
+					st.Preemptions, tc.preemptions, st.Revocations, tc.revocations, st.Throttles, tc.throttles)
+			}
+			if res.Failovers < tc.revocations {
+				t.Errorf("%d revocations but only %d failovers — a revoked device was not failed over",
+					tc.revocations, res.Failovers)
+			}
+			if tc.cfg.MarketNaive {
+				if st.EvacuatedKVBytes != 0 {
+					t.Errorf("naive run evacuated %d KV bytes — naive mode must not react to notices", st.EvacuatedKVBytes)
+				}
+			} else if st.LostKVBytes > 0 && st.EvacuatedKVBytes == 0 {
+				t.Errorf("aware run lost %d KV bytes without evacuating any", st.LostKVBytes)
+			}
+		})
+	}
+}
+
+// TestSpotChaosSweep is the random-schedule safety net with the spot market
+// live: heterogeneous classes, price traces ticking, and schedules drawn from
+// the full fault grammar (reclaim and throttle included), in both placement
+// modes. Run under -race in CI.
+func TestSpotChaosSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short mode")
+	}
+	for seed := int64(300); seed < 308; seed++ {
+		cfg := Config{Seed: seed, RandomFaults: 6, MarketClasses: "H800,A10", Spot: true,
+			MarketNaive: seed%2 == 1}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, viol := range res.Violations {
+			t.Errorf("seed %d (spec %s): %s", seed, res.Spec, viol)
+		}
+		if res.Completed+res.Failed != res.Requests {
+			t.Fatalf("seed %d: completed %d + failed %d != %d requests",
+				seed, res.Completed, res.Failed, res.Requests)
+		}
+		if res.Market.Stats.PriceTicks == 0 {
+			t.Errorf("seed %d: spot run saw no price ticks", seed)
+		}
 	}
 }

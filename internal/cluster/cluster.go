@@ -13,6 +13,7 @@ import (
 	"aegaeon/internal/fault"
 	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/latency"
+	"aegaeon/internal/market"
 	"aegaeon/internal/metastore"
 	"aegaeon/internal/model"
 	"aegaeon/internal/obs"
@@ -83,6 +84,15 @@ type Config struct {
 	// overhead.
 	Fleet *fleetobs.Ledger
 
+	// Market, when non-nil, is the shared spot-market model threaded into
+	// every deployment: device classes cycle across the pool in build order,
+	// spot price traces feed the shared fleet ledger, and reclaim/throttle
+	// faults become deliverable through the cluster's fault surface. Like
+	// Fleet, the market keys devices by instance name, so it assumes the
+	// gateway's single-deployment layout (or per-deployment markets). Nil
+	// keeps every deployment market-free and byte-identical.
+	Market *market.Market
+
 	// Prefix, when non-nil, enables the global prefix cache in every
 	// deployment (each deployment gets its own cache over its own CPU KV
 	// pool; models are disjoint across deployments, so nothing is lost by
@@ -140,6 +150,7 @@ func New(se *sim.Engine, cfg Config) (*Cluster, error) {
 			Faults:     cfg.Faults,
 			Overload:   cfg.Overload,
 			Prefix:     cfg.Prefix,
+			Market:     cfg.Market,
 		})
 		dep := &Deployment{Name: dc.Name, TP: dc.TP, System: sys, models: map[string]bool{}}
 		for _, m := range dc.Models {
@@ -232,6 +243,9 @@ func (c *Cluster) Monitor() *slomon.Monitor { return c.cfg.SLOMon }
 
 // Fleet exposes the fleet utilization ledger (nil when accounting is off).
 func (c *Cluster) Fleet() *fleetobs.Ledger { return c.cfg.Fleet }
+
+// Market exposes the shared spot-market model (nil when not configured).
+func (c *Cluster) Market() *market.Market { return c.cfg.Market }
 
 // Routes returns the model -> deployment routing table (copy).
 func (c *Cluster) Routes() map[string]string {

@@ -10,7 +10,10 @@ import (
 	"aegaeon/internal/sim"
 )
 
-var _ fault.Surface = (*Cluster)(nil)
+var (
+	_ fault.Surface     = (*Cluster)(nil)
+	_ fault.SpotSurface = (*Cluster)(nil)
+)
 
 // Health monitoring and failover (Fig. 5: the proxy's metadata sync exists
 // "to ensure load balancing and fault tolerance"). Every instance maintains a
@@ -172,10 +175,64 @@ func (c *Cluster) CrashInstance(target string) error {
 	return fmt.Errorf("cluster: no instance %q", target)
 }
 
+// resolveInstance maps a "deployment/instance" or bare-instance target to the
+// owning deployment, mirroring CrashInstance's resolution rules.
+func (c *Cluster) resolveInstance(target string) (*Deployment, string, error) {
+	if dep, inst, ok := strings.Cut(target, "/"); ok {
+		for _, d := range c.deps {
+			if d.Name == dep {
+				return d, inst, nil
+			}
+		}
+		return nil, "", fmt.Errorf("cluster: no deployment %q", dep)
+	}
+	for _, d := range c.deps {
+		for _, name := range d.System.InstanceNames() {
+			if name == target {
+				return d, target, nil
+			}
+		}
+	}
+	return nil, "", fmt.Errorf("cluster: no instance %q", target)
+}
+
+// ReclaimInstance delivers a spot preemption notice: grace to evacuate, then
+// hard revocation. Needs Config.Market. Target resolution matches
+// CrashInstance.
+func (c *Cluster) ReclaimInstance(target string, grace sim.Time) error {
+	if c.cfg.Market == nil {
+		return fmt.Errorf("cluster: no market model configured")
+	}
+	d, inst, err := c.resolveInstance(target)
+	if err != nil {
+		return err
+	}
+	return d.System.ReclaimInstance(inst, grace)
+}
+
+// ThrottleInstance applies a thermal-throttle slowdown to one instance for d.
+func (c *Cluster) ThrottleInstance(target string, factor float64, d sim.Time) error {
+	dep, inst, err := c.resolveInstance(target)
+	if err != nil {
+		return err
+	}
+	return dep.System.ThrottleInstance(inst, factor, d)
+}
+
 // --- fault.Surface: the cluster is the injection seam for chaos harnesses ---
 
 // Crash implements fault.Surface.
 func (c *Cluster) Crash(target string) error { return c.CrashInstance(target) }
+
+// Reclaim implements fault.SpotSurface.
+func (c *Cluster) Reclaim(target string, grace sim.Time) error {
+	return c.ReclaimInstance(target, grace)
+}
+
+// Throttle implements fault.SpotSurface.
+func (c *Cluster) Throttle(target string, factor float64, d sim.Time) error {
+	return c.ThrottleInstance(target, factor, d)
+}
 
 // FailTransfers implements fault.Surface.
 func (c *Cluster) FailTransfers(target string, d sim.Time) error {

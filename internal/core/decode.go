@@ -286,7 +286,7 @@ func (d *decodeInstance) prefetchHideFloor(cur string) float64 {
 func (d *decodeInstance) kvSwapCost(b *dbatch) time.Duration {
 	m := d.sys.models[b.model]
 	bytes := m.ShardKVShape(d.sys.cfg.TP).BytesPerToken() * b.contextTokens()
-	return 2 * d.sys.cfg.Prof.PCIeCopy(bytes)
+	return 2 * d.eng.CostFor(m).Prof.PCIeCopy(bytes)
 }
 
 // quotaFor evaluates Eq. 2 for one batch given the round parameters. Two
@@ -492,6 +492,9 @@ func (d *decodeInstance) swapOutBatch(b *dbatch) []*gpu.Event {
 // prefetchUpcoming prefetches the next different model in the rotation
 // (§5.2: the time slice of a turn often completely hides it).
 func (d *decodeInstance) prefetchUpcoming() {
+	if d.turnIdx >= len(d.workList) {
+		return // work list drained mid-switch (spot evacuation)
+	}
 	cur := d.workList[d.turnIdx].model
 	for i := d.turnIdx + 1; i < len(d.workList); i++ {
 		if d.workList[i].model != cur {
@@ -695,6 +698,14 @@ func (d *decodeInstance) stepLoop(b *dbatch, turnEnd sim.Time, stepped bool) {
 	}
 	stepStart := d.eng.Sim().Now()
 	d.eng.DecodeStep(ctx, func() {
+		if d.dead {
+			// The instance fail-stopped (crash or spot revocation) while this
+			// step was on the GPU. Its requests were orphaned or evacuated and
+			// may already be re-homed with fresh sequences — or none at all —
+			// so the step's tokens must not be recorded against them.
+			d.running = false
+			return
+		}
 		stepDur := d.eng.Sim().Now() - stepStart
 		if d.sys.obs != nil {
 			d.sys.obs.TokenBatch(d.eng.Name, b.model, d.eng.Sim().Now(), requestIDs(stepReqs))

@@ -54,6 +54,18 @@ func (s *System) CrashDecodeInstance(idx int) error {
 			}
 		}
 	}
+	// The executing batch is normally a member of the work list, but a spot
+	// evacuation detaches it (the list is rebuilt while the turn is still in
+	// flight) and re-homed requests can rejoin it when the noticed instance
+	// is the last survivor — sweep it explicitly or they orphan nowhere.
+	if b := d.current; b != nil {
+		for _, r := range b.reqs {
+			if !r.terminal() && !seen[r] {
+				seen[r] = true
+				owned = append(owned, r)
+			}
+		}
+	}
 	for _, r := range d.pending {
 		if !r.terminal() && !seen[r] {
 			seen[r] = true

@@ -9,6 +9,7 @@ import (
 	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/kvcache"
 	"aegaeon/internal/latency"
+	"aegaeon/internal/market"
 	"aegaeon/internal/memory"
 	"aegaeon/internal/metrics"
 	"aegaeon/internal/model"
@@ -107,6 +108,14 @@ type Config struct {
 	// cache-free build.
 	Prefix *prefixcache.Config
 
+	// Market, when non-nil, is the spot-market model: heterogeneous device
+	// classes (each instance registers for a class whose profile sizes its
+	// compute, interconnect, and VRAM regions), spot price traces, preemption
+	// notices with KV evacuation ahead of the revocation deadline, and
+	// risk-adjusted placement. Nil keeps the pool homogeneous and the serving
+	// path byte-identical to a market-free build.
+	Market *market.Market
+
 	DaemonPoll time.Duration
 }
 
@@ -136,56 +145,13 @@ func (c *Config) applyDefaults() {
 		c.NodeGPUs = 8 // §7.1: eight GPUs per node
 	}
 	if c.WeightsRegionBytes == 0 || c.KVRegionBytes == 0 {
-		usable := int64(float64(c.Prof.VRAMBytes) * 0.9) // §5.2: ~10% left to the tensor library
-		var maxShard int64
-		for _, m := range c.Models {
-			if s := m.ShardWeightBytes(c.TP); s > maxShard {
-				maxShard = s
-			}
-		}
-		weights := maxShard + maxShard/16 // headroom for alignment
-		if c.Opts.Colocate {
-			// Colocation sizes the weights region for about three resident
-			// models — enough to amortize switches between the hot set
-			// without starving the KV cache (more residents would trade KV
-			// capacity for little extra switch savings; see the §8
-			// ablation).
-			w := 3*maxShard + maxShard/8
-			if max := usable - usable*15/100; w > max {
-				w = max
-			}
-			if w < weights {
-				w = weights // at least one model must fit
-			}
-			if c.WeightsRegionBytes == 0 {
-				c.WeightsRegionBytes = w
-			}
-			if c.KVRegionBytes == 0 {
-				c.KVRegionBytes = usable - c.WeightsRegionBytes
-				if c.KVRegionBytes < c.KVSlabBytes {
-					panic(fmt.Sprintf("core: no VRAM left for KV cache under colocation (weights %d, usable %d)",
-						c.WeightsRegionBytes, usable))
-				}
-			}
-			return
-		}
-		// Prefetch needs room for a second resident model, but never at the
-		// cost of starving the KV cache: require at least max(4 GiB, 8% of
-		// usable VRAM) left for KV afterwards (§7.4 disables prefetching on
-		// A10s for the same reason).
-		minKV := int64(float64(usable) * 0.08)
-		if minKV < 4<<30 {
-			minKV = 4 << 30
-		}
-		if c.Opts.Prefetch && usable-(2*weights+weights/8) >= minKV {
-			weights = 2*weights + weights/8 // room for a prefetched second model
-		} else {
-			c.Opts.Prefetch = false
-		}
+		w, _, prefetch := c.regionsFor(c.Prof)
+		c.Opts.Prefetch = prefetch
 		if c.WeightsRegionBytes == 0 {
-			c.WeightsRegionBytes = weights
+			c.WeightsRegionBytes = w
 		}
 		if c.KVRegionBytes == 0 {
+			usable := int64(float64(c.Prof.VRAMBytes) * 0.9)
 			c.KVRegionBytes = usable - c.WeightsRegionBytes
 			if c.KVRegionBytes < c.KVSlabBytes {
 				panic(fmt.Sprintf("core: no VRAM left for KV cache (weights %d, usable %d)",
@@ -193,6 +159,60 @@ func (c *Config) applyDefaults() {
 			}
 		}
 	}
+}
+
+// regionsFor derives the VRAM split applyDefaults gives a homogeneous pool,
+// for one device profile: the weights region, the KV region, and whether
+// prefetching a second model fits. Factored out so heterogeneous market
+// classes can size each instance for its own VRAM capacity.
+func (c *Config) regionsFor(prof *latency.Profile) (weights, kv int64, prefetch bool) {
+	usable := int64(float64(prof.VRAMBytes) * 0.9) // §5.2: ~10% left to the tensor library
+	var maxShard int64
+	for _, m := range c.Models {
+		if s := m.ShardWeightBytes(c.TP); s > maxShard {
+			maxShard = s
+		}
+	}
+	weights = maxShard + maxShard/16 // headroom for alignment
+	if c.Opts.Colocate {
+		// Colocation sizes the weights region for about three resident
+		// models — enough to amortize switches between the hot set
+		// without starving the KV cache (more residents would trade KV
+		// capacity for little extra switch savings; see the §8
+		// ablation).
+		w := 3*maxShard + maxShard/8
+		if max := usable - usable*15/100; w > max {
+			w = max
+		}
+		if w < weights {
+			w = weights // at least one model must fit
+		}
+		weights = w
+		kv = usable - weights
+		if kv < c.KVSlabBytes {
+			panic(fmt.Sprintf("core: no VRAM left for KV cache under colocation (weights %d, usable %d)",
+				weights, usable))
+		}
+		return weights, kv, c.Opts.Prefetch
+	}
+	// Prefetch needs room for a second resident model, but never at the
+	// cost of starving the KV cache: require at least max(4 GiB, 8% of
+	// usable VRAM) left for KV afterwards (§7.4 disables prefetching on
+	// A10s for the same reason).
+	minKV := int64(float64(usable) * 0.08)
+	if minKV < 4<<30 {
+		minKV = 4 << 30
+	}
+	if c.Opts.Prefetch && usable-(2*weights+weights/8) >= minKV {
+		weights = 2*weights + weights/8 // room for a prefetched second model
+		prefetch = true
+	}
+	kv = usable - weights
+	if kv < c.KVSlabBytes {
+		panic(fmt.Sprintf("core: no VRAM left for KV cache (weights %d, usable %d)",
+			weights, usable))
+	}
+	return weights, kv, prefetch
 }
 
 // System is one Aegaeon deployment: a pool of prefill and decoding
@@ -232,6 +252,11 @@ type System struct {
 	// engine name, until RecoverOrphansOf re-dispatches them.
 	orphans map[string][]*Request
 
+	// evacuating tracks, per noticed instance, the requests whose KV offload
+	// to the host tier is still in flight; they re-home when the transfer
+	// lands or fall through to the crash path at the revocation deadline.
+	evacuating map[string]map[*Request]bool
+
 	// Per-request decode waiting is derived at finish time.
 	kvSyncPerReq metrics.CDF // Fig. 15 right
 }
@@ -267,6 +292,7 @@ func NewSystem(se *sim.Engine, cfg Config) *System {
 			cfg.KVSlabBytes, cfg.BlockTokens),
 		models:      map[string]*model.Model{},
 		orphans:     map[string][]*Request{},
+		evacuating:  map[string]map[*Request]bool{},
 		shedReasons: map[string]int{},
 		tracker:     slo.NewTracker(),
 		mon:         cfg.SLOMon,
@@ -285,12 +311,24 @@ func NewSystem(se *sim.Engine, cfg Config) *System {
 		_ = s.modelCache.Insert(m.Name, m.WeightBytes())
 	}
 	mkEngine := func(name string) *engine.Engine {
+		prof, opts := cfg.Prof, cfg.Opts
+		weights, kvRegion := cfg.WeightsRegionBytes, cfg.KVRegionBytes
+		if cls := cfg.Market.Register(name); cls != nil && cls.Prof != nil && cls.Prof.Name != prof.Name {
+			// Heterogeneous pool: the instance runs its market class's
+			// hardware, with a VRAM split derived for that class's capacity
+			// (a 24 GB consumer card gets a smaller KV region and loses
+			// prefetch headroom, mirroring §7.4's A10 treatment).
+			prof = cls.Prof
+			var pf bool
+			weights, kvRegion, pf = cfg.regionsFor(prof)
+			opts.Prefetch = opts.Prefetch && pf
+		}
 		return engine.New(se, name, engine.Config{
-			Prof:               cfg.Prof,
+			Prof:               prof,
 			TP:                 cfg.TP,
-			Opts:               cfg.Opts,
-			WeightsRegionBytes: cfg.WeightsRegionBytes,
-			KVRegionBytes:      cfg.KVRegionBytes,
+			Opts:               opts,
+			WeightsRegionBytes: weights,
+			KVRegionBytes:      kvRegion,
 			KVSlabBytes:        cfg.KVSlabBytes,
 			BlockTokens:        cfg.BlockTokens,
 			ModelCache:         s.modelCache,
@@ -397,29 +435,93 @@ func (s *System) dispatchPrefill(r *Request) {
 			}
 			return
 		}
-		s.failRequest(r, "no surviving prefill capacity")
-		return
+		// Fall through: every instance is dead or market-excluded; the
+		// generic path below waives exclusions before failing the request.
 	}
 	for _, p := range s.prefills {
-		if !p.dead && p.tryJoinGroup(r) {
+		if !p.dead && s.marketAllows(p.eng.Name) && p.tryJoinGroup(r) {
 			return
 		}
 	}
-	var best *prefillInstance
-	var bestLoad time.Duration
-	for _, p := range s.prefills {
-		if p.dead {
-			continue
-		}
-		if l := p.load(); best == nil || l < bestLoad {
-			best, bestLoad = p, l
-		}
-	}
+	best := s.bestPrefill(r)
 	if best == nil {
 		s.failRequest(r, "no surviving prefill capacity")
 		return
 	}
 	best.newGroup(r)
+}
+
+// bestPrefill returns the surviving prefill instance with the lowest
+// market-adjusted load score. When every survivor is market-excluded (under
+// a reclaim notice, disqualified, or VRAM-starved) the exclusions are waived:
+// serving on a risky device beats failing the request.
+func (s *System) bestPrefill(r *Request) *prefillInstance {
+	pick := func(waive bool) *prefillInstance {
+		var best *prefillInstance
+		var bestScore time.Duration
+		for _, p := range s.prefills {
+			if p.dead {
+				continue
+			}
+			s.noteHeadroom(p.eng)
+			pen, ok := s.marketPenalty(p.eng.Name, p.eng.CostFor(r.Model).Switch())
+			if !ok && !waive {
+				continue
+			}
+			score := time.Duration(float64(p.load())/s.marketCapability(p.eng.Name)) + pen
+			if best == nil || score < bestScore {
+				best, bestScore = p, score
+			}
+		}
+		return best
+	}
+	if best := pick(false); best != nil {
+		return best
+	}
+	return pick(true)
+}
+
+// marketCapability is the capability divisor aware placement normalizes load
+// scores by: a queue on a device with 0.13 of the pool's best compute counts
+// ~8x its length, so weak consumer cards stop looking empty just because
+// their (slow) queues are short. 1 for homogeneous pools, dead devices, and
+// spot-naive mode — the naive baseline stays capability-blind by design.
+func (s *System) marketCapability(name string) float64 {
+	if !s.cfg.Market.Enabled() || !s.cfg.Market.Aware() {
+		return 1
+	}
+	if c := s.cfg.Market.CapabilityScore(name); c > 0 {
+		return c
+	}
+	return 1
+}
+
+// marketPenalty converts the market's placement risk for an instance into
+// load-score units (one penalty point ≈ one second of queued work);
+// ok=false means aware placement excludes the device. A nil market yields
+// (0, true), keeping dispatch byte-identical to the market-free build.
+func (s *System) marketPenalty(name string, switchCost time.Duration) (time.Duration, bool) {
+	pen, ok := s.cfg.Market.PlacementPenalty(name, switchCost)
+	return time.Duration(pen * float64(time.Second)), ok
+}
+
+// marketAllows reports whether aware placement may target the instance (the
+// fast-path join check; exclusions are waived only through best* fallbacks).
+func (s *System) marketAllows(name string) bool {
+	_, ok := s.cfg.Market.PlacementPenalty(name, 0)
+	return ok
+}
+
+// noteHeadroom refreshes the market's VRAM-headroom view of an instance from
+// its GPU KV pool occupancy, feeding the capability-scoring disqualification.
+func (s *System) noteHeadroom(e *engine.Engine) {
+	if !s.cfg.Market.Enabled() {
+		return
+	}
+	pool := e.KV().GPUCache.Pool()
+	if c := pool.Capacity(); c > 0 {
+		s.cfg.Market.NoteHeadroom(e.Name, 1-float64(pool.UsedBytes())/float64(c))
+	}
 }
 
 // routePrefix scores every live prefill instance as (queue load − expected
@@ -438,7 +540,12 @@ func (s *System) routePrefix(r *Request) *prefillInstance {
 		if p.dead {
 			continue
 		}
-		score := p.load()
+		s.noteHeadroom(p.eng)
+		pen, ok := s.marketPenalty(p.eng.Name, p.eng.CostFor(r.Model).Switch())
+		if !ok {
+			continue // under notice / disqualified; bestPrefill may waive later
+		}
+		score := p.load() + pen
 		matched, onDevice := s.prefix.MatchTokensOn(p.eng.Name, r.Model.Name, r.Segments, r.InputTokens)
 		if matched > 0 {
 			if full == 0 {
@@ -447,7 +554,7 @@ func (s *System) routePrefix(r *Request) *prefillInstance {
 			saved := p.eng.PrefillEstimate(r.Model, full) - p.eng.PrefillEstimate(r.Model, full-matched)
 			hostBytes := shape.BytesPerToken() * int64(matched-onDevice)
 			devBytes := shape.BytesPerToken() * int64(onDevice)
-			copyCost := s.cfg.Prof.PCIeCopy(hostBytes) + p.eng.CostFor(r.Model).OnDeviceCopy(devBytes)
+			copyCost := p.eng.CostFor(r.Model).Prof.PCIeCopy(hostBytes) + p.eng.CostFor(r.Model).OnDeviceCopy(devBytes)
 			if benefit := saved - copyCost; benefit > 0 {
 				score -= benefit
 			}
@@ -480,26 +587,46 @@ func (s *System) dispatchDecode(r *Request) {
 		return
 	}
 	for _, d := range s.decodes {
-		if !d.dead && d.hasRoomInModelBatch(r) {
+		if !d.dead && s.marketAllows(d.eng.Name) && d.hasRoomInModelBatch(r) {
 			d.enqueue(r)
 			return
 		}
 	}
-	var best *decodeInstance
-	bestLoad := 0
-	for _, d := range s.decodes {
-		if d.dead {
-			continue
-		}
-		if l := d.load(); best == nil || l < bestLoad {
-			best, bestLoad = d, l
-		}
-	}
+	best := s.bestDecode(r)
 	if best == nil {
 		s.failRequest(r, "no surviving decode capacity")
 		return
 	}
 	best.enqueue(r)
+}
+
+// bestDecode mirrors bestPrefill for the decoding pool: lowest work-list
+// load plus the market's risk penalty, waiving exclusions only when every
+// survivor is excluded.
+func (s *System) bestDecode(r *Request) *decodeInstance {
+	pick := func(waive bool) *decodeInstance {
+		var best *decodeInstance
+		var bestScore float64
+		for _, d := range s.decodes {
+			if d.dead {
+				continue
+			}
+			s.noteHeadroom(d.eng)
+			pen, ok := s.cfg.Market.PlacementPenalty(d.eng.Name, d.eng.EffectiveSwitchCost(r.Model))
+			if !ok && !waive {
+				continue
+			}
+			score := float64(d.load())/s.marketCapability(d.eng.Name) + pen
+			if best == nil || score < bestScore {
+				best, bestScore = d, score
+			}
+		}
+		return best
+	}
+	if best := pick(false); best != nil {
+		return best
+	}
+	return pick(true)
 }
 
 // sloFor returns the SLO governing requests to the named model.
@@ -797,6 +924,9 @@ func (s *System) Monitor() *slomon.Monitor { return s.mon }
 
 // Fleet exposes the fleet utilization ledger (nil when accounting is off).
 func (s *System) Fleet() *fleetobs.Ledger { return s.fleet }
+
+// Market exposes the spot-market model (nil when the market is off).
+func (s *System) Market() *market.Market { return s.cfg.Market }
 
 // Breakdown exposes the latency breakdown (call Finalize first).
 func (s *System) Breakdown() *metrics.Breakdown { return s.breakdown }

@@ -151,6 +151,10 @@ type Engine struct {
 
 	switching bool
 	stats     Stats
+
+	// throttle is the thermal-throttle slowdown on compute kernels (spot
+	// marketplace capability degradation); 0 or 1 means nominal speed.
+	throttle float64
 }
 
 // loadChunk bounds the duration of a single DMA operation for weight loads:
@@ -793,7 +797,7 @@ func (e *Engine) PrefillFor(reqID string, promptTokens int, done func()) {
 		panic("engine: Prefill with no model loaded")
 	}
 	e.stats.PrefillJobs++
-	dur := e.CostFor(e.current).Prefill(promptTokens)
+	dur := e.throttled(e.CostFor(e.current).Prefill(promptTokens))
 	e.compute.SubmitOp(gpu.Compute, dur,
 		gpu.OpInfo{Tag: "prefill", Model: e.current.Name, Request: reqID}, done)
 }
@@ -823,9 +827,28 @@ func (e *Engine) DecodeStep(contextTokens int64, done func()) {
 		panic("engine: DecodeStep with no model loaded")
 	}
 	e.stats.DecodeSteps++
-	dur := e.CostFor(e.current).DecodeStep(contextTokens)
+	dur := e.throttled(e.CostFor(e.current).DecodeStep(contextTokens))
 	e.compute.SubmitOp(gpu.Compute, dur,
 		gpu.OpInfo{Tag: "decode", Model: e.current.Name}, done)
+}
+
+// SetThrottle sets the thermal-throttle slowdown applied to compute kernels
+// (factor > 1 = slower; <= 1 restores nominal speed). Estimates are left
+// unthrottled on purpose: schedulers plan against nominal capability, the
+// market's capability score is what steers work away from hot devices.
+func (e *Engine) SetThrottle(factor float64) {
+	if factor < 1 {
+		factor = 0
+	}
+	e.throttle = factor
+}
+
+// throttled scales a compute duration by the live throttle factor.
+func (e *Engine) throttled(d time.Duration) time.Duration {
+	if e.throttle > 1 {
+		return time.Duration(float64(d) * e.throttle)
+	}
+	return d
 }
 
 // DecodeStepEstimate returns the t_k of Eq. 2 for a batch of the model with

@@ -40,6 +40,13 @@ const (
 	KindPartition Kind = "partition"
 	// KindStoreSlow multiplies metadata store RTT by Factor for Duration.
 	KindStoreSlow Kind = "storeslow"
+	// KindReclaim delivers a spot-market preemption notice for the target
+	// device: Duration is the grace window before hard revocation
+	// (reclaim@t[+grace]:device). Requires a target.
+	KindReclaim Kind = "reclaim"
+	// KindThrottle thermal-throttles the target device: compute slows by
+	// Factor for Duration. Requires a target.
+	KindThrottle Kind = "throttle"
 )
 
 // knownKinds maps spec tokens to kinds; also doubles as the validation set.
@@ -50,6 +57,8 @@ var knownKinds = map[string]Kind{
 	string(KindFetchSlow): KindFetchSlow,
 	string(KindPartition): KindPartition,
 	string(KindStoreSlow): KindStoreSlow,
+	string(KindReclaim):   KindReclaim,
+	string(KindThrottle):  KindThrottle,
 }
 
 // Fault is one scheduled failure.
@@ -79,6 +88,7 @@ func (f Fault) String() string {
 const (
 	defaultWindow = 10 * time.Second
 	defaultFactor = 4.0
+	defaultGrace  = 5 * time.Second
 )
 
 // ParseSpec parses a comma- or semicolon-separated fault schedule. Each item
@@ -176,6 +186,26 @@ func parseItem(item string) (Fault, error) {
 		if f.Factor == 0 {
 			f.Factor = defaultFactor
 		}
+	case KindReclaim:
+		if f.Factor != 0 {
+			return f, fmt.Errorf("reclaim takes no factor")
+		}
+		if f.Duration == 0 {
+			f.Duration = defaultGrace
+		}
+		if f.Target == "" {
+			return f, fmt.Errorf("reclaim needs a :device target")
+		}
+	case KindThrottle:
+		if f.Duration == 0 {
+			f.Duration = defaultWindow
+		}
+		if f.Factor == 0 {
+			f.Factor = defaultFactor
+		}
+		if f.Target == "" {
+			return f, fmt.Errorf("throttle needs a :device target")
+		}
 	}
 	if f.Kind == KindPartition || f.Kind == KindStoreSlow {
 		if f.Target != "" {
@@ -213,6 +243,10 @@ func RandomSchedule(rng *rand.Rand, horizon time.Duration, instances, models []s
 		return s[rng.Intn(len(s))]
 	}
 	kinds := []Kind{KindCrash, KindTransfer, KindFetchFail, KindFetchSlow, KindPartition, KindStoreSlow}
+	if len(instances) > 0 {
+		// The spot-market kinds need a concrete device target.
+		kinds = append(kinds, KindReclaim, KindThrottle)
+	}
 	out := make([]Fault, 0, n)
 	for i := 0; i < n; i++ {
 		f := Fault{
@@ -237,6 +271,13 @@ func RandomSchedule(rng *rand.Rand, horizon time.Duration, instances, models []s
 		case KindStoreSlow:
 			f.Duration = time.Duration(1+rng.Intn(10)) * time.Second
 			f.Factor = 2 + 8*rng.Float64()
+		case KindReclaim:
+			f.Target = pick(instances)
+			f.Duration = time.Duration(1+rng.Intn(8)) * time.Second
+		case KindThrottle:
+			f.Target = pick(instances)
+			f.Duration = time.Duration(2+rng.Intn(20)) * time.Second
+			f.Factor = 1.5 + 4*rng.Float64()
 		}
 		out = append(out, f)
 	}

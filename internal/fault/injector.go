@@ -25,6 +25,17 @@ type Surface interface {
 	SlowStore(factor float64, d sim.Time) error
 }
 
+// SpotSurface is the optional extension surfaces implement to accept the
+// spot-market fault kinds. The injector type-asserts for it when a reclaim
+// or throttle fault fires; surfaces without it reject those kinds.
+type SpotSurface interface {
+	// Reclaim delivers a spot preemption notice for the device: grace to
+	// evacuate, then hard revocation.
+	Reclaim(target string, grace sim.Time) error
+	// Throttle slows the device's compute by factor for d.
+	Throttle(target string, factor float64, d sim.Time) error
+}
+
 // Injector replays a fault schedule against a Surface on the sim clock.
 type Injector struct {
 	eng      *sim.Engine
@@ -68,6 +79,18 @@ func (in *Injector) fire(f Fault) {
 		err = in.surface.PartitionStore(f.Duration)
 	case KindStoreSlow:
 		err = in.surface.SlowStore(f.Factor, f.Duration)
+	case KindReclaim:
+		if ss, ok := in.surface.(SpotSurface); ok {
+			err = ss.Reclaim(f.Target, f.Duration)
+		} else {
+			err = fmt.Errorf("surface does not support spot faults")
+		}
+	case KindThrottle:
+		if ss, ok := in.surface.(SpotSurface); ok {
+			err = ss.Throttle(f.Target, f.Factor, f.Duration)
+		} else {
+			err = fmt.Errorf("surface does not support spot faults")
+		}
 	default:
 		err = fmt.Errorf("fault: unknown kind %q", f.Kind)
 	}

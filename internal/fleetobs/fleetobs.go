@@ -201,7 +201,20 @@ type devLedger struct {
 	kvUsed, kvPeak, kvCap int64
 
 	faulted bool
-	rate    float64 // $/GPU-hour
+
+	// Piecewise cost integration: costAccum holds the dollars accrued at
+	// past rates, rateSince is when the current rate took effect. SetRate
+	// closes the open segment at the change edge, so mid-run spot-price
+	// changes are never retroactive.
+	rate      float64 // $/GPU-hour
+	rateSince sim.Time
+	costAccum float64
+}
+
+// costAt is the piecewise cost integral at instant now: dollars accrued
+// across every closed rate segment plus the open one.
+func (d *devLedger) costAt(now sim.Time) float64 {
+	return d.costAccum + (now-d.rateSince).Hours()*d.rate
 }
 
 // Ledger is the fleet-wide time-weighted state ledger. Construct with New,
@@ -232,6 +245,7 @@ func (l *Ledger) register(name string) *devLedger {
 			modelBusy: map[string]time.Duration{},
 			tokens:    map[string]uint64{},
 			rate:      DefaultHourlyRate,
+			rateSince: l.eng.Now(),
 		}
 		l.devices[name] = d
 		l.order = append(l.order, name)
@@ -440,16 +454,23 @@ func (l *Ledger) NoteKV(device string, usedBytes, capacityBytes int64) {
 }
 
 // SetRate sets the device's cost rate in $/GPU-hour (spot pricing hook;
-// DefaultHourlyRate until called).
+// DefaultHourlyRate until called). Cost integrates piecewise: time before
+// this edge stays charged at the old rate, only time after accrues at the
+// new one.
 func (l *Ledger) SetRate(device string, dollarsPerHour float64) {
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if d := l.devices[device]; d != nil {
-		d.rate = dollarsPerHour
+	d := l.devices[device]
+	if d == nil {
+		return
 	}
+	now := l.eng.Now()
+	d.costAccum += (now - d.rateSince).Hours() * d.rate
+	d.rateSince = now
+	d.rate = dollarsPerHour
 }
 
 // Devices returns the registered device names in registration order.

@@ -183,9 +183,14 @@ func TestSnapshotDerivedMetrics(t *testing.T) {
 	if snap.Devices[0].KVPeakBytes != 1<<20 || snap.Devices[0].KVUsedBytes != 1<<10 {
 		t.Errorf("kv watermark: %+v", snap.Devices[0])
 	}
-	// dev1: 1s wall at $2.5/hr.
-	if got, want := snap.Devices[1].CostDollars, 2.5/3600; got != want {
+	// dev1: cost integrates piecewise — the whole 1s of wall time accrued
+	// at the default $1/hr; the $2.5 rate only applies from its edge (the
+	// snapshot instant), not retroactively.
+	if got, want := snap.Devices[1].CostDollars, 1.0/3600; got != want {
 		t.Errorf("dev1 cost %v, want %v", got, want)
+	}
+	if got := snap.Devices[1].HourlyRate; got != 2.5 {
+		t.Errorf("dev1 rate %v, want 2.5", got)
 	}
 	if len(snap.Models) != 2 {
 		t.Fatalf("models: %+v", snap.Models)
@@ -286,5 +291,57 @@ func TestClassify(t *testing.T) {
 		if got := Classify(c.k, gpu.OpInfo{Tag: c.tag}); got != c.want {
 			t.Errorf("Classify(%v, %q) = %v, want %v", c.k, c.tag, got, c.want)
 		}
+	}
+}
+
+// Mid-run rate changes must integrate cost piecewise at the change edges:
+// one hour at $1 then one hour at $5 is $6, not $10 (the latest rate applied
+// retroactively — the bug this test pins down).
+func TestSetRatePiecewiseCost(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := New(eng)
+	l.Register("dev0")
+
+	eng.At(time.Hour, func() { l.SetRate("dev0", 5) })
+	eng.At(2*time.Hour, func() {}) // run the clock out to t=2h
+	eng.Run()
+
+	snap := l.Snapshot(eng.Now())
+	if len(snap.Devices) != 1 {
+		t.Fatalf("%d devices", len(snap.Devices))
+	}
+	d := snap.Devices[0]
+	// Hour 1 at DefaultHourlyRate ($1) + hour 2 at $5.
+	want := 1.0*DefaultHourlyRate + 1.0*5
+	if diff := d.CostDollars - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("cost = $%.6f, want $%.6f (retroactive rate?)", d.CostDollars, want)
+	}
+	if d.HourlyRate != 5 {
+		t.Fatalf("hourly rate = %g, want 5", d.HourlyRate)
+	}
+	if snap.Fleet.CostDollars != d.CostDollars {
+		t.Fatalf("fleet cost %g != device cost %g", snap.Fleet.CostDollars, d.CostDollars)
+	}
+}
+
+// Several edges, including repeated rates and a same-instant double set.
+func TestSetRateManyEdges(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := New(eng)
+	l.Register("dev0")
+
+	eng.At(30*time.Minute, func() { l.SetRate("dev0", 2) })
+	eng.At(45*time.Minute, func() {
+		l.SetRate("dev0", 8)
+		l.SetRate("dev0", 4) // immediately corrected: zero-width segment at 8
+	})
+	eng.At(60*time.Minute, func() {})
+	eng.Run()
+
+	// 30m at $1 + 15m at $2 + 15m at $4 = 0.5 + 0.5 + 1.0.
+	want := 2.0
+	got := l.Snapshot(eng.Now()).Devices[0].CostDollars
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("cost = $%.6f, want $%.6f", got, want)
 	}
 }

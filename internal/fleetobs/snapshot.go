@@ -152,7 +152,7 @@ func (l *Ledger) Snapshot(now sim.Time) *Snapshot {
 			ds.SwitchRatio = float64(sw) / float64(wall)
 		}
 		ds.GPUHours = wall.Hours()
-		ds.CostDollars = wall.Hours() * d.rate
+		ds.CostDollars = d.costAt(now)
 		ds.Segments = make([]SegmentSnapshot, 0, len(d.segs)+1)
 		for _, sg := range d.segs {
 			ds.Segments = append(ds.Segments, SegmentSnapshot{

@@ -26,6 +26,7 @@ import (
 	"aegaeon/internal/core"
 	"aegaeon/internal/fault"
 	"aegaeon/internal/fleetobs"
+	"aegaeon/internal/market"
 	"aegaeon/internal/metrics"
 	"aegaeon/internal/obs"
 	"aegaeon/internal/overload"
@@ -87,6 +88,13 @@ type Options struct {
 	// cluster.Config.Fleet so scrapes read the one source of truth. Nil
 	// makes /debug/fleet answer 404 and omits the fleet families.
 	Fleet *fleetobs.Ledger
+	// Market, when non-nil, is the spot-market model backing /debug/market
+	// and the aegaeon_market_* metric families — per-device price and
+	// eligibility, preemption records with evacuated-vs-lost KV accounting,
+	// and per-class economics joined against the fleet ledger. Share the
+	// same market with cluster.Config.Market. Nil makes /debug/market
+	// answer 404 and omits the market families.
+	Market *market.Market
 	// Pprof also mounts net/http/pprof's profiling handlers under
 	// /debug/pprof/ on the gateway mux, so CPU and heap profiles of the
 	// live serving path are one curl away.
@@ -322,6 +330,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/debug/overload", g.handleDebugOverload)
 	mux.HandleFunc("/debug/prefix", g.handleDebugPrefix)
 	mux.HandleFunc("/debug/fleet", g.handleDebugFleet)
+	mux.HandleFunc("/debug/market", g.handleDebugMarket)
 	if g.opts.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

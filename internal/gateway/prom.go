@@ -10,6 +10,7 @@ import (
 
 	"aegaeon/internal/fault"
 	"aegaeon/internal/fleetobs"
+	"aegaeon/internal/market"
 	"aegaeon/internal/metrics"
 	"aegaeon/internal/prefixcache"
 	"aegaeon/internal/slomon"
@@ -181,6 +182,14 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		// The ledger carries its own lock; only the virtual clock (already
 		// snapshotted above) needed the event loop.
 		writeFleetMetrics(&b, g.opts.Fleet.Snapshot(virtual))
+	}
+
+	if g.opts.Market != nil {
+		var fleetSnap *fleetobs.Snapshot
+		if g.opts.Fleet != nil {
+			fleetSnap = g.opts.Fleet.Snapshot(virtual)
+		}
+		writeMarketMetrics(&b, g.opts.Market.Snapshot(virtual, fleetSnap))
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -446,6 +455,94 @@ func writeFleetMetrics(b *strings.Builder, snap *fleetobs.Snapshot) {
 	fmt.Fprintf(b, "aegaeon_fleet_gpu_hours %g\n", snap.Fleet.GPUHours)
 	gauge("aegaeon_fleet_conservation_errors", "Accounting-invariant violations detected at snapshot (0 in a correct build).")
 	fmt.Fprintf(b, "aegaeon_fleet_conservation_errors %d\n", len(snap.ConservationErrors))
+}
+
+// writeMarketMetrics renders the spot-market model's families: per-device
+// price and eligibility gauges, preemption-lifecycle counters, the
+// evacuated-vs-lost KV byte split, and per-class economics. Device and class
+// series are emitted in snapshot order (devices register in pool-build order;
+// classes are sorted by name); every family carries # HELP and # TYPE.
+func writeMarketMetrics(b *strings.Builder, snap *market.Snapshot) {
+	if snap == nil {
+		return
+	}
+	counter := func(name, help string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+
+	gauge("aegaeon_market_spot", "Whether spot pricing and reclaim risk are active (1) or on-demand (0).")
+	fmt.Fprintf(b, "aegaeon_market_spot %d\n", b2i(snap.Spot))
+	gauge("aegaeon_market_aware", "Whether preemption-aware placement and KV evacuation are on.")
+	fmt.Fprintf(b, "aegaeon_market_aware %d\n", b2i(snap.Aware))
+
+	gauge("aegaeon_market_device_rate_dollars_per_hour", "Current per-device price on its class's trace.")
+	for _, d := range snap.Devices {
+		fmt.Fprintf(b, "aegaeon_market_device_rate_dollars_per_hour{device=%q,class=%q} %g\n",
+			d.Device, d.Class, d.RateDollarsPerHour)
+	}
+	gauge("aegaeon_market_device_eligible", "Whether placement may target the device (not noticed, revoked, disqualified, or VRAM-starved).")
+	for _, d := range snap.Devices {
+		fmt.Fprintf(b, "aegaeon_market_device_eligible{device=%q,class=%q} %d\n",
+			d.Device, d.Class, b2i(d.Eligible))
+	}
+	gauge("aegaeon_market_device_under_notice", "Whether the device has an open preemption notice.")
+	for _, d := range snap.Devices {
+		fmt.Fprintf(b, "aegaeon_market_device_under_notice{device=%q} %d\n", d.Device, b2i(d.UnderNotice))
+	}
+	gauge("aegaeon_market_device_capability_score", "Class compute relative to the strongest class, discounted by any live throttle.")
+	for _, d := range snap.Devices {
+		fmt.Fprintf(b, "aegaeon_market_device_capability_score{device=%q,class=%q} %g\n",
+			d.Device, d.Class, d.CapabilityScore)
+	}
+
+	st := snap.Stats
+	counter("aegaeon_market_preemptions_total", "Spot reclaim notices delivered.")
+	fmt.Fprintf(b, "aegaeon_market_preemptions_total %d\n", st.Preemptions)
+	counter("aegaeon_market_revocations_total", "Reclaim deadlines that fired (device fail-stopped).")
+	fmt.Fprintf(b, "aegaeon_market_revocations_total %d\n", st.Revocations)
+	counter("aegaeon_market_deadlines_missed_total", "Revocations that caught KV still on-device.")
+	fmt.Fprintf(b, "aegaeon_market_deadlines_missed_total %d\n", st.DeadlinesMissed)
+	counter("aegaeon_market_kv_bytes_total", "KV bytes by preemption outcome: evacuated ahead of the deadline, lost at revocation, or prefix copies re-homed to the host tier.")
+	fmt.Fprintf(b, "aegaeon_market_kv_bytes_total{outcome=\"evacuated\"} %d\n", st.EvacuatedKVBytes)
+	fmt.Fprintf(b, "aegaeon_market_kv_bytes_total{outcome=\"lost\"} %d\n", st.LostKVBytes)
+	fmt.Fprintf(b, "aegaeon_market_kv_bytes_total{outcome=\"rehomed_prefix\"} %d\n", st.RehomedPrefixBytes)
+	counter("aegaeon_market_throttles_total", "Thermal-throttle windows applied.")
+	fmt.Fprintf(b, "aegaeon_market_throttles_total %d\n", st.Throttles)
+	counter("aegaeon_market_disqualifications_total", "Devices disqualified by error-rate eviction.")
+	fmt.Fprintf(b, "aegaeon_market_disqualifications_total %d\n", st.Disqualifications)
+	counter("aegaeon_market_price_ticks_total", "Price-trace steps across the fleet.")
+	fmt.Fprintf(b, "aegaeon_market_price_ticks_total %d\n", st.PriceTicks)
+
+	gauge("aegaeon_market_class_devices", "Registered devices per class.")
+	for _, c := range snap.Classes {
+		fmt.Fprintf(b, "aegaeon_market_class_devices{class=%q} %d\n", c.Class, c.Devices)
+	}
+	gauge("aegaeon_market_class_mean_rate_dollars_per_hour", "Mean current price across the class's devices.")
+	for _, c := range snap.Classes {
+		fmt.Fprintf(b, "aegaeon_market_class_mean_rate_dollars_per_hour{class=%q} %g\n", c.Class, c.MeanRate)
+	}
+	counter("aegaeon_market_class_cost_dollars_total", "Accumulated cost per class from the fleet ledger's integral.")
+	for _, c := range snap.Classes {
+		fmt.Fprintf(b, "aegaeon_market_class_cost_dollars_total{class=%q} %g\n", c.Class, c.CostDollars)
+	}
+	gauge("aegaeon_market_class_dollars_per_1k_tokens", "Per-class unit economics: cost over goodput tokens, times 1000.")
+	for _, c := range snap.Classes {
+		fmt.Fprintf(b, "aegaeon_market_class_dollars_per_1k_tokens{class=%q} %g\n", c.Class, c.DollarsPer1KTokens)
+	}
+	counter("aegaeon_market_class_preemptions_total", "Reclaim notices per class.")
+	for _, c := range snap.Classes {
+		fmt.Fprintf(b, "aegaeon_market_class_preemptions_total{class=%q} %d\n", c.Class, c.Preemptions)
+	}
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // writeHistogram renders exact cumulative buckets in the Prometheus

@@ -1,0 +1,158 @@
+package aegaeon
+
+import (
+	"testing"
+	"time"
+)
+
+// The full spot-market flow through the public API: heterogeneous classes,
+// spot pricing, a reclaim delivered via the fault-spec grammar, and the
+// market snapshot joined against the fleet ledger in the report.
+func TestMarketReclaimThroughPublicAPI(t *testing.T) {
+	sys, err := New(Config{
+		PrefillGPUs: 1, DecodeGPUs: 3,
+		Models:        SmallModels(6),
+		Market:        true,
+		MarketClasses: "H800,A10",
+		MarketSpot:    true,
+		Faults:        "reclaim@45s+5s:decode1,throttle@20s+15s*4:decode0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := sys.GenerateTrace(TraceSpec{RatePerModel: 0.3, Horizon: 2 * time.Minute})
+	rep, err := sys.Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != rep.Requests {
+		t.Fatalf("completed %d/%d through a reclaim", rep.Completed, rep.Requests)
+	}
+	if rep.FaultsInjected != 2 {
+		t.Fatalf("faults injected = %d, want 2", rep.FaultsInjected)
+	}
+	m := rep.Market
+	if m == nil {
+		t.Fatal("Report.Market nil with Config.Market set")
+	}
+	if !m.Spot || !m.Aware {
+		t.Fatalf("snapshot spot=%v aware=%v", m.Spot, m.Aware)
+	}
+	if m.Stats.Preemptions != 1 || m.Stats.Revocations != 1 {
+		t.Fatalf("preemptions=%d revocations=%d", m.Stats.Preemptions, m.Stats.Revocations)
+	}
+	if m.Stats.EvacuatedKVBytes == 0 {
+		t.Fatal("aware reclaim evacuated no KV")
+	}
+	if m.Stats.Throttles != 1 {
+		t.Fatalf("throttles = %d", m.Stats.Throttles)
+	}
+	if m.Stats.PriceTicks == 0 {
+		t.Fatal("spot pricing ticked zero times")
+	}
+	if len(m.Devices) != 4 {
+		t.Fatalf("%d devices in snapshot", len(m.Devices))
+	}
+	// Market implies fleet accounting, and class economics must join against
+	// it: two classes, each with cost and tokens.
+	if rep.Fleet == nil {
+		t.Fatal("Config.Market did not imply FleetAccounting")
+	}
+	if len(m.Classes) != 2 {
+		t.Fatalf("%d classes, want 2 (H800, A10)", len(m.Classes))
+	}
+	for _, c := range m.Classes {
+		if c.CostDollars <= 0 {
+			t.Fatalf("class %s has no cost integral", c.Class)
+		}
+		if c.Tokens == 0 || c.DollarsPer1KTokens <= 0 {
+			t.Fatalf("class %s: tokens=%d $/1k=%v", c.Class, c.Tokens, c.DollarsPer1KTokens)
+		}
+	}
+}
+
+// Reliable arm: market on, spot off. Flat on-demand rates, no reclaim risk,
+// and reclaim faults are still deliverable (a reserved device can be taken
+// back too — e.g. maintenance), priced at on-demand.
+func TestMarketReliableArmFlatRates(t *testing.T) {
+	sys, err := New(Config{
+		PrefillGPUs: 1, DecodeGPUs: 2,
+		Models: SmallModels(4),
+		Market: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := sys.GenerateTrace(TraceSpec{RatePerModel: 0.1, Horizon: time.Minute})
+	rep, err := sys.Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Market
+	if m == nil {
+		t.Fatal("Report.Market nil")
+	}
+	if m.Spot || m.Stats.PriceTicks != 0 {
+		t.Fatalf("reliable arm: spot=%v ticks=%d", m.Spot, m.Stats.PriceTicks)
+	}
+	for _, d := range m.Devices {
+		if d.RateDollarsPerHour != 12.0 { // H800 on-demand
+			t.Fatalf("device %s rate %v, want flat on-demand 12.0", d.Device, d.RateDollarsPerHour)
+		}
+		if !d.Eligible {
+			t.Fatalf("device %s ineligible in reliable arm", d.Device)
+		}
+	}
+}
+
+// Spot-naive arm: reclaim loses GPU-resident KV to the crash path, and the
+// run still completes via recovery.
+func TestMarketNaiveArmLosesKV(t *testing.T) {
+	sys, err := New(Config{
+		PrefillGPUs: 1, DecodeGPUs: 3,
+		Models:      SmallModels(6),
+		Market:      true,
+		MarketSpot:  true,
+		MarketNaive: true,
+		Faults:      "reclaim@45s+5s:decode1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := sys.GenerateTrace(TraceSpec{RatePerModel: 0.3, Horizon: 2 * time.Minute})
+	rep, err := sys.Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != rep.Requests {
+		t.Fatalf("completed %d/%d", rep.Completed, rep.Requests)
+	}
+	m := rep.Market
+	if m.Aware {
+		t.Fatal("naive arm reported aware")
+	}
+	if m.Stats.EvacuatedKVBytes != 0 {
+		t.Fatalf("naive arm evacuated %d bytes", m.Stats.EvacuatedKVBytes)
+	}
+	if m.Stats.LostKVBytes == 0 {
+		t.Fatal("naive reclaim lost nothing — instance idle at t=45s?")
+	}
+	if m.Stats.DeadlinesMissed != 1 {
+		t.Fatalf("deadlines missed = %d", m.Stats.DeadlinesMissed)
+	}
+}
+
+// Reclaim faults without a market model must be rejected at injection.
+func TestReclaimFaultNeedsMarket(t *testing.T) {
+	sys, err := New(Config{
+		PrefillGPUs: 1, DecodeGPUs: 2, NumModels: 4,
+		Faults: "reclaim@30s+5s:decode0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := sys.GenerateTrace(TraceSpec{RatePerModel: 0.05, Horizon: time.Minute})
+	if _, err := sys.Serve(trace); err == nil {
+		t.Fatal("reclaim injected without Config.Market")
+	}
+}
