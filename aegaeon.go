@@ -28,6 +28,7 @@ import (
 
 	"aegaeon/internal/baselines"
 	"aegaeon/internal/core"
+	"aegaeon/internal/decision"
 	"aegaeon/internal/engine"
 	"aegaeon/internal/fault"
 	"aegaeon/internal/fleetobs"
@@ -148,6 +149,15 @@ type Config struct {
 	// prefix, as a bounded credit against queue depth — never an override of
 	// load balance or admission control. Implies PrefixCache.
 	PrefixRouting bool
+	// Decisions enables the decision-provenance journal: every policy
+	// decision — admission, overload ladder transitions, shedding, prefill
+	// routing (with per-candidate score terms), decode placement, preemptive
+	// switches, KV and prefix-cache eviction victims, spot evacuation
+	// ordering — records its evidence, stamped with virtual time and linked
+	// to request IDs. The journal is exportable via WriteDecisions and
+	// reachable live via Decisions; records are deterministic functions of
+	// the seed. Off by default; the disabled path is allocation-free.
+	Decisions bool
 	// FleetAccounting enables the fleet utilization ledger: every simulated
 	// GPU-second is classified into one exhaustive, mutually exclusive state
 	// (idle, prefill, decode, each §5 switch stage, weight-load, KV
@@ -210,6 +220,7 @@ type System struct {
 	ovl      *overload.Controller
 	fleet    *fleetobs.Ledger
 	mkt      *market.Market
+	dec      *decision.Journal
 }
 
 // New builds a system.
@@ -328,6 +339,10 @@ func New(cfg Config) (*System, error) {
 			Seed:    cfg.Seed,
 		})
 	}
+	var dec *decision.Journal
+	if cfg.Decisions {
+		dec = decision.New(decision.Options{})
+	}
 	sys := core.NewSystem(se, core.Config{
 		Prof:       prof,
 		TP:         cfg.TP,
@@ -343,8 +358,9 @@ func New(cfg Config) (*System, error) {
 		Overload:   ovl,
 		Prefix:     pfx,
 		Market:     mkt,
+		Decisions:  dec,
 	})
-	return &System{cfg: cfg, eng: se, sys: sys, models: models, flt: flt, sched: sched, ovl: ovl, fleet: fleet, mkt: mkt}, nil
+	return &System{cfg: cfg, eng: se, sys: sys, models: models, flt: flt, sched: sched, ovl: ovl, fleet: fleet, mkt: mkt, dec: dec}, nil
 }
 
 // Models returns the models the system serves.
@@ -591,6 +607,20 @@ func (s *System) Fleet() *fleetobs.Ledger { return s.fleet }
 // built with Config.Market.
 func (s *System) Market() *market.Market { return s.mkt }
 
+// Decisions returns the decision-provenance journal, or nil unless the system
+// was built with Config.Decisions.
+func (s *System) Decisions() *decision.Journal { return s.dec }
+
+// WriteDecisions exports the decision journal as versioned, deterministic
+// JSON: the flat record ring in sequence order plus every retained
+// per-request chain. `aegaeon-trace -mode why` reads this format.
+func (s *System) WriteDecisions(w io.Writer) error {
+	if s.dec == nil {
+		return fmt.Errorf("aegaeon: decision journal disabled; build the system with Config.Decisions")
+	}
+	return s.dec.WriteJSON(w)
+}
+
 // EventsProcessed returns how many discrete events the simulation kernel has
 // fired — the numerator of the kernel's events/sec self-metric.
 func (s *System) EventsProcessed() uint64 { return s.eng.Processed() }
@@ -604,13 +634,35 @@ func (s *System) Collector() *obs.Collector { return s.sys.Collector() }
 
 // WritePerfetto exports everything the collector captured — request span
 // trees, per-device-engine op timelines, and stage-attributed model
-// switches — as Chrome trace-event JSON loadable at ui.perfetto.dev.
+// switches — as Chrome trace-event JSON loadable at ui.perfetto.dev. When the
+// decision journal is also on, each journaled decision appears as an instant
+// event on its request's track.
 func (s *System) WritePerfetto(w io.Writer) error {
 	c := s.sys.Collector()
 	if c == nil {
 		return fmt.Errorf("aegaeon: tracing disabled; build the system with Config.Tracing")
 	}
-	return c.WritePerfetto(w)
+	var ann []obs.RequestInstant
+	if s.dec != nil {
+		for _, ch := range s.dec.Chains() {
+			for _, rec := range ch.Records {
+				args := map[string]any{"outcome": rec.Outcome}
+				if rec.Reason != "" {
+					args["reason"] = rec.Reason
+				}
+				if rec.Instance != "" {
+					args["instance"] = rec.Instance
+				}
+				ann = append(ann, obs.RequestInstant{
+					Request: ch.Request,
+					Name:    "decision:" + rec.Kind,
+					At:      rec.At,
+					Args:    args,
+				})
+			}
+		}
+	}
+	return c.WritePerfettoAnnotated(w, ann)
 }
 
 // crashDetectionDelay emulates the proxy's health-lease detection window

@@ -17,6 +17,9 @@
 //	GET  /debug/market     spot-market state: per-device price/eligibility, preemption records, class economics (with -market)
 //	GET  /debug/pprof/     net/http/pprof profiling handlers (with -pprof)
 //	GET  /debug/dash       dependency-free live HTML dashboard (SSE; fleet heatmap with -fleet)
+//	GET  /debug            index of every registered debug endpoint
+//	GET  /debug/decisions  decision-provenance ring: recent records, kind/outcome counters
+//	GET  /debug/why/X      one request's decision chain joined with its span timeline
 //
 // Example:
 //
@@ -39,6 +42,7 @@ import (
 	"time"
 
 	"aegaeon/internal/cluster"
+	"aegaeon/internal/decision"
 	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/gateway"
 	"aegaeon/internal/latency"
@@ -78,6 +82,7 @@ func main() {
 	marketSpot := flag.Bool("market-spot", false, "activate spot pricing and reclaim risk (with -market)")
 	marketNaive := flag.Bool("market-naive", false, "disable preemption-aware placement and KV evacuation: the spot-naive baseline arm (with -market)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+	noWhy := flag.Bool("no-decisions", false, "disable the decision-provenance journal and the /debug/decisions + /debug/why/{id} endpoints")
 	flag.Parse()
 	if *overloadOn {
 		*noSLO = false // brownout steps off burn-rate alerts
@@ -132,15 +137,23 @@ func main() {
 			Seed:    *seed,
 		})
 	}
+	// One journal shared between the cluster (routing, switch, eviction, and
+	// terminal records on the event loop) and the gateway (edge admission
+	// verdicts, /debug/why, metrics), so a request's chain spans both layers.
+	var dec *decision.Journal
+	if !*noWhy {
+		dec = decision.New(decision.Options{})
+	}
 	cl, err := cluster.New(se, cluster.Config{
-		Prof:     prof,
-		SLO:      slo.Default(),
-		Obs:      col,
-		SLOMon:   mon,
-		Overload: ovl,
-		Prefix:   pfx,
-		Fleet:    fleet,
-		Market:   mkt,
+		Prof:      prof,
+		SLO:       slo.Default(),
+		Obs:       col,
+		SLOMon:    mon,
+		Overload:  ovl,
+		Prefix:    pfx,
+		Fleet:     fleet,
+		Market:    mkt,
+		Decisions: dec,
 		Deployments: []cluster.DeploymentConfig{{
 			Name:       "live",
 			TP:         *tp,
@@ -172,6 +185,7 @@ func main() {
 		SLOMon:           mon,
 		Fleet:            fleet,
 		Market:           mkt,
+		Decisions:        dec,
 		Pprof:            *pprofOn,
 	}
 	if *overloadOn {

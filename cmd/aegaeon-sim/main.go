@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"aegaeon"
+	"aegaeon/internal/decision"
 	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/market"
 	"aegaeon/internal/slomon"
@@ -146,6 +147,19 @@ func printMarketReport(s *market.Snapshot) {
 	}
 }
 
+// printWhyReport renders the decision journal's summary: how many decisions
+// were journaled, how many request chains are retained, and the kind/outcome
+// counters — the at-a-glance answer to "what did the schedulers decide, and
+// how often". The full evidence (inputs, candidate scores, chains) goes to
+// -why-json.
+func printWhyReport(j *decision.Journal) {
+	fmt.Printf("--- decision journal (%d decisions, %d request chains) ---\n",
+		j.Total(), j.TrackedRequests())
+	for _, c := range j.Counts() {
+		fmt.Printf("decision %-20s %-22s %d\n", c.Kind, c.Outcome, c.N)
+	}
+}
+
 // kernelMetrics are the simulation kernel's self-metrics for one run — the
 // substrate's own throughput, independent of what the simulated fleet did.
 type kernelMetrics struct {
@@ -234,6 +248,8 @@ func main() {
 		mktBench   = flag.String("market-bench", "", "run the three-arm spot-market benchmark (reliable / spot_naive / spot_aware on one trace) and write BENCH JSON here")
 		mktAssert  = flag.Bool("market-assert", false, "assert the -market-bench floors: spot_aware loses >=50% fewer KV bytes than spot_naive, no attainment or $-per-1k regression")
 		smallMix   = flag.Bool("small-models", false, "serve the 6-8B small-model mix instead of the default 6-15B market mix (fits 24 GB market classes like A10/RTX4090)")
+		whyOn      = flag.Bool("why", false, "enable the decision-provenance journal and print the why-trace summary (aegaeon system only)")
+		whyJSON    = flag.String("why-json", "", "write the decision journal export as JSON to this file, checkable with aegaeon-trace -mode why (implies -why)")
 	)
 	flag.Parse()
 	if *sloJSON != "" {
@@ -244,6 +260,9 @@ func main() {
 	}
 	if *marketOn {
 		*fleetOn = true // class economics join against the fleet ledger
+	}
+	if *whyJSON != "" {
+		*whyOn = true
 	}
 	if *perfetto != "" && *system != "aegaeon" {
 		fmt.Fprintln(os.Stderr, "-perfetto requires -system aegaeon (baselines are not instrumented)")
@@ -275,6 +294,10 @@ func main() {
 	}
 	if (*marketOn || *mktBench != "") && *system != "aegaeon" {
 		fmt.Fprintln(os.Stderr, "-market requires -system aegaeon (baselines have no market model)")
+		os.Exit(2)
+	}
+	if *whyOn && *system != "aegaeon" {
+		fmt.Fprintln(os.Stderr, "-why requires -system aegaeon (baselines journal no decisions)")
 		os.Exit(2)
 	}
 	var wk aegaeon.WorkloadKind
@@ -367,6 +390,7 @@ func main() {
 		MarketSpot:           *mktSpot,
 		MarketNaive:          *mktNaive,
 		Faults:               *faults,
+		Decisions:            *whyOn,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -483,6 +507,24 @@ func main() {
 
 	if rep.Market != nil {
 		printMarketReport(rep.Market)
+	}
+
+	if *whyOn {
+		printWhyReport(sys.Decisions())
+	}
+	if *whyJSON != "" {
+		f, err := os.Create(*whyJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.WriteDecisions(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("decision journal  %s (schema v%d, check with aegaeon-trace -mode why)\n",
+			*whyJSON, decision.SchemaVersion)
 	}
 
 	if *kernelJSON != "" {

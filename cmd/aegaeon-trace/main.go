@@ -2,8 +2,10 @@
 // the Fig. 1(a) popularity CDF, the Fig. 1(b) burst timeline, and summary
 // statistics of synthesized Poisson traces, optionally emitting the trace
 // as CSV for external tools. It also validates Perfetto execution traces
-// exported by aegaeon-sim (-mode validate -perfetto trace.json) and SLO
-// monitor snapshots (-mode validate-slo -slo BENCH_slo.json).
+// exported by aegaeon-sim (-mode validate -perfetto trace.json), SLO
+// monitor snapshots (-mode validate-slo -slo BENCH_slo.json), and decision
+// journals (-mode why -why journal.json [-request id]), pretty-printing the
+// why-trace after the structural gate passes.
 package main
 
 import (
@@ -12,8 +14,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
+	"aegaeon/internal/decision"
 	"aegaeon/internal/obs"
 	"aegaeon/internal/slomon"
 	"aegaeon/internal/theory"
@@ -22,7 +27,7 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "market", "market, burst, poisson, validate, validate-slo")
+		mode     = flag.String("mode", "market", "market, burst, poisson, validate, validate-slo, why")
 		nModels  = flag.Int("models", 779, "number of models")
 		zipfS    = flag.Float64("zipf", 2.0, "Zipf exponent for market popularity")
 		rps      = flag.Float64("rps", 0.1, "per-model rate for poisson mode")
@@ -31,6 +36,8 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit the trace as CSV on stdout")
 		perfetto = flag.String("perfetto", "", "Perfetto JSON to check in validate mode")
 		sloFile  = flag.String("slo", "", "SLO snapshot JSON to check in validate-slo mode")
+		whyFile  = flag.String("why", "", "decision journal JSON to check and print in why mode")
+		request  = flag.String("request", "", "print one request's full decision chain in why mode (default: summary + chain digests)")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
@@ -128,8 +135,108 @@ func main() {
 		fmt.Printf("%s: valid SLO snapshot (schema v%d, %d models, fleet alert %s)\n",
 			*sloFile, snap.SchemaVersion, len(snap.Models), snap.Fleet.Alert.State)
 
+	case "why":
+		if *whyFile == "" {
+			fmt.Fprintln(os.Stderr, "why mode needs -why journal.json")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(*whyFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var exp decision.Export
+		if err := json.Unmarshal(data, &exp); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: not a JSON decision journal: %v\n", *whyFile, err)
+			os.Exit(1)
+		}
+		if err := decision.Validate(&exp); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: invalid: %v\n", *whyFile, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid decision journal (schema v%d, %d decisions, %d retained, %d chains)\n",
+			*whyFile, exp.SchemaVersion, exp.Total, len(exp.Records), len(exp.Chains))
+		if *request != "" {
+			for _, c := range exp.Chains {
+				if c.Request == *request {
+					printWhyChain(c)
+					return
+				}
+			}
+			fmt.Fprintf(os.Stderr, "%s: no chain for request %q\n", *whyFile, *request)
+			os.Exit(1)
+		}
+		printWhySummary(&exp)
+
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
+	}
+}
+
+// printWhySummary renders the journal at a glance: decision counts by kind
+// and outcome, then a one-line digest per retained chain (its kind sequence
+// and terminal outcome) so a failing request is findable without jq.
+func printWhySummary(exp *decision.Export) {
+	type ko struct{ kind, outcome string }
+	counts := map[ko]int{}
+	var order []ko
+	for _, r := range exp.Records {
+		k := ko{r.Kind, r.Outcome}
+		if counts[k] == 0 {
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].kind != order[j].kind {
+			return order[i].kind < order[j].kind
+		}
+		return order[i].outcome < order[j].outcome
+	})
+	for _, k := range order {
+		fmt.Printf("decision %-20s %-22s %d\n", k.kind, k.outcome, counts[k])
+	}
+	for _, c := range exp.Chains {
+		var kinds []string
+		for _, r := range c.Records {
+			kinds = append(kinds, r.Kind)
+		}
+		last := c.Records[len(c.Records)-1]
+		fmt.Printf("chain %-12s %-8s %s\n", c.Request, last.Outcome, strings.Join(kinds, " -> "))
+	}
+}
+
+// printWhyChain renders one request's full decision chain: every record with
+// its virtual timestamp, outcome, reason, evidence inputs, and — where the
+// decision weighed alternatives — the candidate set with per-term score
+// decompositions, the chosen one marked.
+func printWhyChain(c decision.ChainExport) {
+	fmt.Printf("why %s (%d decisions):\n", c.Request, len(c.Records))
+	for _, r := range c.Records {
+		fmt.Printf("  [%12s] %-18s %-22s", time.Duration(r.At), r.Kind, r.Outcome)
+		if r.Instance != "" {
+			fmt.Printf(" @%s", r.Instance)
+		}
+		if r.Reason != "" {
+			fmt.Printf("  (%s)", r.Reason)
+		}
+		fmt.Println()
+		for _, t := range r.Inputs {
+			fmt.Printf("      input %-28s %g\n", t.Name, t.Value)
+		}
+		for _, cd := range r.Candidates {
+			mark := " "
+			if cd.Chosen {
+				mark = "*"
+			}
+			if cd.Excluded {
+				mark = "x"
+			}
+			fmt.Printf("    %s cand %-20s score %g\n", mark, cd.Name, cd.Score)
+			for _, t := range cd.Terms {
+				fmt.Printf("          term %-24s %g\n", t.Name, t.Value)
+			}
+		}
 	}
 }

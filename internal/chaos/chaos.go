@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"aegaeon/internal/cluster"
+	"aegaeon/internal/decision"
 	"aegaeon/internal/fault"
 	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/latency"
@@ -118,6 +119,9 @@ type Result struct {
 	// Market snapshots the spot-market state at the drained instant:
 	// preemption records, per-device eligibility, per-class economics.
 	Market *market.Snapshot
+	// Decisions is the run's provenance journal: every admission, routing,
+	// switch, shed, eviction, and evacuation decision with its evidence.
+	Decisions *decision.Journal
 	// Violations lists every broken invariant (empty on a clean run).
 	Violations []string
 }
@@ -136,6 +140,11 @@ func Run(cfg Config) (*Result, error) {
 		// conservation invariant is audited under crashes and recovery, not
 		// just on clean runs.
 		Fleet: fleetobs.New(se),
+		// Every chaos run carries the decision journal so provenance coverage
+		// is an audited invariant: each terminal request must have an
+		// admission-to-terminal chain, and every shed/eviction/evacuation
+		// record must carry evidence terms.
+		Decisions: decision.New(decision.Options{}),
 		Deployments: []cluster.DeploymentConfig{{
 			Name: "chaos", TP: 1,
 			NumPrefill: cfg.NumPrefill, NumDecode: cfg.NumDecode,
@@ -229,6 +238,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.Fleet = c.Fleet().Snapshot(se.Now())
 	res.Market = c.Market().Snapshot(se.Now(), res.Fleet)
+	res.Decisions = c.Decisions()
 	return res, nil
 }
 
@@ -335,7 +345,36 @@ func VerifyInvariants(c *cluster.Cluster) []string {
 	}
 	v = append(v, verifyFleet(c)...)
 	v = append(v, verifyMarket(c)...)
+	v = append(v, verifyDecisions(c)...)
 	return v
+}
+
+// verifyDecisions audits decision-provenance coverage after a chaos run:
+// every terminal request's chain must run from an admission record to a
+// terminal record matching the request's actual end state, and every
+// retained shed, eviction, or evacuation record must carry the evidence
+// terms that explain it. No-op when the cluster was built without a journal.
+func verifyDecisions(c *cluster.Cluster) []string {
+	j := c.Decisions()
+	if j == nil {
+		return nil
+	}
+	var states []decision.RequestState
+	for _, d := range c.Deployments() {
+		for _, r := range d.System.Requests() {
+			switch {
+			case r.Done:
+				states = append(states, decision.RequestState{ID: r.ID, Outcome: decision.OutcomeDone})
+			case r.Failed:
+				states = append(states, decision.RequestState{ID: r.ID, Outcome: decision.OutcomeFailed})
+			case r.Aborted():
+				states = append(states, decision.RequestState{ID: r.ID, Outcome: decision.OutcomeAborted})
+				// Non-terminal requests are already flagged by the terminal-state
+				// audit above; the journal has nothing to say about them.
+			}
+		}
+	}
+	return j.CheckCoverage(states)
 }
 
 // verifyMarket audits the spot-market accounting after a chaos run: the

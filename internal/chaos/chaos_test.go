@@ -98,6 +98,79 @@ func TestSeededFaultSchedules(t *testing.T) {
 	}
 }
 
+// TestDecisionCoverageSwitchHeavy is the provenance acceptance gate: a
+// switch-heavy run (many models over two prefill + two decode instances, so
+// every prefill group and decode turn rotates the resident model) under
+// overload control and spot-market faults, where CheckCoverage must hold —
+// every terminal request has an admission-to-terminal chain and every shed,
+// eviction, and evacuation record carries evidence terms. The journal must
+// actually have exercised the policy-site families the run drove, or the
+// audit would be passing vacuously.
+func TestDecisionCoverageSwitchHeavy(t *testing.T) {
+	res, err := Run(Config{
+		Seed:     7,
+		Models:   8,
+		Rate:     0.6,
+		Overload: true,
+		Spot:     true,
+		Spec:     "reclaim@40s+8s:chaos/decode0,throttle@55s+20s*2.5:chaos/prefill1,reclaim@80s:chaos/decode1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, viol := range res.Violations {
+		t.Errorf("invariant: %s", viol)
+	}
+	j := res.Decisions
+	if j == nil {
+		t.Fatal("chaos run carried no decision journal")
+	}
+	kinds := map[string]uint64{}
+	for _, c := range j.Counts() {
+		kinds[c.Kind] += c.N
+	}
+	t.Logf("decisions=%d chains=%d kinds=%v sheds=%v", j.Total(), j.TrackedRequests(), kinds, res.Sheds)
+	for _, want := range []string{"admission", "prefill_routing", "decode_placement", "switch", "terminal", "evacuation"} {
+		if kinds[want] == 0 {
+			t.Errorf("switch-heavy overload+market run journaled no %q decisions", want)
+		}
+	}
+	if kinds["switch"] < 20 {
+		t.Errorf("run was not switch-heavy: only %d switch decisions journaled", kinds["switch"])
+	}
+	// Every terminal request's chain is live-queryable by ID, ends in its
+	// terminal record, and starts at admission — the /debug/why contract.
+	sys := findDeployment(t, res)
+	for _, r := range sys {
+		chain := j.Chain(r)
+		if len(chain) == 0 {
+			t.Fatalf("request %s has no chain", r)
+		}
+		if chain[len(chain)-1].Kind != "terminal" {
+			t.Errorf("request %s chain ends with %s, want terminal", r, chain[len(chain)-1].Kind)
+		}
+	}
+}
+
+// findDeployment returns a sample of terminal request IDs from the run — the
+// journal's chains snapshot already holds every retained request.
+func findDeployment(t *testing.T, res *Result) []string {
+	t.Helper()
+	chains := res.Decisions.Chains()
+	if len(chains) == 0 {
+		t.Fatal("journal retained no request chains")
+	}
+	n := len(chains)
+	if n > 16 {
+		n = 16
+	}
+	ids := make([]string, 0, n)
+	for _, c := range chains[:n] {
+		ids = append(ids, c.Request)
+	}
+	return ids
+}
+
 // TestChaosSweep runs a batch of random seeds — the "no seed may violate the
 // invariants" safety net beyond the pinned table.
 func TestChaosSweep(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"aegaeon/internal/core"
+	"aegaeon/internal/decision"
 	"aegaeon/internal/engine"
 	"aegaeon/internal/fault"
 	"aegaeon/internal/fleetobs"
@@ -93,6 +94,12 @@ type Config struct {
 	// keeps every deployment market-free and byte-identical.
 	Market *market.Market
 
+	// Decisions, when non-nil, is the shared decision-provenance journal
+	// threaded into every deployment: admission, shedding, routing, switch,
+	// eviction, and evacuation choices all record their evidence there. Nil
+	// keeps every policy hot path allocation-free.
+	Decisions *decision.Journal
+
 	// Prefix, when non-nil, enables the global prefix cache in every
 	// deployment (each deployment gets its own cache over its own CPU KV
 	// pool; models are disjoint across deployments, so nothing is lost by
@@ -151,6 +158,7 @@ func New(se *sim.Engine, cfg Config) (*Cluster, error) {
 			Overload:   cfg.Overload,
 			Prefix:     cfg.Prefix,
 			Market:     cfg.Market,
+			Decisions:  cfg.Decisions,
 		})
 		dep := &Deployment{Name: dc.Name, TP: dc.TP, System: sys, models: map[string]bool{}}
 		for _, m := range dc.Models {
@@ -246,6 +254,9 @@ func (c *Cluster) Fleet() *fleetobs.Ledger { return c.cfg.Fleet }
 
 // Market exposes the shared spot-market model (nil when not configured).
 func (c *Cluster) Market() *market.Market { return c.cfg.Market }
+
+// Decisions exposes the shared decision journal (nil when provenance is off).
+func (c *Cluster) Decisions() *decision.Journal { return c.cfg.Decisions }
 
 // Routes returns the model -> deployment routing table (copy).
 func (c *Cluster) Routes() map[string]string {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"aegaeon/internal/decision"
 	"aegaeon/internal/engine"
 	"aegaeon/internal/gpu"
 	"aegaeon/internal/kvcache"
@@ -431,6 +432,35 @@ func (d *decodeInstance) runTurn() {
 			if d.sys.obs != nil {
 				d.sys.obs.SwitchVictims(d.eng.Name, requestIDs(b.reqs))
 			}
+			if j := d.sys.dec; j != nil {
+				from := ""
+				if cur != nil {
+					from = cur.Name
+				}
+				cands := make([]decision.Candidate, 0, len(d.workList))
+				for i, wb := range d.workList {
+					cands = append(cands, decision.Candidate{
+						Name:   wb.model,
+						Chosen: i == d.turnIdx,
+						Terms: []decision.Term{
+							decision.NsTerm("quota", wb.quota),
+							decision.NsTerm("last_run", wb.lastRun),
+							{Name: "batch_size", Value: float64(len(wb.reqs))},
+						},
+					})
+				}
+				j.Record(decision.Record{At: b.lastRun, Kind: decision.KindSwitch,
+					Instance: d.eng.Name, Model: m.Name, Outcome: m.Name,
+					Reason:   "decode rotation turn (from " + from + ")",
+					Requests: requestIDs(b.reqs),
+					Inputs: []decision.Term{
+						decision.NsTerm("switch_cost", d.eng.EffectiveSwitchCost(m)),
+						decision.NsTerm("quota", b.quota),
+						{Name: "turn_index", Value: float64(d.turnIdx)},
+					},
+					Candidates: cands,
+				})
+			}
 			return
 		}
 		d.prefetchUpcoming()
@@ -593,6 +623,33 @@ func (d *decodeInstance) evictKVFor(cur *dbatch) {
 	}
 	if victim != nil {
 		d.sys.obs.Evicted(d.eng.Name, victim.model, d.eng.Sim().Now())
+		if j := d.sys.dec; j != nil {
+			var cands []decision.Candidate
+			for _, b := range d.workList {
+				if b == cur || !b.hasGPUResidentKV() {
+					continue
+				}
+				cands = append(cands, decision.Candidate{
+					Name:   b.model,
+					Score:  float64(b.lastRun),
+					Chosen: b == victim,
+					Terms: []decision.Term{
+						decision.NsTerm("last_run", b.lastRun),
+						{Name: "context_tokens", Value: float64(b.contextTokens())},
+					},
+				})
+			}
+			j.Record(decision.Record{At: d.eng.Sim().Now(), Kind: decision.KindKVEviction,
+				Instance: d.eng.Name, Model: victim.model, Outcome: victim.model,
+				Reason:   "LRU batch evicted for " + cur.model + " swap-in",
+				Requests: requestIDs(victim.reqs),
+				Inputs: []decision.Term{
+					decision.NsTerm("victim_last_run", victim.lastRun),
+					{Name: "victim_context_tokens", Value: float64(victim.contextTokens())},
+				},
+				Candidates: cands,
+			})
+		}
 		d.swapOutBatch(victim)
 	}
 }

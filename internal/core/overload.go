@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"aegaeon/internal/decision"
 	"aegaeon/internal/overload"
 	"aegaeon/internal/sim"
 	"aegaeon/internal/slomon"
@@ -38,6 +39,12 @@ const (
 func (s *System) admitOverload(r *Request) bool {
 	ctl := s.cfg.Overload
 	if ctl == nil {
+		// No overload control: everything is admitted, but the admission
+		// decision itself is still journaled so every chain has its head.
+		if j := s.dec; j != nil {
+			j.Record(decision.Record{At: s.eng.Now(), Kind: decision.KindAdmission,
+				Request: r.ID, Model: r.Model.Name, Outcome: "accept"})
+		}
 		return true
 	}
 	if r.terminal() {
@@ -45,25 +52,61 @@ func (s *System) admitOverload(r *Request) bool {
 	}
 	now := s.eng.Now()
 	s.stepOverload(now)
+	reject := func(reason string) {
+		if j := s.dec; j != nil {
+			j.Record(decision.Record{At: now, Kind: decision.KindAdmission,
+				Request: r.ID, Model: r.Model.Name, Outcome: "reject", Reason: reason,
+				Inputs: []decision.Term{
+					{Name: "level", Value: float64(ctl.Level())},
+					{Name: "priority", Value: float64(r.Priority)},
+				}})
+		}
+	}
 	switch {
 	case ctl.AdmitNone():
-		s.shed(r, ShedAdmitNone)
+		reject(ShedAdmitNone)
+		s.shed(r, ShedAdmitNone, nil)
 		return false
 	case ctl.ShedLow() && r.Priority == workload.PriorityLow:
-		s.shed(r, ShedLowPriority)
+		reject(ShedLowPriority)
+		s.shed(r, ShedLowPriority, nil)
 		return false
 	case ctl.FreezeCold() && !s.modelWarm(r.Model.Name):
-		s.shed(r, ShedColdFreeze)
+		reject(ShedColdFreeze)
+		s.shed(r, ShedColdFreeze, nil)
 		return false
 	}
-	if est, ok := s.estimateTTFT(r); ok && now+est > r.Deadline+doomGrace {
-		s.shed(r, ShedDoomed)
+	est, estOK := s.estimateTTFT(r)
+	if estOK && now+est > r.Deadline+doomGrace {
+		reject(ShedDoomed)
+		var ev []decision.Term
+		if s.dec != nil {
+			ev = []decision.Term{
+				decision.NsTerm("ttft_estimate", est),
+				decision.NsTerm("projected_first_token", now+est),
+				decision.NsTerm("deadline", r.Deadline),
+				decision.NsTerm("doom_grace", doomGrace),
+			}
+		}
+		s.shed(r, ShedDoomed, ev)
 		return false
 	}
 	if !r.live {
 		// Live requests are capped by the gateway before submission, so the
 		// stream contract (exactly OutputTokens tokens) is set up front.
 		r.OutputTokens = ctl.OutputCap(r.OutputTokens)
+	}
+	if j := s.dec; j != nil {
+		inputs := []decision.Term{
+			{Name: "level", Value: float64(ctl.Level())},
+			{Name: "priority", Value: float64(r.Priority)},
+			decision.NsTerm("deadline", r.Deadline),
+		}
+		if estOK {
+			inputs = append(inputs, decision.NsTerm("ttft_estimate", est))
+		}
+		j.Record(decision.Record{At: now, Kind: decision.KindAdmission,
+			Request: r.ID, Model: r.Model.Name, Outcome: "accept", Inputs: inputs})
 	}
 	s.armReaper()
 	return true
@@ -95,11 +138,25 @@ func (s *System) stepOverload(now sim.Time) {
 	hot := st >= slomon.AlertWarn
 	queued, alive := s.queuedPrefillLoad()
 	deep := alive > 0 && queued > escalateBacklog*s.cfg.MaxGroupSize*alive
-	s.cfg.Overload.Step(now, overload.Signals{
+	ctl := s.cfg.Overload
+	before := ctl.Level()
+	after := ctl.Step(now, overload.Signals{
 		Page:     st == slomon.AlertPage && deep,
 		Warn:     hot && queued > 0,
 		FastBurn: fast,
 	})
+	if j := s.dec; j != nil && after != before {
+		j.Record(decision.Record{At: now, Kind: decision.KindOverload,
+			Outcome: after.String(), Reason: before.String() + " -> " + after.String(),
+			Inputs: []decision.Term{
+				decision.BoolTerm("page", st == slomon.AlertPage && deep),
+				decision.BoolTerm("warn", hot && queued > 0),
+				{Name: "fast_burn", Value: fast},
+				{Name: "queued", Value: float64(queued)},
+				{Name: "alive", Value: float64(alive)},
+				decision.BoolTerm("deep_backlog", deep),
+			}})
+	}
 }
 
 // queuedPrefillLoad counts non-terminal requests waiting in alive prefill
@@ -124,9 +181,26 @@ func (s *System) queuedPrefillLoad() (queued, alive int) {
 // shed rejects r for an overload reason, counting it by type. The request
 // goes through failRequest so its KV is reclaimed, live streams observe a
 // typed terminal error, and every unproduced token counts as an SLO miss —
-// shedding must never launder violations.
-func (s *System) shed(r *Request, reason string) {
+// shedding must never launder violations. extra carries site-specific
+// evidence (the doomed estimate); callers build it only under a journal
+// nil-check so the disabled path stays allocation-free.
+func (s *System) shed(r *Request, reason string, extra []decision.Term) {
 	s.shedReasons[reason]++
+	if j := s.dec; j != nil {
+		queued, alive := s.queuedPrefillLoad()
+		level := 0.0
+		if ctl := s.cfg.Overload; ctl != nil {
+			level = float64(ctl.Level())
+		}
+		inputs := append([]decision.Term{
+			{Name: "level", Value: level},
+			{Name: "priority", Value: float64(r.Priority)},
+			{Name: "queued", Value: float64(queued)},
+			{Name: "alive", Value: float64(alive)},
+		}, extra...)
+		j.Record(decision.Record{At: s.eng.Now(), Kind: decision.KindShed,
+			Request: r.ID, Model: r.Model.Name, Outcome: reason, Inputs: inputs})
+	}
 	s.failRequest(r, "overload: "+reason)
 }
 
@@ -244,6 +318,7 @@ func (s *System) reapQueues() {
 	s.stepOverload(now)
 	shedLow := ctl.ShedLow()
 	var doomed, lowTier []*Request
+	var doomedCum []time.Duration // parallel to doomed; journal on only
 	nonEmpty := false
 	for _, p := range s.prefills {
 		if p.dead {
@@ -274,18 +349,30 @@ func (s *System) reapQueues() {
 				switch {
 				case now+cum > q.Deadline+doomGrace:
 					doomed = append(doomed, q)
+					if s.dec != nil {
+						doomedCum = append(doomedCum, cum)
+					}
 				case shedLow && q.Priority == workload.PriorityLow:
 					lowTier = append(lowTier, q)
 				}
 			}
 		}
 	}
-	for _, q := range doomed {
-		s.shed(q, ShedReaped)
+	for i, q := range doomed {
+		var ev []decision.Term
+		if s.dec != nil && i < len(doomedCum) {
+			ev = []decision.Term{
+				decision.NsTerm("queued_work_ahead", doomedCum[i]),
+				decision.NsTerm("projected_first_token", now+doomedCum[i]),
+				decision.NsTerm("deadline", q.Deadline),
+				decision.NsTerm("doom_grace", doomGrace),
+			}
+		}
+		s.shed(q, ShedReaped, ev)
 		s.removeFromQueues(q)
 	}
 	for _, q := range lowTier {
-		s.shed(q, ShedLowPriority)
+		s.shed(q, ShedLowPriority, nil)
 		s.removeFromQueues(q)
 	}
 	if nonEmpty {

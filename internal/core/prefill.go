@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"aegaeon/internal/decision"
 	"aegaeon/internal/engine"
 	"aegaeon/internal/kvcache"
 	"aegaeon/internal/memory"
@@ -172,6 +173,40 @@ func (p *prefillInstance) step() {
 				ids = append(ids, wr.ID)
 			}
 			p.sys.obs.SwitchVictims(p.eng.Name, ids)
+		}
+		if j := p.sys.dec; j != nil {
+			// The front group forced the switch; the journal still shows what
+			// else was queued (the groups the scale-up chose *not* to serve).
+			from := ""
+			if cur != nil {
+				from = cur.Name
+			}
+			ids := make([]string, 0, len(g.reqs))
+			for _, wr := range g.reqs {
+				ids = append(ids, wr.ID)
+			}
+			cands := make([]decision.Candidate, 0, len(p.queue))
+			for i, qg := range p.queue {
+				cands = append(cands, decision.Candidate{
+					Name:   qg.model,
+					Chosen: i == 0,
+					Terms: []decision.Term{
+						{Name: "rank", Value: float64(qg.rank)},
+						decision.NsTerm("deadline", qg.deadline),
+						{Name: "group_size", Value: float64(len(qg.reqs))},
+					},
+				})
+			}
+			j.Record(decision.Record{At: p.eng.Sim().Now(), Kind: decision.KindSwitch,
+				Instance: p.eng.Name, Model: m.Name, Outcome: m.Name,
+				Reason:   "prefill front group (from " + from + ")",
+				Requests: ids,
+				Inputs: []decision.Term{
+					decision.NsTerm("switch_cost", p.eng.CostFor(m).Switch()),
+					{Name: "queued_groups", Value: float64(len(p.queue))},
+				},
+				Candidates: cands,
+			})
 		}
 		return
 	}

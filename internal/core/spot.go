@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"aegaeon/internal/decision"
 	"aegaeon/internal/engine"
 	"aegaeon/internal/kvcache"
 	"aegaeon/internal/memory"
@@ -43,6 +44,15 @@ func (s *System) ReclaimInstance(name string, grace sim.Time) error {
 		return err
 	}
 	s.obs.Fault(name, "reclaim", fmt.Sprintf("spot preemption notice, grace %v", grace), s.eng.Now())
+	if j := s.dec; j != nil {
+		j.Record(decision.Record{At: s.eng.Now(), Kind: decision.KindEvacuation,
+			Instance: name, Outcome: "notice",
+			Reason: "spot preemption notice",
+			Inputs: []decision.Term{
+				decision.NsTerm("grace", grace),
+				decision.BoolTerm("market_aware", mkt.Aware()),
+			}})
+	}
 	if mkt.Aware() {
 		s.evacuateInstance(name)
 	}
@@ -122,11 +132,26 @@ func (s *System) evacuatePrefill(p *prefillInstance) {
 		g.reqs = nil
 	}
 	p.queue = nil
+	var rehomed int64
 	if s.prefix != nil {
 		if dev := s.prefix.DeviceResidentBytes(p.eng.Name); dev > 0 {
-			evicted := s.prefix.EvictDeviceBytes(p.eng.Name, dev)
-			s.cfg.Market.NoteRehomedPrefix(p.eng.Name, evicted)
+			rehomed = s.prefix.EvictDeviceBytes(p.eng.Name, dev)
+			s.cfg.Market.NoteRehomedPrefix(p.eng.Name, rehomed)
 		}
+	}
+	if j := s.dec; j != nil {
+		ids := make([]string, 0, len(owned))
+		for _, r := range owned {
+			ids = append(ids, r.ID)
+		}
+		j.Record(decision.Record{At: s.eng.Now(), Kind: decision.KindEvacuation,
+			Instance: p.eng.Name, Outcome: "drain_prefill",
+			Reason:   "re-home queued groups; drop device prefix copies",
+			Requests: ids,
+			Inputs: []decision.Term{
+				{Name: "rehomed_requests", Value: float64(len(owned))},
+				{Name: "rehomed_prefix_bytes", Value: float64(rehomed)},
+			}})
 	}
 	for _, r := range owned {
 		s.dispatchPrefill(r)
@@ -173,6 +198,27 @@ func (s *System) evacuateDecode(d *decodeInstance) {
 	// current nil such requests land in pending and a fresh round serves
 	// them until the deadline; the in-flight turn winds down on its own.
 	d.current = nil
+	if j := s.dec; j != nil {
+		// The evacuation order is the collection order: work-list batches
+		// first, then the executing batch, then pending — the journal records
+		// it so a lost-KV post-mortem can see who was queued behind whom.
+		ids := make([]string, 0, len(owned))
+		var gpuResident int
+		for _, r := range owned {
+			ids = append(ids, r.ID)
+			if r.Seq != nil && r.Seq.State() != kvcache.StateCPU {
+				gpuResident++
+			}
+		}
+		j.Record(decision.Record{At: s.eng.Now(), Kind: decision.KindEvacuation,
+			Instance: d.eng.Name, Outcome: "drain_decode",
+			Reason:   "offload KV to host tier; re-dispatch as transfers land",
+			Requests: ids,
+			Inputs: []decision.Term{
+				{Name: "owned_requests", Value: float64(len(owned))},
+				{Name: "gpu_resident", Value: float64(gpuResident)},
+			}})
+	}
 	pend := map[*Request]bool{}
 	s.evacuating[d.eng.Name] = pend
 	for _, r := range owned {
@@ -293,6 +339,20 @@ func (s *System) revokeInstance(name string) {
 		countLost(r)
 	}
 	mkt.NoteLostKV(name, lost)
+	if j := s.dec; j != nil {
+		var ids []string
+		for _, r := range s.ownedRequests(name) {
+			ids = append(ids, r.ID)
+		}
+		j.Record(decision.Record{At: s.eng.Now(), Kind: decision.KindEvacuation,
+			Instance: name, Outcome: "revoked",
+			Reason:   "grace deadline; stragglers recover via crash path",
+			Requests: ids,
+			Inputs: []decision.Term{
+				{Name: "lost_kv_bytes", Value: float64(lost)},
+				{Name: "straggler_requests", Value: float64(len(ids))},
+			}})
+	}
 	if err := s.CrashInstanceNamed(name); err != nil {
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"aegaeon/internal/decision"
 	"aegaeon/internal/engine"
 	"aegaeon/internal/fault"
 	"aegaeon/internal/fleetobs"
@@ -107,6 +108,15 @@ type Config struct {
 	// holding its prefix. Nil leaves the serving path byte-identical to a
 	// cache-free build.
 	Prefix *prefixcache.Config
+
+	// Decisions, when non-nil, is the decision-provenance journal: every
+	// policy site (admission gates, the brownout ladder, shedding, routing
+	// and placement scoring, switches, KV/prefix eviction, spot evacuation)
+	// records its candidate set, score terms, and chosen outcome there. Nil
+	// (the default) keeps every policy hot path free of journaling — call
+	// sites nil-check before building record slices, so the off path is
+	// allocation-free.
+	Decisions *decision.Journal
 
 	// Market, when non-nil, is the spot-market model: heterogeneous device
 	// classes (each instance registers for a class whose profile sizes its
@@ -241,6 +251,7 @@ type System struct {
 	fleet       *fleetobs.Ledger
 	tracer      *trace.Tracer
 	obs         *obs.Collector
+	dec         *decision.Journal
 	breakdown   *metrics.Breakdown
 	requests    []*Request
 	completed   int
@@ -299,6 +310,7 @@ func NewSystem(se *sim.Engine, cfg Config) *System {
 		fleet:       cfg.Fleet,
 		tracer:      cfg.Tracer,
 		obs:         cfg.Obs,
+		dec:         cfg.Decisions,
 		breakdown:   &metrics.Breakdown{},
 	}
 	for i := range s.prioTrackers {
@@ -342,8 +354,14 @@ func NewSystem(se *sim.Engine, cfg Config) *System {
 	if cfg.Prefix != nil {
 		// The prefix cache's host tier allocates from the same shared CPU KV
 		// pool sequence swap-outs use; its budget keeps the two from starving
-		// each other.
-		s.prefix = prefixcache.New(*cfg.Prefix, s.cpuKV)
+		// each other. The system's decision journal (when on) observes its
+		// eviction victim choices, stamped with virtual time.
+		pfxCfg := *cfg.Prefix
+		if s.dec != nil {
+			pfxCfg.Journal = s.dec
+			pfxCfg.Clock = s.eng.Now
+		}
+		s.prefix = prefixcache.New(pfxCfg, s.cpuKV)
 	}
 	for i := 0; i < cfg.NumPrefill; i++ {
 		e := mkEngine(fmt.Sprintf("prefill%d", i))
@@ -440,6 +458,11 @@ func (s *System) dispatchPrefill(r *Request) {
 	}
 	for _, p := range s.prefills {
 		if !p.dead && s.marketAllows(p.eng.Name) && p.tryJoinGroup(r) {
+			if j := s.dec; j != nil {
+				j.Record(decision.Record{At: s.eng.Now(), Kind: decision.KindPrefillRouting,
+					Request: r.ID, Model: r.Model.Name, Instance: p.eng.Name,
+					Outcome: p.eng.Name, Reason: "joined open group"})
+			}
 			return
 		}
 	}
@@ -456,7 +479,14 @@ func (s *System) dispatchPrefill(r *Request) {
 // a reclaim notice, disqualified, or VRAM-starved) the exclusions are waived:
 // serving on a risky device beats failing the request.
 func (s *System) bestPrefill(r *Request) *prefillInstance {
+	journal := s.dec != nil
+	var cands []decision.Candidate
+	bestIdx := -1
 	pick := func(waive bool) *prefillInstance {
+		if journal {
+			cands = cands[:0]
+			bestIdx = -1
+		}
 		var best *prefillInstance
 		var bestScore time.Duration
 		for _, p := range s.prefills {
@@ -464,21 +494,59 @@ func (s *System) bestPrefill(r *Request) *prefillInstance {
 				continue
 			}
 			s.noteHeadroom(p.eng)
-			pen, ok := s.marketPenalty(p.eng.Name, p.eng.CostFor(r.Model).Switch())
+			sw := p.eng.CostFor(r.Model).Switch()
+			pen, ok := s.marketPenalty(p.eng.Name, sw)
 			if !ok && !waive {
+				if journal {
+					cands = append(cands, decision.Candidate{Name: p.eng.Name, Excluded: true})
+				}
 				continue
 			}
-			score := time.Duration(float64(p.load())/s.marketCapability(p.eng.Name)) + pen
+			capab := s.marketCapability(p.eng.Name)
+			score := time.Duration(float64(p.load())/capab) + pen
+			if journal {
+				cands = append(cands, decision.Candidate{
+					Name: p.eng.Name, Score: float64(score),
+					Terms: []decision.Term{
+						decision.NsTerm("load", p.load()),
+						{Name: "capability", Value: capab},
+						decision.NsTerm("market_penalty", pen),
+						decision.NsTerm("switch_cost", sw),
+					},
+				})
+			}
 			if best == nil || score < bestScore {
 				best, bestScore = p, score
+				if journal {
+					bestIdx = len(cands) - 1
+				}
 			}
 		}
 		return best
 	}
-	if best := pick(false); best != nil {
-		return best
+	best := pick(false)
+	waived := false
+	if best == nil {
+		best = pick(true)
+		waived = true
 	}
-	return pick(true)
+	if journal {
+		rec := decision.Record{At: s.eng.Now(), Kind: decision.KindPrefillRouting,
+			Request: r.ID, Model: r.Model.Name, Outcome: "none",
+			Candidates: append([]decision.Candidate(nil), cands...)}
+		if best != nil {
+			rec.Outcome = best.eng.Name
+			rec.Instance = best.eng.Name
+			if bestIdx >= 0 {
+				rec.Candidates[bestIdx].Chosen = true
+			}
+		}
+		if waived {
+			rec.Reason = "market exclusions waived"
+		}
+		s.dec.Record(rec)
+	}
+	return best
 }
 
 // marketCapability is the capability divisor aware placement normalizes load
@@ -534,6 +602,9 @@ func (s *System) noteHeadroom(e *engine.Engine) {
 func (s *System) routePrefix(r *Request) *prefillInstance {
 	var best *prefillInstance
 	var bestScore time.Duration
+	journal := s.dec != nil
+	var cands []decision.Candidate
+	bestIdx := -1
 	shape := r.Model.ShardKVShape(s.cfg.TP)
 	full := 0
 	for _, p := range s.prefills {
@@ -543,25 +614,60 @@ func (s *System) routePrefix(r *Request) *prefillInstance {
 		s.noteHeadroom(p.eng)
 		pen, ok := s.marketPenalty(p.eng.Name, p.eng.CostFor(r.Model).Switch())
 		if !ok {
+			if journal {
+				cands = append(cands, decision.Candidate{Name: p.eng.Name, Excluded: true})
+			}
 			continue // under notice / disqualified; bestPrefill may waive later
 		}
 		score := p.load() + pen
 		matched, onDevice := s.prefix.MatchTokensOn(p.eng.Name, r.Model.Name, r.Segments, r.InputTokens)
+		var saved, copyCost, credit time.Duration
 		if matched > 0 {
 			if full == 0 {
 				full = r.InputTokens + r.Generated()
 			}
-			saved := p.eng.PrefillEstimate(r.Model, full) - p.eng.PrefillEstimate(r.Model, full-matched)
+			saved = p.eng.PrefillEstimate(r.Model, full) - p.eng.PrefillEstimate(r.Model, full-matched)
 			hostBytes := shape.BytesPerToken() * int64(matched-onDevice)
 			devBytes := shape.BytesPerToken() * int64(onDevice)
-			copyCost := p.eng.CostFor(r.Model).Prof.PCIeCopy(hostBytes) + p.eng.CostFor(r.Model).OnDeviceCopy(devBytes)
+			copyCost = p.eng.CostFor(r.Model).Prof.PCIeCopy(hostBytes) + p.eng.CostFor(r.Model).OnDeviceCopy(devBytes)
 			if benefit := saved - copyCost; benefit > 0 {
+				credit = benefit
 				score -= benefit
 			}
 		}
+		if journal {
+			cands = append(cands, decision.Candidate{
+				Name: p.eng.Name, Score: float64(score),
+				Terms: []decision.Term{
+					decision.NsTerm("load", p.load()),
+					decision.NsTerm("market_penalty", pen),
+					{Name: "matched_tokens", Value: float64(matched)},
+					{Name: "on_device_tokens", Value: float64(onDevice)},
+					decision.NsTerm("prefill_saved", saved),
+					decision.NsTerm("copy_cost", copyCost),
+					decision.NsTerm("prefix_credit", credit),
+				},
+			})
+		}
 		if best == nil || score < bestScore {
 			best, bestScore = p, score
+			if journal {
+				bestIdx = len(cands) - 1
+			}
 		}
+	}
+	if journal {
+		rec := decision.Record{At: s.eng.Now(), Kind: decision.KindPrefillRouting,
+			Request: r.ID, Model: r.Model.Name, Outcome: "none", Reason: "cache-aware",
+			Candidates: cands}
+		if best != nil {
+			rec.Outcome = best.eng.Name
+			rec.Instance = best.eng.Name
+			if bestIdx >= 0 {
+				rec.Candidates[bestIdx].Chosen = true
+			}
+		}
+		s.dec.Record(rec)
 	}
 	return best
 }
@@ -588,6 +694,11 @@ func (s *System) dispatchDecode(r *Request) {
 	}
 	for _, d := range s.decodes {
 		if !d.dead && s.marketAllows(d.eng.Name) && d.hasRoomInModelBatch(r) {
+			if j := s.dec; j != nil {
+				j.Record(decision.Record{At: s.eng.Now(), Kind: decision.KindDecodePlacement,
+					Request: r.ID, Model: r.Model.Name, Instance: d.eng.Name,
+					Outcome: d.eng.Name, Reason: "joined open batch"})
+			}
 			d.enqueue(r)
 			return
 		}
@@ -604,7 +715,14 @@ func (s *System) dispatchDecode(r *Request) {
 // load plus the market's risk penalty, waiving exclusions only when every
 // survivor is excluded.
 func (s *System) bestDecode(r *Request) *decodeInstance {
+	journal := s.dec != nil
+	var cands []decision.Candidate
+	bestIdx := -1
 	pick := func(waive bool) *decodeInstance {
+		if journal {
+			cands = cands[:0]
+			bestIdx = -1
+		}
 		var best *decodeInstance
 		var bestScore float64
 		for _, d := range s.decodes {
@@ -612,21 +730,59 @@ func (s *System) bestDecode(r *Request) *decodeInstance {
 				continue
 			}
 			s.noteHeadroom(d.eng)
-			pen, ok := s.cfg.Market.PlacementPenalty(d.eng.Name, d.eng.EffectiveSwitchCost(r.Model))
+			sw := d.eng.EffectiveSwitchCost(r.Model)
+			pen, ok := s.cfg.Market.PlacementPenalty(d.eng.Name, sw)
 			if !ok && !waive {
+				if journal {
+					cands = append(cands, decision.Candidate{Name: d.eng.Name, Excluded: true})
+				}
 				continue
 			}
-			score := float64(d.load())/s.marketCapability(d.eng.Name) + pen
+			capab := s.marketCapability(d.eng.Name)
+			score := float64(d.load())/capab + pen
+			if journal {
+				cands = append(cands, decision.Candidate{
+					Name: d.eng.Name, Score: score,
+					Terms: []decision.Term{
+						{Name: "load", Value: float64(d.load())},
+						{Name: "capability", Value: capab},
+						{Name: "market_penalty", Value: pen},
+						decision.NsTerm("switch_cost", sw),
+					},
+				})
+			}
 			if best == nil || score < bestScore {
 				best, bestScore = d, score
+				if journal {
+					bestIdx = len(cands) - 1
+				}
 			}
 		}
 		return best
 	}
-	if best := pick(false); best != nil {
-		return best
+	best := pick(false)
+	waived := false
+	if best == nil {
+		best = pick(true)
+		waived = true
 	}
-	return pick(true)
+	if journal {
+		rec := decision.Record{At: s.eng.Now(), Kind: decision.KindDecodePlacement,
+			Request: r.ID, Model: r.Model.Name, Outcome: "none",
+			Candidates: append([]decision.Candidate(nil), cands...)}
+		if best != nil {
+			rec.Outcome = best.eng.Name
+			rec.Instance = best.eng.Name
+			if bestIdx >= 0 {
+				rec.Candidates[bestIdx].Chosen = true
+			}
+		}
+		if waived {
+			rec.Reason = "market exclusions waived"
+		}
+		s.dec.Record(rec)
+	}
+	return best
 }
 
 // sloFor returns the SLO governing requests to the named model.
@@ -699,6 +855,10 @@ func (s *System) finishRequest(r *Request) {
 	r.Done = true
 	r.finished = s.eng.Now()
 	s.completed++
+	if j := s.dec; j != nil {
+		j.Record(decision.Record{At: s.eng.Now(), Kind: decision.KindTerminal,
+			Request: r.ID, Model: r.Model.Name, Outcome: decision.OutcomeDone})
+	}
 	if r.live {
 		s.liveOpen--
 		s.tracker.ObserveRequest(s.sloFor(r.Model.Name), r.Arrival, r.TokenTimes)
@@ -725,6 +885,10 @@ func (s *System) failRequest(r *Request, reason string) {
 	r.FailReason = reason
 	r.finished = s.eng.Now()
 	s.failed++
+	if j := s.dec; j != nil {
+		j.Record(decision.Record{At: s.eng.Now(), Kind: decision.KindTerminal,
+			Request: r.ID, Model: r.Model.Name, Outcome: decision.OutcomeFailed, Reason: reason})
+	}
 	s.cfg.Faults.CountRejected()
 	s.tracer.Emit(trace.Event{At: s.eng.Now(), Kind: trace.KindFailure,
 		Subject: "rejected", Detail: r.ID + ": " + reason})
@@ -766,6 +930,11 @@ func (s *System) Abort(r *Request) {
 	r.aborted = true
 	r.finished = s.eng.Now()
 	s.aborted++
+	if j := s.dec; j != nil {
+		j.Record(decision.Record{At: s.eng.Now(), Kind: decision.KindTerminal,
+			Request: r.ID, Model: r.Model.Name, Outcome: decision.OutcomeAborted,
+			Reason: "client disconnect"})
+	}
 	s.removeFromQueues(r)
 	s.releasePrefix(r)
 	s.freeSeq(r)
@@ -927,6 +1096,9 @@ func (s *System) Fleet() *fleetobs.Ledger { return s.fleet }
 
 // Market exposes the spot-market model (nil when the market is off).
 func (s *System) Market() *market.Market { return s.cfg.Market }
+
+// Decisions exposes the decision-provenance journal (nil when off).
+func (s *System) Decisions() *decision.Journal { return s.dec }
 
 // Breakdown exposes the latency breakdown (call Finalize first).
 func (s *System) Breakdown() *metrics.Breakdown { return s.breakdown }

@@ -24,6 +24,7 @@ import (
 
 	"aegaeon/internal/cluster"
 	"aegaeon/internal/core"
+	"aegaeon/internal/decision"
 	"aegaeon/internal/fault"
 	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/market"
@@ -95,6 +96,14 @@ type Options struct {
 	// same market with cluster.Config.Market. Nil makes /debug/market
 	// answer 404 and omits the market families.
 	Market *market.Market
+	// Decisions, when non-nil, is the decision-provenance journal backing
+	// /debug/decisions, /debug/why/{id}, and the aegaeon_decision_* metric
+	// families. Every edge admission verdict (accept or reject, with the TTFT
+	// estimate and its inputs) is journaled under the request's ID so chains
+	// join the scheduler-side records. Share the same journal with
+	// cluster.Config.Decisions. Nil keeps admission allocation-free and makes
+	// the decision endpoints answer 404.
+	Decisions *decision.Journal
 	// Pprof also mounts net/http/pprof's profiling handlers under
 	// /debug/pprof/ on the gateway mux, so CPU and heap profiles of the
 	// live serving path are one curl away.
@@ -307,36 +316,108 @@ func (g *Gateway) brownoutLoop(ov *OverloadOptions) {
 	}
 }
 
+// debugEndpoint is one row of the /debug registration table: a path, the
+// one-line description the index page shows, and the handler. Registering
+// through the table (instead of a hand-maintained HandleFunc list) keeps the
+// index page complete by construction.
+type debugEndpoint struct {
+	Path string `json:"path"`
+	Desc string `json:"desc"`
+	h    http.HandlerFunc
+}
+
+// debugEndpoints is the full /debug surface. Entries whose backing subsystem
+// was not configured still register (they answer 404 with a message naming
+// the missing option), so the index enumerates everything the gateway can do.
+func (g *Gateway) debugEndpoints() []debugEndpoint {
+	eps := []debugEndpoint{
+		{"/debug/trace", "recent flat events + request span timelines (?last=N)", g.handleDebugTrace},
+		{"/debug/requests/{id}", "one request's full span tree", g.handleDebugRequest},
+		{"/debug/gpus", "per-engine utilization + current occupant model (?window=30s)", g.handleDebugGPUs},
+		{"/debug/perfetto", "Chrome trace-event JSON export (load in ui.perfetto.dev)", g.handleDebugPerfetto},
+		{"/debug/slo", "live SLO attainment, burn rates, error budgets", g.handleDebugSLO},
+		{"/debug/slo/alerts", "burn-rate alert states", g.handleDebugSLOAlerts},
+		{"/debug/slo/stream", "SSE stream of SLO snapshots", g.handleDebugSLOStream},
+		{"/debug/dash", "HTML dashboard (SLO + fleet heatmap)", g.handleDebugDash},
+		{"/debug/overload", "brownout controller level and signals", g.handleDebugOverload},
+		{"/debug/prefix", "global prefix cache stats and residency", g.handleDebugPrefix},
+		{"/debug/fleet", "fleet utilization ledger snapshot", g.handleDebugFleet},
+		{"/debug/market", "spot-market prices, notices, preemption economics", g.handleDebugMarket},
+		{"/debug/decisions", "decision-provenance ring (?kind=shed&last=N)", g.handleDebugDecisions},
+		{"/debug/why/{id}", "one request's decision chain joined with its spans", g.handleDebugWhy},
+	}
+	if g.opts.Pprof {
+		eps = append(eps,
+			debugEndpoint{"/debug/pprof/", "net/http/pprof profile index", pprof.Index},
+			debugEndpoint{"/debug/pprof/cmdline", "process command line", pprof.Cmdline},
+			debugEndpoint{"/debug/pprof/profile", "CPU profile (?seconds=N)", pprof.Profile},
+			debugEndpoint{"/debug/pprof/symbol", "symbol lookup", pprof.Symbol},
+			debugEndpoint{"/debug/pprof/trace", "execution trace (?seconds=N)", pprof.Trace},
+		)
+	}
+	return eps
+}
+
+// muxPattern maps a table path to its ServeMux pattern: "{id}" suffixes
+// become trailing-slash subtree registrations.
+func muxPattern(path string) string {
+	if i := strings.Index(path, "{"); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// getOnly rejects every non-GET method with 405 before the handler runs, so
+// the whole /debug/* surface is uniformly read-only. pprof's symbol endpoint
+// is the one POST-accepting exception and is registered unwrapped.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSONError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleDebugIndex lists every registered /debug endpoint with its
+// description — the human entry point to the debug surface.
+func (g *Gateway) handleDebugIndex(w http.ResponseWriter, r *http.Request) {
+	eps := g.debugEndpoints()
+	type entry struct {
+		Path string `json:"path"`
+		Desc string `json:"desc"`
+	}
+	out := make([]entry, len(eps))
+	for i, ep := range eps {
+		out[i] = entry{Path: ep.Path, Desc: ep.Desc}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"endpoints": out})
+}
+
 // Handler returns the gateway's HTTP mux:
 //
 //	POST /v1/completions   serve a completion (SSE stream or JSON)
 //	GET  /v1/models        the served model catalog
 //	GET  /metrics          Prometheus text exposition
 //	GET  /healthz          liveness (503 while draining)
+//	GET  /debug            index of every registered debug endpoint
+//	GET  /debug/...        the debug surface (see /debug; GET only)
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/completions", g.handleCompletions)
 	mux.HandleFunc("/v1/models", g.handleModels)
 	mux.HandleFunc("/metrics", g.handleMetrics)
 	mux.HandleFunc("/healthz", g.handleHealthz)
-	mux.HandleFunc("/debug/trace", g.handleDebugTrace)
-	mux.HandleFunc("/debug/requests/", g.handleDebugRequest)
-	mux.HandleFunc("/debug/gpus", g.handleDebugGPUs)
-	mux.HandleFunc("/debug/perfetto", g.handleDebugPerfetto)
-	mux.HandleFunc("/debug/slo", g.handleDebugSLO)
-	mux.HandleFunc("/debug/slo/alerts", g.handleDebugSLOAlerts)
-	mux.HandleFunc("/debug/slo/stream", g.handleDebugSLOStream)
-	mux.HandleFunc("/debug/dash", g.handleDebugDash)
-	mux.HandleFunc("/debug/overload", g.handleDebugOverload)
-	mux.HandleFunc("/debug/prefix", g.handleDebugPrefix)
-	mux.HandleFunc("/debug/fleet", g.handleDebugFleet)
-	mux.HandleFunc("/debug/market", g.handleDebugMarket)
-	if g.opts.Pprof {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug", getOnly(g.handleDebugIndex))
+	mux.HandleFunc("/debug/", getOnly(g.handleDebugIndex))
+	for _, ep := range g.debugEndpoints() {
+		h := ep.h
+		if ep.Path != "/debug/pprof/symbol" {
+			h = getOnly(h)
+		}
+		mux.HandleFunc(muxPattern(ep.Path), h)
 	}
 	return mux
 }
@@ -401,20 +482,23 @@ func (g *Gateway) breakerFor(model string) *fault.Breaker {
 // tryAdmit is admitRequest for a normal-priority, attempt-zero request with
 // no prompt-length hint — the pre-overload-control admission surface.
 func (g *Gateway) tryAdmit(model string) (ok bool, code int, reason string, retryAfter time.Duration) {
-	return g.admitRequest(model, workload.PriorityNormal, 1, 0)
+	return g.admitRequest("", model, workload.PriorityNormal, 1, 0)
 }
 
-// admitRequest runs admission control for one request to model. On success
-// the caller owns one admission slot and must release it via finish (normal
+// admitRequest runs admission control for one request to model. id is the
+// request's pre-assigned completion ID (empty when the caller has none), the
+// causal key the decision journal chains the verdict under. On success the
+// caller owns one admission slot and must release it via finish (normal
 // completion), releaseAdmission (submission failure), or abortRelease
 // (client disconnect). retryAfter accompanies 503s (graceful degradation:
 // shed load tells clients when to come back — for predictive rejections it
 // is computed from the TTFT estimate, not a constant).
-func (g *Gateway) admitRequest(model string, prio workload.Priority, inTok, retryAttempt int) (ok bool, code int, reason string, retryAfter time.Duration) {
+func (g *Gateway) admitRequest(id, model string, prio workload.Priority, inTok, retryAttempt int) (ok bool, code int, reason string, retryAfter time.Duration) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	shed := int(float64(g.opts.MaxInFlight) * g.opts.ShedFraction)
 	retryAfter = time.Second
+	var estTTFT time.Duration
 	ov := g.opts.Overload
 	switch {
 	case g.draining:
@@ -465,6 +549,7 @@ func (g *Gateway) admitRequest(model string, prio workload.Priority, inTok, retr
 					depth += g.queuedPrio[rank]
 				}
 				est := EstimateTTFT(depth, g.switchEstLocked(time.Now()), g.tput, inTok, ov.GroupSize)
+				estTTFT = est
 				if est > ov.TTFT {
 					code, reason = http.StatusServiceUnavailable, "predicted_ttft_miss"
 					retryAfter = RetryAfter(est, ov.TTFT)
@@ -486,11 +571,55 @@ func (g *Gateway) admitRequest(model string, prio workload.Priority, inTok, retr
 			g.queued[model]++
 			g.queuedPrio[prio.Rank()]++
 			g.admitted++
+			if j := g.opts.Decisions; j != nil {
+				g.journalAdmissionLocked(j, id, model, prio, inTok, "accept", estTTFT)
+			}
 			return true, http.StatusOK, "", 0
 		}
 	}
 	g.rejected[reason]++
+	if j := g.opts.Decisions; j != nil {
+		g.journalAdmissionLocked(j, id, model, prio, inTok, reason, estTTFT)
+	}
 	return false, code, reason, retryAfter
+}
+
+// journalAdmissionLocked records the edge admission verdict with the
+// evidence the decision actually weighed: occupancy, the per-priority queue
+// depth ahead of the request, and — when overload control is on — the TTFT
+// estimate with its switch-cost and throughput inputs against the target.
+// The timestamp is the last virtual-clock snapshot the wall-clock HTTP path
+// has seen (best effort: edge admissions run off the event loop, so they are
+// excluded from the byte-identical determinism contract). Must be called
+// with g.mu held.
+func (g *Gateway) journalAdmissionLocked(j *decision.Journal, id, model string,
+	prio workload.Priority, inTok int, outcome string, estTTFT time.Duration) {
+	inputs := []decision.Term{
+		{Name: "inflight", Value: float64(g.inflight)},
+		{Name: "queued_model", Value: float64(g.queued[model])},
+		{Name: "priority", Value: float64(prio)},
+		{Name: "input_tokens", Value: float64(inTok)},
+	}
+	if ov := g.opts.Overload; ov != nil {
+		inputs = append(inputs,
+			decision.NsTerm("switch_est", sim.Time(g.switchEst)),
+			decision.Term{Name: "tput_tokens_per_s", Value: g.tput},
+			decision.NsTerm("ttft_target", sim.Time(ov.TTFT)),
+			decision.Term{Name: "overload_level", Value: float64(ov.Controller.Level())},
+		)
+		if estTTFT > 0 {
+			inputs = append(inputs, decision.NsTerm("ttft_estimate", sim.Time(estTTFT)))
+		}
+	}
+	j.Record(decision.Record{
+		At:      sim.Time(g.lastVirtual),
+		Kind:    decision.KindAdmission,
+		Request: id,
+		Model:   model,
+		Outcome: outcome,
+		Reason:  "gateway edge admission",
+		Inputs:  inputs,
+	})
 }
 
 // switchEstLocked returns the per-switch cost estimate, refreshed from the
@@ -759,7 +888,10 @@ func (g *Gateway) handleCompletions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ok, code, reason, retryAfter := g.admitRequest(req.Model, prio, inTok, retryAttempt)
+	// The ID is assigned before admission so a rejection's journal record
+	// carries the same causal key an accepted request's chain would.
+	id := fmt.Sprintf("cmpl-%d", g.nextID.Add(1))
+	ok, code, reason, retryAfter := g.admitRequest(id, req.Model, prio, inTok, retryAttempt)
 	if !ok {
 		g.countStatus(code)
 		secs := int(retryAfter / time.Second)
@@ -770,8 +902,6 @@ func (g *Gateway) handleCompletions(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, code, "request rejected: %s", reason)
 		return
 	}
-
-	id := fmt.Sprintf("cmpl-%d", g.nextID.Add(1))
 	// The channel holds every token the request can produce, so the
 	// simulation goroutine never blocks on a slow client.
 	tokens := make(chan tokenEvent, outTok)

@@ -144,7 +144,7 @@ func TestAdmissionBrownoutLevels(t *testing.T) {
 	t.Run("admit_none", func(t *testing.T) {
 		gw, names := newGW(pinGatewayController(overload.LevelAdmitNone))
 		defer gw.Shutdown(context.Background())
-		ok, code, reason, _ := gw.admitRequest(names[0], workload.PriorityHigh, 1, 0)
+		ok, code, reason, _ := gw.admitRequest("", names[0], workload.PriorityHigh, 1, 0)
 		if ok || code != http.StatusServiceUnavailable || reason != "admit_none" {
 			t.Fatalf("admit-none: ok=%v code=%d reason=%q", ok, code, reason)
 		}
@@ -153,10 +153,10 @@ func TestAdmissionBrownoutLevels(t *testing.T) {
 	t.Run("shed_low_priority", func(t *testing.T) {
 		gw, names := newGW(pinGatewayController(overload.LevelShedLow))
 		defer gw.Shutdown(context.Background())
-		if ok, _, reason, _ := gw.admitRequest(names[0], workload.PriorityLow, 1, 0); ok || reason != "shed_low_priority" {
+		if ok, _, reason, _ := gw.admitRequest("", names[0], workload.PriorityLow, 1, 0); ok || reason != "shed_low_priority" {
 			t.Fatalf("low tier: ok=%v reason=%q, want shed_low_priority rejection", ok, reason)
 		}
-		if ok, _, reason, _ := gw.admitRequest(names[0], workload.PriorityNormal, 1, 0); !ok {
+		if ok, _, reason, _ := gw.admitRequest("", names[0], workload.PriorityNormal, 1, 0); !ok {
 			t.Fatalf("normal tier rejected at shed-low: %q", reason)
 		}
 		gw.releaseAdmission(names[0], workload.PriorityNormal)
@@ -171,10 +171,10 @@ func TestAdmissionBrownoutLevels(t *testing.T) {
 		gw.mu.Lock()
 		gw.queued[names[0]]++
 		gw.mu.Unlock()
-		if ok, _, reason, _ := gw.admitRequest(names[1], workload.PriorityNormal, 1, 0); ok || reason != "frozen_cold_model" {
+		if ok, _, reason, _ := gw.admitRequest("", names[1], workload.PriorityNormal, 1, 0); ok || reason != "frozen_cold_model" {
 			t.Fatalf("cold model: ok=%v reason=%q, want frozen_cold_model rejection", ok, reason)
 		}
-		if ok, _, reason, _ := gw.admitRequest(names[0], workload.PriorityNormal, 1, 0); !ok {
+		if ok, _, reason, _ := gw.admitRequest("", names[0], workload.PriorityNormal, 1, 0); !ok {
 			t.Fatalf("warm model rejected at freeze: %q", reason)
 		}
 		gw.releaseAdmission(names[0], workload.PriorityNormal)
@@ -193,7 +193,7 @@ func TestPredictiveRejection(t *testing.T) {
 	})
 	defer gw.Shutdown(context.Background())
 
-	ok, code, reason, ra := gw.admitRequest(names[0], workload.PriorityNormal, 1, 0)
+	ok, code, reason, ra := gw.admitRequest("", names[0], workload.PriorityNormal, 1, 0)
 	if ok || code != http.StatusServiceUnavailable || reason != "predicted_ttft_miss" {
 		t.Fatalf("ok=%v code=%d reason=%q, want predictive 503", ok, code, reason)
 	}
@@ -226,18 +226,18 @@ func TestRetryBudget(t *testing.T) {
 	defer gw.Shutdown(context.Background())
 
 	for i := 0; i < 2; i++ {
-		if ok, _, reason, _ := gw.admitRequest(names[0], workload.PriorityNormal, 1, i+1); !ok {
+		if ok, _, reason, _ := gw.admitRequest("", names[0], workload.PriorityNormal, 1, i+1); !ok {
 			t.Fatalf("retry %d rejected within budget: %q", i+1, reason)
 		}
 		gw.releaseAdmission(names[0], workload.PriorityNormal)
 	}
-	ok, code, reason, _ := gw.admitRequest(names[0], workload.PriorityNormal, 1, 3)
+	ok, code, reason, _ := gw.admitRequest("", names[0], workload.PriorityNormal, 1, 3)
 	if ok || code != http.StatusServiceUnavailable || reason != "retry_budget" {
 		t.Fatalf("exhausted budget: ok=%v code=%d reason=%q", ok, code, reason)
 	}
 
 	// Fresh traffic is unaffected and keeps depositing.
-	if ok, _, reason, _ := gw.admitRequest(names[0], workload.PriorityNormal, 1, 0); !ok {
+	if ok, _, reason, _ := gw.admitRequest("", names[0], workload.PriorityNormal, 1, 0); !ok {
 		t.Fatalf("fresh request rejected after budget exhaustion: %q", reason)
 	}
 	gw.releaseAdmission(names[0], workload.PriorityNormal)
@@ -284,7 +284,7 @@ func TestDebugOverloadEndpoint(t *testing.T) {
 	h := gw.Handler()
 
 	// One admitted request so the estimator has live state.
-	if ok, _, reason, _ := gw.admitRequest(names[0], workload.PriorityNormal, 1, 0); !ok {
+	if ok, _, reason, _ := gw.admitRequest("", names[0], workload.PriorityNormal, 1, 0); !ok {
 		t.Fatalf("seed admission failed: %q", reason)
 	}
 

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"aegaeon/internal/decision"
 	"aegaeon/internal/fault"
 	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/market"
@@ -190,6 +191,10 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fleetSnap = g.opts.Fleet.Snapshot(virtual)
 		}
 		writeMarketMetrics(&b, g.opts.Market.Snapshot(virtual, fleetSnap))
+	}
+
+	if g.opts.Decisions != nil {
+		writeDecisionMetrics(&b, g.opts.Decisions)
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -536,6 +541,28 @@ func writeMarketMetrics(b *strings.Builder, snap *market.Snapshot) {
 	for _, c := range snap.Classes {
 		fmt.Fprintf(b, "aegaeon_market_class_preemptions_total{class=%q} %d\n", c.Class, c.Preemptions)
 	}
+}
+
+// writeDecisionMetrics renders the decision-provenance journal's families.
+// Series come from Counts(), already sorted by kind then outcome, so label
+// order is deterministic scrape to scrape; every family carries # HELP and
+// # TYPE. The whole block is absent when the journal is off.
+func writeDecisionMetrics(b *strings.Builder, j *decision.Journal) {
+	counter := func(name, help string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+
+	counter("aegaeon_decision_records_total", "Journaled scheduling decisions by kind and outcome.")
+	for _, c := range j.Counts() {
+		fmt.Fprintf(b, "aegaeon_decision_records_total{kind=%q,outcome=%q} %d\n", c.Kind, c.Outcome, c.N)
+	}
+	counter("aegaeon_decision_journaled_total", "Decisions ever journaled (ring rotation does not decrement).")
+	fmt.Fprintf(b, "aegaeon_decision_journaled_total %d\n", j.Total())
+	gauge("aegaeon_decision_tracked_requests", "Requests with a retained decision chain.")
+	fmt.Fprintf(b, "aegaeon_decision_tracked_requests %d\n", j.TrackedRequests())
 }
 
 func b2i(v bool) int {

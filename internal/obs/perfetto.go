@@ -60,9 +60,26 @@ func metaEvent(pid, tid int, kind, name string) traceEvent {
 		Args: map[string]any{"name": name}}
 }
 
+// RequestInstant is an extra instant event drawn on a request's thread track
+// at export time. Decision-provenance annotations arrive through this type so
+// obs never imports the decision package; instants for requests the collector
+// does not know are silently dropped.
+type RequestInstant struct {
+	Request string
+	Name    string
+	At      sim.Time
+	Args    map[string]any
+}
+
 // WritePerfetto exports the collector's timelines as Chrome trace-event
 // JSON. The output loads directly in ui.perfetto.dev.
 func (c *Collector) WritePerfetto(w io.Writer) error {
+	return c.WritePerfettoAnnotated(w, nil)
+}
+
+// WritePerfettoAnnotated is WritePerfetto plus caller-supplied instant events
+// on request tracks (decision provenance annotations).
+func (c *Collector) WritePerfettoAnnotated(w io.Writer, annotations []RequestInstant) error {
 	if c == nil {
 		return fmt.Errorf("obs: nil collector has nothing to export")
 	}
@@ -155,8 +172,10 @@ func (c *Collector) WritePerfetto(w io.Writer) error {
 	// Request tracks: a shared process with one thread per request.
 	reqs := c.Requests(0)
 	events = append(events, metaEvent(pidRequests, 0, "process_name", "requests"))
+	reqTid := make(map[string]int, len(reqs))
 	for i, rt := range reqs {
 		tid := i + 1
+		reqTid[rt.ID] = tid
 		events = append(events, metaEvent(pidRequests, tid, "thread_name",
 			rt.ID+" ("+rt.Model+")"))
 		for _, sp := range rt.Spans {
@@ -173,6 +192,16 @@ func (c *Collector) WritePerfetto(w io.Writer) error {
 				Ts: usec(tok), Pid: pidRequests, Tid: tid,
 			})
 		}
+	}
+	for _, an := range annotations {
+		tid, ok := reqTid[an.Request]
+		if !ok {
+			continue
+		}
+		events = append(events, traceEvent{
+			Name: an.Name, Ph: "i", Cat: "decision", S: "t",
+			Ts: usec(an.At), Pid: pidRequests, Tid: tid, Args: an.Args,
+		})
 	}
 
 	// Fault tracks: instant events for failures, recoveries, and retries,

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"sync"
 
+	"aegaeon/internal/decision"
 	"aegaeon/internal/kvcache"
 	"aegaeon/internal/memory"
 	"aegaeon/internal/model"
@@ -77,6 +78,12 @@ type Config struct {
 	// Routing enables cache-aware placement in the serving layer. The cache
 	// itself only records the flag; internal/core consults it.
 	Routing bool
+	// Journal, when non-nil, receives a decision record for every eviction
+	// victim choice (host and device tiers). Nil keeps eviction
+	// journal-free — the usual zero-overhead off path.
+	Journal *decision.Journal
+	// Clock supplies virtual time for journal records (nil stamps zero).
+	Clock func() sim.Time
 }
 
 // classInfo caches per-model registration so promotion does not need the
@@ -527,9 +534,33 @@ func (c *Cache) evictHostOne() bool {
 	if v == nil {
 		return false
 	}
+	c.journalEviction("host_evict", "", v)
 	c.removeEntry(v)
 	c.st.hostEvictions++
 	return true
+}
+
+// journalEviction records one eviction victim choice. Caller holds c.mu; the
+// journal has its own lock and never calls back into the cache.
+func (c *Cache) journalEviction(tier, instance string, v *entry) {
+	j := c.cfg.Journal
+	if j == nil {
+		return
+	}
+	var at sim.Time
+	if c.cfg.Clock != nil {
+		at = c.cfg.Clock()
+	}
+	j.Record(decision.Record{At: at, Kind: decision.KindPrefixEviction,
+		Instance: instance, Model: v.model,
+		Outcome: tier,
+		Reason:  c.cfg.Policy.String() + " victim " + fmt.Sprintf("%x@%d", v.hash, v.depth),
+		Inputs: []decision.Term{
+			{Name: "depth", Value: float64(v.depth)},
+			{Name: "hits", Value: float64(v.hits)},
+			decision.NsTerm("last_use", v.lastUse),
+			{Name: "block_bytes", Value: float64(v.blockBytes)},
+		}})
 }
 
 // pickVictim scans every entry passing ok and returns the minimum of the
@@ -620,6 +651,7 @@ func (c *Cache) evictDeviceOne(instance string, exclude map[*entry]bool) bool {
 	if v == nil {
 		return false
 	}
+	c.journalEviction("device_evict", instance, v)
 	c.dropDeviceCopy(v, instance, true)
 	c.st.deviceEvictions++
 	return true
