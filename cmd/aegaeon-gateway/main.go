@@ -82,6 +82,7 @@ func main() {
 	marketSpot := flag.Bool("market-spot", false, "activate spot pricing and reclaim risk (with -market)")
 	marketNaive := flag.Bool("market-naive", false, "disable preemption-aware placement and KV evacuation: the spot-naive baseline arm (with -market)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+	storeReplicas := flag.Int("store-replicas", 0, "replicate the cluster metadata store across N quorum replicas named ms0..msN-1 (0 or 1 = single in-process store); adds /debug/metastore replica state and aegaeon_metastore_* leader/term/commit metrics")
 	noWhy := flag.Bool("no-decisions", false, "disable the decision-provenance journal and the /debug/decisions + /debug/why/{id} endpoints")
 	flag.Parse()
 	if *overloadOn {
@@ -145,15 +146,17 @@ func main() {
 		dec = decision.New(decision.Options{})
 	}
 	cl, err := cluster.New(se, cluster.Config{
-		Prof:      prof,
-		SLO:       slo.Default(),
-		Obs:       col,
-		SLOMon:    mon,
-		Overload:  ovl,
-		Prefix:    pfx,
-		Fleet:     fleet,
-		Market:    mkt,
-		Decisions: dec,
+		Prof:          prof,
+		SLO:           slo.Default(),
+		Obs:           col,
+		SLOMon:        mon,
+		Overload:      ovl,
+		Prefix:        pfx,
+		Fleet:         fleet,
+		Market:        mkt,
+		Decisions:     dec,
+		StoreReplicas: *storeReplicas,
+		StoreSeed:     *seed,
 		Deployments: []cluster.DeploymentConfig{{
 			Name:       "live",
 			TP:         *tp,

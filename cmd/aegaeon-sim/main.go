@@ -250,6 +250,10 @@ func main() {
 		smallMix   = flag.Bool("small-models", false, "serve the 6-8B small-model mix instead of the default 6-15B market mix (fits 24 GB market classes like A10/RTX4090)")
 		whyOn      = flag.Bool("why", false, "enable the decision-provenance journal and print the why-trace summary (aegaeon system only)")
 		whyJSON    = flag.String("why-json", "", "write the decision journal export as JSON to this file, checkable with aegaeon-trace -mode why (implies -why)")
+		chaosOn    = flag.Bool("chaos", false, "run the chaos harness instead of the plain simulation: inject -faults (or a random schedule), then audit recovery and, with -store-replicas > 1, control-plane linearizability; exits non-zero on any violation")
+		storeReps  = flag.Int("store-replicas", 0, "replicate the cluster metadata store across N quorum replicas named ms0..msN-1 (with -chaos; 0 or 1 = single store)")
+		chaosSweep = flag.Int("chaos-sweep", 0, "run N chaos seeds starting at -seed, each with a fresh random fault schedule (with -chaos; overrides -faults)")
+		chaosJSON  = flag.String("chaos-json", "", "write the chaos bench artifact (per-run counters, store op latency p50/p99, unavailability windows, violations) as JSON to this file (with -chaos)")
 	)
 	flag.Parse()
 	if *sloJSON != "" {
@@ -300,6 +304,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-why requires -system aegaeon (baselines journal no decisions)")
 		os.Exit(2)
 	}
+	if *chaosOn && *system != "aegaeon" {
+		fmt.Fprintln(os.Stderr, "-chaos requires -system aegaeon (baselines have no fault model)")
+		os.Exit(2)
+	}
+	if (*storeReps > 1 || *chaosSweep > 0 || *chaosJSON != "") && !*chaosOn {
+		fmt.Fprintln(os.Stderr, "-store-replicas/-chaos-sweep/-chaos-json require -chaos")
+		os.Exit(2)
+	}
 	var wk aegaeon.WorkloadKind
 	switch *wlKind {
 	case "poisson":
@@ -334,6 +346,14 @@ func main() {
 	}
 
 	slo := aegaeon.DefaultSLO().Scale(*sloScale).ScaleTTFT(*ttftScale).ScaleTBT(*tbtScale)
+
+	if *chaosOn {
+		runChaos(chaosOpts{
+			seed: *seed, horizon: *horizon, spec: *faults,
+			replicas: *storeReps, sweep: *chaosSweep, out: *chaosJSON,
+		})
+		return
+	}
 
 	if *pfxBench != "" {
 		runPrefixBench(prefixBenchOpts{

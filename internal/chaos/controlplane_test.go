@@ -1,0 +1,173 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Golden control-plane schedule: a leader-side partition, a replica crash
+// with restart, an asymmetric netsplit, slow links, and an instance crash —
+// all in one run. The counts are pinned: a change here means the replication
+// protocol, the fault grammar, or the cluster wiring changed behavior.
+func TestGoldenControlPlaneSchedule(t *testing.T) {
+	res, err := Run(Config{
+		Seed:          5,
+		Horizon:       120 * time.Second,
+		StoreReplicas: 3,
+		Spec: "partition@20s+5s:ms0,rcrash@35s+10s:ms1,netsplit@55s+6s:ms0~ms1|ms2," +
+			"netdelay@70s+8s*4:ms2,crash@40s:chaos/decode1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if len(res.InjectErrs) != 0 {
+		t.Fatalf("injection errors: %v", res.InjectErrs)
+	}
+	if res.Injected != 5 {
+		t.Fatalf("injected = %d", res.Injected)
+	}
+	// Golden counts for this seed+schedule.
+	if res.Completed != 59 || res.Failed != 0 || res.Failovers != 1 {
+		t.Fatalf("completed=%d failed=%d failovers=%d, want 59/0/1",
+			res.Completed, res.Failed, res.Failovers)
+	}
+	if res.Store == nil {
+		t.Fatal("no store view on a replicated run")
+	}
+	if res.Store.Mode != "replicated" || len(res.Store.Replicas) != 3 {
+		t.Fatalf("store view = %+v", res.Store)
+	}
+	if res.Store.Leader == "" {
+		t.Fatal("no leader at drain")
+	}
+	if res.StoreOpsAcked == 0 {
+		t.Fatal("no store ops recorded")
+	}
+	if res.StoreOpP50 <= 0 || res.StoreOpP99 < res.StoreOpP50 {
+		t.Fatalf("op latency p50=%v p99=%v", res.StoreOpP50, res.StoreOpP99)
+	}
+	// One fault at a time never cuts quorum, and the client probes past any
+	// single dead or partitioned replica within its op deadline: the whole
+	// schedule rides with zero client-visible unavailability.
+	if res.UnavailWindows != 0 {
+		t.Fatalf("unavailability = %d windows / %v on single-fault schedule",
+			res.UnavailWindows, res.UnavailTotal)
+	}
+}
+
+// Overlapping crashes of two replicas DO cut quorum: the store must refuse
+// (not misserve) writes in the window and the unavailability meter must show
+// it — the audit measures the outage instead of pretending the fault was
+// free.
+func TestQuorumLossIsMeasuredUnavailability(t *testing.T) {
+	res, err := Run(Config{
+		Seed:          5,
+		Horizon:       120 * time.Second,
+		StoreReplicas: 3,
+		Spec:          "rcrash@30s+15s:ms0,rcrash@32s+15s:ms1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.UnavailWindows == 0 || res.UnavailTotal <= 0 {
+		t.Fatalf("quorum loss measured no unavailability (%d windows / %v)",
+			res.UnavailWindows, res.UnavailTotal)
+	}
+	// Both replicas restart: the store recovers and the run still drains with
+	// a live leader.
+	if res.Store.Leader == "" {
+		t.Fatal("no leader after the quorum-loss window healed")
+	}
+}
+
+// The acceptance matrix: a 3-replica control plane keeps serving — and keeps
+// failing over the data plane — through a crash of ANY single replica,
+// including permanent crashes (no restart).
+func TestServesThroughAnySingleReplicaCrash(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		i := i
+		t.Run(fmt.Sprintf("ms%d", i), func(t *testing.T) {
+			res, err := Run(Config{
+				Seed:          5,
+				Horizon:       120 * time.Second,
+				StoreReplicas: 3,
+				Spec:          fmt.Sprintf("rcrash@30s:ms%d,crash@40s:chaos/decode1", i),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			if res.Failovers != 1 {
+				t.Fatalf("failovers = %d with ms%d down", res.Failovers, i)
+			}
+			if res.Failed != 0 {
+				t.Fatalf("%d requests failed with ms%d down", res.Failed, i)
+			}
+			if res.Completed != 59 {
+				t.Fatalf("completed = %d with ms%d down, want 59", res.Completed, i)
+			}
+		})
+	}
+}
+
+// Random-seed partition sweep: 20 seeds of mixed fault schedules (replica
+// kinds included) against the 3-replica store, each audited for zero
+// violations — the linearizability checker, the leader-per-term rule, and
+// the no-acknowledged-write-lost rule all hold under arbitrary compositions.
+func TestReplicatedRandomSweep(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			res, err := Run(Config{
+				Seed:          int64(seed),
+				Horizon:       90 * time.Second,
+				StoreReplicas: 3,
+				RandomFaults:  5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("seed %d (%s): %s", seed, res.Spec, v)
+			}
+			if res.StoreOpsAcked == 0 {
+				t.Errorf("seed %d: no acked store ops", seed)
+			}
+		})
+	}
+}
+
+// StoreReplicas = 0 keeps the single store and must leave the established
+// golden schedule byte-identical — the control plane is strictly additive.
+func TestSingleStoreGoldenUnchanged(t *testing.T) {
+	res, err := Run(Config{
+		Seed:    5,
+		Horizon: 120 * time.Second,
+		Spec:    "partition@38s+6s,crash@40s:chaos/decode1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Completed != 59 || res.Failovers != 1 {
+		t.Fatalf("completed=%d failovers=%d, want 59/1", res.Completed, res.Failovers)
+	}
+	if res.Store != nil {
+		t.Fatal("single-store run produced a replicated store view")
+	}
+}

@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"aegaeon/internal/core"
@@ -112,15 +113,37 @@ type Config struct {
 	// StartHealth is called.
 	LeaseTTL   time.Duration
 	HealthPoll time.Duration
+
+	// StoreReplicas promotes the metadata store to an N-replica quorum store
+	// (ms0..msN-1): lease-based leadership, majority-acknowledged writes,
+	// and survival of any minority of replica crashes or partitions. 0 or 1
+	// keeps the classic single-replica store. The quorum protocol runs
+	// heartbeat and election timers on the sim clock, so callers MUST pair it
+	// with the StartHealth/StopHealth lifecycle (StopHealth stops the
+	// store's timers too) or sim.Engine.Run will never drain.
+	StoreReplicas int
+	// StoreSeed seeds the quorum store's election jitter (default 1).
+	StoreSeed int64
+	// StoreHistory records every store client op so chaos harnesses can run
+	// the control-plane linearizability audit. Replicated store only; leave
+	// off in long-lived servers (the history grows without bound).
+	StoreHistory bool
 }
 
 // Cluster is the proxy plus its deployments.
 type Cluster struct {
 	eng   *sim.Engine
 	cfg   Config
-	store *metastore.Store
+	store metastore.API
+	rep   *metastore.Replicated // non-nil iff StoreReplicas > 1
 	deps  []*Deployment
 	route map[string]*Deployment // model name -> deployment
+
+	// routeMirror is the proxy's watch-maintained copy of the store's
+	// route/ table: it must converge to Routes() by drain time no matter
+	// what partitions interleaved with the writes (the watch-replay
+	// ordering invariant chaos audits).
+	routeMirror map[string]string
 
 	healthOn   bool
 	healthStop bool
@@ -137,11 +160,30 @@ func New(se *sim.Engine, cfg Config) (*Cluster, error) {
 		rtt = time.Millisecond
 	}
 	c := &Cluster{
-		eng:   se,
-		cfg:   cfg,
-		store: metastore.New(se, rtt),
-		route: map[string]*Deployment{},
+		eng:         se,
+		cfg:         cfg,
+		route:       map[string]*Deployment{},
+		routeMirror: map[string]string{},
 	}
+	if cfg.StoreReplicas > 1 {
+		c.rep = metastore.NewReplicated(se, metastore.RepConfig{
+			Replicas:      cfg.StoreReplicas,
+			RTT:           rtt,
+			Seed:          cfg.StoreSeed,
+			RecordHistory: cfg.StoreHistory,
+		})
+		c.store = c.rep
+	} else {
+		c.store = metastore.New(se, rtt)
+	}
+	c.store.Watch("route/", func(k, v string) {
+		name := strings.TrimPrefix(k, "route/")
+		if v == "" {
+			delete(c.routeMirror, name)
+		} else {
+			c.routeMirror[name] = v
+		}
+	})
 	for _, dc := range cfg.Deployments {
 		sys := core.NewSystem(se, core.Config{
 			Prof:       cfg.Prof,
@@ -168,15 +210,59 @@ func New(se *sim.Engine, cfg Config) (*Cluster, error) {
 			}
 			dep.models[m.Name] = true
 			c.route[m.Name] = dep
-			c.store.Set("route/"+m.Name, dc.Name)
+			c.putRoute(m.Name, dc.Name, 0)
 		}
 		c.deps = append(c.deps, dep)
 	}
 	return c, nil
 }
 
+// putRoute writes one routing-table entry, retrying with a fixed backoff
+// until acknowledged. On the quorum store the first leader election may not
+// have finished when New runs, so a bounded retry loop (rather than the
+// single store's fire-and-forget Set) is what guarantees the table lands.
+func (c *Cluster) putRoute(model, dep string, attempt int) {
+	c.store.SetE("route/"+model, dep, func(err error) {
+		if err == nil || attempt >= 20 || c.healthStop {
+			return
+		}
+		c.eng.After(500*time.Millisecond, func() { c.putRoute(model, dep, attempt+1) })
+	})
+}
+
 // Store exposes the metadata store.
-func (c *Cluster) Store() *metastore.Store { return c.store }
+func (c *Cluster) Store() metastore.API { return c.store }
+
+// Replicated exposes the quorum store (nil when StoreReplicas <= 1).
+func (c *Cluster) Replicated() *metastore.Replicated { return c.rep }
+
+// RouteMirror returns the proxy's watch-maintained routing-table copy.
+func (c *Cluster) RouteMirror() map[string]string {
+	out := make(map[string]string, len(c.routeMirror))
+	for k, v := range c.routeMirror {
+		out[k] = v
+	}
+	return out
+}
+
+// StoreView snapshots the control plane for /debug/metastore. Must run on
+// the simulation goroutine.
+func (c *Cluster) StoreView() metastore.ControlView {
+	if c.rep != nil {
+		return c.rep.View()
+	}
+	g, s, d := c.store.Ops()
+	return metastore.ControlView{
+		SchemaVersion: 1,
+		Mode:          "single",
+		Gets:          g,
+		Sets:          s,
+		Deletes:       d,
+		FailedOps:     c.store.FailedOps(),
+		Watches:       c.store.Watches(),
+		Available:     c.store.Available(),
+	}
+}
 
 // FaultStats snapshots the shared fault counters (zero value when the
 // cluster was built without fault state).

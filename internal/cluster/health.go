@@ -11,8 +11,9 @@ import (
 )
 
 var (
-	_ fault.Surface     = (*Cluster)(nil)
-	_ fault.SpotSurface = (*Cluster)(nil)
+	_ fault.Surface        = (*Cluster)(nil)
+	_ fault.SpotSurface    = (*Cluster)(nil)
+	_ fault.ReplicaSurface = (*Cluster)(nil)
 )
 
 // Health monitoring and failover (Fig. 5: the proxy's metadata sync exists
@@ -67,10 +68,15 @@ func (c *Cluster) StartHealth() {
 
 // StopHealth halts lease renewal and monitoring: the already-scheduled loop
 // events fire once more and return without rescheduling, so the event queue
-// drains. Must run on the simulation goroutine.
+// drains. With a replicated store it also stops the quorum protocol's
+// heartbeat and election timers — the other half of keeping Run finite.
+// Must run on the simulation goroutine.
 func (c *Cluster) StopHealth() {
 	c.healthStop = true
 	c.healthOn = false
+	if c.rep != nil {
+		c.rep.Stop()
+	}
 }
 
 // Failovers returns how many instance failovers the proxy has claimed and
@@ -117,7 +123,7 @@ func (c *Cluster) monitor() {
 	for _, d := range c.deps {
 		for _, name := range d.System.InstanceNames() {
 			d, name := d, name
-			c.store.GetE(leaseKey(d.Name, name), func(v string, ok bool, err error) {
+			c.store.GetSession(leaseKey(d.Name, name), func(v string, ok bool, err error) {
 				if c.healthStop {
 					return
 				}
@@ -141,7 +147,27 @@ func (c *Cluster) monitor() {
 				}
 				c.store.CompareAndSwap(failoverKey(d.Name, name), "", "proxy",
 					func(swapped bool, err error) {
-						if err != nil || !swapped || c.healthStop {
+						if err != nil || c.healthStop {
+							return
+						}
+						if !swapped {
+							// The claim may already be ours: a previous CAS can
+							// commit while its acknowledgment dies with a store
+							// leader crash or partition. Recovery is idempotent
+							// (an empty orphan stash is a no-op), so the owner
+							// re-enters instead of wedging with the orphans
+							// stranded forever.
+							c.store.GetE(failoverKey(d.Name, name),
+								func(v string, ok bool, err error) {
+									if err != nil || !ok || v != "proxy" || c.healthStop {
+										return
+									}
+									if d.System.OrphanedOf(name) == 0 {
+										return
+									}
+									d.System.RecoverOrphansOf(name)
+									c.failovers++
+								})
 							return
 						}
 						d.System.RecoverOrphansOf(name)
@@ -271,4 +297,38 @@ func (c *Cluster) PartitionStore(d sim.Time) error {
 func (c *Cluster) SlowStore(factor float64, d sim.Time) error {
 	c.store.SlowBy(factor, d)
 	return nil
+}
+
+// --- fault.ReplicaSurface: control-plane faults need the quorum store ---
+
+// PartitionReplica implements fault.ReplicaSurface.
+func (c *Cluster) PartitionReplica(target string, d sim.Time) error {
+	if c.rep == nil {
+		return fmt.Errorf("cluster: replica faults need StoreReplicas > 1")
+	}
+	return c.rep.PartitionReplica(target, d)
+}
+
+// Netsplit implements fault.ReplicaSurface.
+func (c *Cluster) Netsplit(from, to []string, d sim.Time) error {
+	if c.rep == nil {
+		return fmt.Errorf("cluster: replica faults need StoreReplicas > 1")
+	}
+	return c.rep.Netsplit(from, to, d)
+}
+
+// SlowLinks implements fault.ReplicaSurface.
+func (c *Cluster) SlowLinks(target string, factor float64, d sim.Time) error {
+	if c.rep == nil {
+		return fmt.Errorf("cluster: replica faults need StoreReplicas > 1")
+	}
+	return c.rep.SlowLinks(target, factor, d)
+}
+
+// CrashReplica implements fault.ReplicaSurface.
+func (c *Cluster) CrashReplica(target string, restartAfter sim.Time) error {
+	if c.rep == nil {
+		return fmt.Errorf("cluster: replica faults need StoreReplicas > 1")
+	}
+	return c.rep.CrashReplica(target, restartAfter)
 }

@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"aegaeon/internal/fault"
+	"aegaeon/internal/latency"
+	"aegaeon/internal/model"
+	"aegaeon/internal/sim"
+	"aegaeon/internal/slo"
+	"aegaeon/internal/workload"
+)
+
+// replicatedCluster is healthCluster on a 3-replica quorum store with the
+// linearizability history recording on.
+func replicatedCluster(t *testing.T, se *sim.Engine, f *fault.Faults) (*Cluster, []*model.Model) {
+	t.Helper()
+	small := model.SmallMix(4)
+	c, err := New(se, Config{
+		Prof:   latency.H800(),
+		SLO:    slo.Default(),
+		Faults: f,
+		Deployments: []DeploymentConfig{
+			{Name: "tp1", TP: 1, NumPrefill: 1, NumDecode: 2, Models: small},
+		},
+		StoreReplicas: 3,
+		StoreSeed:     11,
+		StoreHistory:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, small
+}
+
+func auditCluster(t *testing.T, c *Cluster) {
+	t.Helper()
+	for _, bad := range c.Replicated().CheckControlPlane() {
+		t.Errorf("control-plane audit: %s", bad)
+	}
+}
+
+// The health/failover machinery works unchanged on the quorum store: an
+// instance crash is detected via its expired lease, the CAS claim commits
+// through the quorum, and the audit holds.
+func TestFailoverOnReplicatedStore(t *testing.T) {
+	se := sim.NewEngine(1)
+	f := fault.New(se, 7)
+	c, small := replicatedCluster(t, se, f)
+	var names []string
+	for _, m := range small {
+		names = append(names, m.Name)
+	}
+	rng := rand.New(rand.NewSource(3))
+	trace := workload.PoissonTrace(rng, names, 0.1, 120*time.Second, workload.ShareGPT())
+	if err := c.Submit(trace); err != nil {
+		t.Fatal(err)
+	}
+	se.At(0, c.StartHealth)
+	se.At(45*time.Second, func() {
+		if err := c.CrashInstance("tp1/decode1"); err != nil {
+			t.Error(err)
+		}
+	})
+	se.At(60*time.Second, func() {
+		if c.Failovers() != 1 {
+			t.Errorf("failovers = %d within 15s of the crash", c.Failovers())
+		}
+	})
+	se.At(300*time.Second, c.StopHealth)
+	se.Run()
+	c.Finalize(se.Now())
+	if c.Completed() != len(trace) {
+		t.Fatalf("completed %d/%d after failover", c.Completed(), len(trace))
+	}
+	if v, ok := c.Store().GetNow("failover/tp1/decode1"); !ok || v != "proxy" {
+		t.Fatalf("failover key = (%q, %v)", v, ok)
+	}
+	auditCluster(t, c)
+}
+
+// Lease-edge race: the store leader crashes in the same poll window the
+// proxy's CAS claim goes out — the claim can commit while its acknowledgment
+// dies with the leader. The idempotent re-entry must still recover the
+// orphans exactly once, through the new leader.
+func TestFailoverSurvivesStoreLeaderCrash(t *testing.T) {
+	se := sim.NewEngine(1)
+	f := fault.New(se, 7)
+	c, small := replicatedCluster(t, se, f)
+	var names []string
+	for _, m := range small {
+		names = append(names, m.Name)
+	}
+	rng := rand.New(rand.NewSource(3))
+	trace := workload.PoissonTrace(rng, names, 0.1, 120*time.Second, workload.ShareGPT())
+	if err := c.Submit(trace); err != nil {
+		t.Fatal(err)
+	}
+	se.At(0, c.StartHealth)
+	crashAt := 45 * time.Second
+	se.At(crashAt, func() {
+		if err := c.CrashInstance("tp1/decode1"); err != nil {
+			t.Error(err)
+		}
+	})
+	// The lease (TTL 3s) expires at ~48s; the next poll lands the CAS claim.
+	// Crash the store leader right at the edge so the claim's round trip
+	// straddles the election, and again a few seconds later to churn the
+	// replacement while the monitor retries.
+	se.At(crashAt+3100*time.Millisecond, func() {
+		if lead := c.Replicated().Leader(); lead != "" {
+			if err := c.CrashReplica(lead, 6*time.Second); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	se.At(crashAt+7*time.Second, func() {
+		if lead := c.Replicated().Leader(); lead != "" {
+			if err := c.CrashReplica(lead, 6*time.Second); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	se.At(300*time.Second, c.StopHealth)
+	se.Run()
+	c.Finalize(se.Now())
+	if c.Failovers() != 1 {
+		t.Fatalf("failovers = %d through the store leader churn", c.Failovers())
+	}
+	if got := c.Deployments()[0].System.OrphanedRequests(); got != 0 {
+		t.Fatalf("%d orphans stranded", got)
+	}
+	if c.Completed() != len(trace) {
+		t.Fatalf("completed %d/%d", c.Completed(), len(trace))
+	}
+	auditCluster(t, c)
+}
+
+// A replica-side partition that cuts the store leader away while every lease
+// expires must not fail over healthy instances: the liveness guard holds on
+// the quorum store exactly as on the single store.
+func TestReplicaPartitionDoesNotFalseFailover(t *testing.T) {
+	se := sim.NewEngine(1)
+	f := fault.New(se, 7)
+	c, small := replicatedCluster(t, se, f)
+	var names []string
+	for _, m := range small {
+		names = append(names, m.Name)
+	}
+	rng := rand.New(rand.NewSource(4))
+	trace := workload.PoissonTrace(rng, names, 0.1, 60*time.Second, workload.ShareGPT())
+	if err := c.Submit(trace); err != nil {
+		t.Fatal(err)
+	}
+	se.At(0, c.StartHealth)
+	se.At(10*time.Second, func() {
+		// A full netsplit: the leader's side loses quorum for 8s, leases
+		// expire meanwhile.
+		reps := c.Replicated().ReplicaNames()
+		if err := c.Netsplit(reps[:1], reps[1:], 8*time.Second); err != nil {
+			t.Error(err)
+		}
+		if err := c.PartitionReplica(reps[1], 8*time.Second); err != nil {
+			t.Error(err)
+		}
+	})
+	se.At(120*time.Second, c.StopHealth)
+	se.Run()
+	c.Finalize(se.Now())
+	if c.Failovers() != 0 {
+		t.Fatalf("false failovers: %d", c.Failovers())
+	}
+	if c.Completed() != len(trace) {
+		t.Fatalf("completed %d/%d through the netsplit", c.Completed(), len(trace))
+	}
+	auditCluster(t, c)
+}
+
+// The watch-fed route mirror converges to the committed routing table in
+// both store modes, including across a leader crash while routes are being
+// written at startup.
+func TestRouteMirrorConverges(t *testing.T) {
+	se := sim.NewEngine(1)
+	f := fault.New(se, 7)
+	c, _ := replicatedCluster(t, se, f)
+	se.At(0, c.StartHealth)
+	se.At(500*time.Millisecond, func() {
+		if lead := c.Replicated().Leader(); lead != "" {
+			if err := c.CrashReplica(lead, 4*time.Second); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	se.At(60*time.Second, c.StopHealth)
+	se.Run()
+	routes := c.Routes()
+	mirror := c.RouteMirror()
+	if len(routes) == 0 {
+		t.Fatal("no routes written")
+	}
+	for m, want := range routes {
+		if got := mirror[m]; got != want {
+			t.Errorf("mirror[%s] = %q, store %q", m, got, want)
+		}
+	}
+	if len(mirror) != len(routes) {
+		t.Errorf("mirror holds %d routes, store %d", len(mirror), len(routes))
+	}
+	auditCluster(t, c)
+}
+
+// Replica faults through the injector grammar drive the cluster surface end
+// to end, composed with an instance crash — the CI golden schedule in
+// miniature.
+func TestInjectorDrivesReplicaFaults(t *testing.T) {
+	se := sim.NewEngine(1)
+	f := fault.New(se, 7)
+	c, small := replicatedCluster(t, se, f)
+	var names []string
+	for _, m := range small {
+		names = append(names, m.Name)
+	}
+	rng := rand.New(rand.NewSource(5))
+	trace := workload.PoissonTrace(rng, names, 0.08, 90*time.Second, workload.ShareGPT())
+	if err := c.Submit(trace); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := fault.ParseSpec(
+		"partition@20s+4s:ms0,netsplit@30s+5s:ms0~ms1|ms2,netdelay@40s+6s*4:ms1,rcrash@50s+8s:ms2,crash@60s:tp1/decode0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector(se, c, sched)
+	in.Arm()
+	se.At(0, c.StartHealth)
+	se.At(240*time.Second, c.StopHealth)
+	se.Run()
+	c.Finalize(se.Now())
+	if in.Injected() != 5 {
+		t.Fatalf("injected %d/5 faults, errs=%v", in.Injected(), in.Errors())
+	}
+	if c.Failovers() != 1 {
+		t.Fatalf("failovers = %d", c.Failovers())
+	}
+	if c.Completed() != len(trace) {
+		t.Fatalf("completed %d/%d under replica faults", c.Completed(), len(trace))
+	}
+	auditCluster(t, c)
+}
+
+// Replica faults against a single-store cluster are injection errors, not
+// panics.
+func TestReplicaFaultsNeedReplicas(t *testing.T) {
+	se := sim.NewEngine(1)
+	c, _ := healthCluster(t, se, fault.New(se, 7))
+	if err := c.CrashReplica("ms0", 0); err == nil {
+		t.Fatal("CrashReplica on a single store should fail")
+	}
+	if err := c.Netsplit([]string{"ms0"}, []string{"ms1"}, time.Second); err == nil {
+		t.Fatal("Netsplit on a single store should fail")
+	}
+	if c.Replicated() != nil {
+		t.Fatal("single-store cluster reports a replicated store")
+	}
+}

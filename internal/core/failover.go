@@ -164,6 +164,11 @@ func (s *System) RecoverOrphans() (resumed, recomputed int) {
 	return resumed, recomputed
 }
 
+// OrphanedOf returns how many of the named instance's requests await
+// recovery. The proxy's idempotent failover re-entry keys on it: a claim
+// whose acknowledgment was lost re-runs recovery iff orphans remain.
+func (s *System) OrphanedOf(name string) int { return len(s.orphans[name]) }
+
 // OrphanedRequests returns how many requests await recovery.
 func (s *System) OrphanedRequests() int {
 	n := 0

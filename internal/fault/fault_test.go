@@ -40,16 +40,16 @@ func TestParseSpecDefaults(t *testing.T) {
 
 func TestParseSpecErrors(t *testing.T) {
 	for _, bad := range []string{
-		"boom@5s",            // unknown kind
-		"crash5s",            // missing @
-		"crash@-1s:decode0",  // negative time
-		"crash@5s+10s:d0",    // crash takes no duration
-		"xfer@5s*2:d0",       // xfer takes no factor
-		"partition@5s:d0",    // partition takes no target
-		"fetchslow@5s*0:m",   // non-positive factor
-		"crash@zzz:d0",       // unparseable time
-		"xfer@1s+0s:d0",      // non-positive duration
-		"crash@5s:",          // empty target
+		"boom@5s",           // unknown kind
+		"crash5s",           // missing @
+		"crash@-1s:decode0", // negative time
+		"crash@5s+10s:d0",   // crash takes no duration
+		"xfer@5s*2:d0",      // xfer takes no factor
+		"storeslow@5s:d0",   // storeslow takes no target
+		"fetchslow@5s*0:m",  // non-positive factor
+		"crash@zzz:d0",      // unparseable time
+		"xfer@1s+0s:d0",     // non-positive duration
+		"crash@5s:",         // empty target
 	} {
 		if _, err := ParseSpec(bad); err == nil {
 			t.Errorf("ParseSpec(%q) succeeded, want error", bad)
@@ -147,12 +147,16 @@ type recordSurface struct {
 	calls   int
 }
 
-func (r *recordSurface) Crash(t string) error                          { r.crashed = append(r.crashed, t); r.calls++; return nil }
-func (r *recordSurface) FailTransfers(string, sim.Time) error          { r.calls++; return nil }
-func (r *recordSurface) FailFetch(string, sim.Time) error              { r.calls++; return nil }
-func (r *recordSurface) SlowFetch(float64, sim.Time) error             { r.calls++; return nil }
-func (r *recordSurface) PartitionStore(sim.Time) error                 { r.calls++; return nil }
-func (r *recordSurface) SlowStore(float64, sim.Time) error             { r.calls++; return nil }
+func (r *recordSurface) Crash(t string) error {
+	r.crashed = append(r.crashed, t)
+	r.calls++
+	return nil
+}
+func (r *recordSurface) FailTransfers(string, sim.Time) error { r.calls++; return nil }
+func (r *recordSurface) FailFetch(string, sim.Time) error     { r.calls++; return nil }
+func (r *recordSurface) SlowFetch(float64, sim.Time) error    { r.calls++; return nil }
+func (r *recordSurface) PartitionStore(sim.Time) error        { r.calls++; return nil }
+func (r *recordSurface) SlowStore(float64, sim.Time) error    { r.calls++; return nil }
 
 func TestInjectorReplaysSchedule(t *testing.T) {
 	eng := sim.NewEngine(1)
@@ -175,8 +179,8 @@ func TestInjectorReplaysSchedule(t *testing.T) {
 func TestRandomScheduleDeterministic(t *testing.T) {
 	insts := []string{"prefill0", "decode0", "decode1"}
 	models := []string{"m1", "m2"}
-	a := RandomSchedule(rand.New(rand.NewSource(9)), time.Minute, insts, models, 8)
-	b := RandomSchedule(rand.New(rand.NewSource(9)), time.Minute, insts, models, 8)
+	a := RandomSchedule(rand.New(rand.NewSource(9)), time.Minute, insts, models, nil, 8)
+	b := RandomSchedule(rand.New(rand.NewSource(9)), time.Minute, insts, models, nil, 8)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("same seed produced different schedules")
 	}

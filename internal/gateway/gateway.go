@@ -28,6 +28,7 @@ import (
 	"aegaeon/internal/fault"
 	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/market"
+	"aegaeon/internal/metastore"
 	"aegaeon/internal/metrics"
 	"aegaeon/internal/obs"
 	"aegaeon/internal/overload"
@@ -231,8 +232,9 @@ type Gateway struct {
 	brownOnce      sync.Once
 
 	// Snapshot cache for /metrics after the driver has stopped.
-	lastSwitches uint64
-	lastVirtual  time.Duration
+	lastSwitches  uint64
+	lastVirtual   time.Duration
+	lastStoreView *metastore.ControlView
 
 	ttft *metrics.SafeCDF
 	tbt  *metrics.SafeCDF
@@ -345,6 +347,7 @@ func (g *Gateway) debugEndpoints() []debugEndpoint {
 		{"/debug/market", "spot-market prices, notices, preemption economics", g.handleDebugMarket},
 		{"/debug/decisions", "decision-provenance ring (?kind=shed&last=N)", g.handleDebugDecisions},
 		{"/debug/why/{id}", "one request's decision chain joined with its spans", g.handleDebugWhy},
+		{"/debug/metastore", "control-plane view: store mode, replicas, leader, terms", g.handleDebugMetastore},
 	}
 	if g.opts.Pprof {
 		eps = append(eps,

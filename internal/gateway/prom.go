@@ -12,6 +12,7 @@ import (
 	"aegaeon/internal/fault"
 	"aegaeon/internal/fleetobs"
 	"aegaeon/internal/market"
+	"aegaeon/internal/metastore"
 	"aegaeon/internal/metrics"
 	"aegaeon/internal/prefixcache"
 	"aegaeon/internal/slomon"
@@ -30,6 +31,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var switches uint64
 	var virtual time.Duration
 	var storeGets, storeSets, storeDeletes, storeFailed uint64
+	var storeView metastore.ControlView
 	var fs fault.Stats
 	var failovers int
 	var prefixSnaps map[string]prefixcache.Stats
@@ -38,6 +40,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		virtual = g.cl.VirtualNow()
 		storeGets, storeSets, storeDeletes = g.cl.Store().Ops()
 		storeFailed = g.cl.Store().FailedOps()
+		storeView = g.cl.StoreView()
 		fs = g.cl.FaultStats()
 		failovers = g.cl.Failovers()
 		if caches := g.cl.PrefixCaches(); len(caches) > 0 {
@@ -50,8 +53,13 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g.mu.Lock()
 	if err == nil {
 		g.lastSwitches, g.lastVirtual = switches, virtual
+		v := storeView
+		g.lastStoreView = &v
 	} else {
 		switches, virtual = g.lastSwitches, g.lastVirtual
+		if g.lastStoreView != nil {
+			storeView = *g.lastStoreView
+		}
 	}
 	inflight := g.inflight
 	admitted := g.admitted
@@ -127,6 +135,26 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "aegaeon_metastore_ops_total{op=\"delete\"} %d\n", storeDeletes)
 	counter("aegaeon_metastore_failed_ops_total", "Metadata store operations dropped by partitions.")
 	fmt.Fprintf(&b, "aegaeon_metastore_failed_ops_total %d\n", storeFailed)
+	if storeView.Mode == "replicated" {
+		gauge("aegaeon_metastore_term", "Current replication term of the quorum metadata store.")
+		fmt.Fprintf(&b, "aegaeon_metastore_term %d\n", storeView.Term)
+		counter("aegaeon_metastore_leader_changes_total", "Metadata store leader elections that won a new leader.")
+		fmt.Fprintf(&b, "aegaeon_metastore_leader_changes_total %d\n", storeView.LeaderChanges)
+		gauge("aegaeon_metastore_commit_index", "Quorum-committed log index of the metadata store.")
+		fmt.Fprintf(&b, "aegaeon_metastore_commit_index %d\n", storeView.CommitIndex)
+		gauge("aegaeon_metastore_replica_up", "Per-replica liveness of the metadata store quorum group.")
+		for _, rv := range storeView.Replicas {
+			up := 0
+			if rv.Up {
+				up = 1
+			}
+			fmt.Fprintf(&b, "aegaeon_metastore_replica_up{replica=%q} %d\n", rv.Name, up)
+		}
+		gauge("aegaeon_metastore_replica_applied_index", "Per-replica applied log index of the metadata store quorum group.")
+		for _, rv := range storeView.Replicas {
+			fmt.Fprintf(&b, "aegaeon_metastore_replica_applied_index{replica=%q} %d\n", rv.Name, rv.Applied)
+		}
+	}
 
 	counter("aegaeon_gateway_failed_total", "Admitted requests that finished cleanly rejected.")
 	fmt.Fprintf(&b, "aegaeon_gateway_failed_total %d\n", failedReqs)

@@ -1,0 +1,42 @@
+package metastore
+
+import "time"
+
+// API is the operation surface shared by the single-replica Store and the
+// replicated quorum store (Replicated). Cluster code programs against it so
+// the control plane can be promoted from one replica to a quorum without
+// touching any call site.
+//
+// Consistency contract: Set/SetE/Get/GetE/CompareAndSwap/Delete are
+// linearizable (on the quorum store they go through the leader, which serves
+// reads only under a valid lease and past its term's no-op barrier).
+// GetSession is the weaker read-your-writes read. GetNow/Keys/Version are
+// synchronous diagnostics over committed state and take no network hop.
+type API interface {
+	Set(key, value string, done ...func())
+	SetE(key, value string, done func(err error))
+	Get(key string, fn func(value string, ok bool))
+	GetE(key string, fn func(value string, ok bool, err error))
+	GetSession(key string, fn func(value string, ok bool, err error))
+	CompareAndSwap(key, old, new string, done func(swapped bool, err error))
+	Delete(key string, done ...func())
+	Watch(prefix string, fn func(key, value string)) (cancel func())
+	Watches() int
+
+	GetNow(key string) (string, bool)
+	Keys(prefix string) []string
+	Version(key string) uint64
+
+	Ops() (gets, sets, deletes uint64)
+	FailedOps() uint64
+	Available() bool
+
+	// Fault hooks (the cluster's fault.Surface rides on these).
+	Partition(d time.Duration)
+	SlowBy(factor float64, d time.Duration)
+}
+
+var (
+	_ API = (*Store)(nil)
+	_ API = (*Replicated)(nil)
+)

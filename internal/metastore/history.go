@@ -1,0 +1,462 @@
+// The control-plane audit: a history recorder for every client operation's
+// invocation/response window, plus the checks that turn a chaos run into a
+// proof obligation — at most one leader per term, no acknowledged write
+// lost, commit versions gapless, watch replay in commit order, session
+// reads within their read-your-writes bounds, and a per-key Wing & Gong
+// linearizability search over the acknowledged operations (P-compositional:
+// keys are independent registers, so per-key witnesses compose).
+package metastore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"aegaeon/internal/sim"
+)
+
+// RecOp is one recorded client operation.
+type RecOp struct {
+	ID            uint64
+	Client        string
+	Kind          opc
+	Key, Val, Old string
+	Inv           sim.Time
+	Resp          sim.Time // response (or failure) time; -1 if still open at end of run
+	Acked         bool     // got a definite success response
+	Sent          bool     // at least one attempt left the client's link
+	Found         bool
+	Ret           string
+	Swapped       bool
+	Floor         uint64 // session reads: session floor at invocation
+	Served        uint64 // session reads: home replica applied index at serve
+}
+
+// Election records a won election.
+type Election struct {
+	Term   uint64
+	Leader string
+	At     sim.Time
+}
+
+// WatchRec records one watch delivery (by commit index, in delivery order).
+type WatchRec struct {
+	Index uint64
+	At    sim.Time
+}
+
+// History is the recorded run, populated when RepConfig.RecordHistory is on.
+type History struct {
+	on        bool
+	Ops       []RecOp
+	Elections []Election
+	WatchRecs []WatchRec
+}
+
+func (h *History) invoke(id uint64, clientName string, kind opc, key, val, old string, floor uint64, at sim.Time) int {
+	if !h.on {
+		return -1
+	}
+	h.Ops = append(h.Ops, RecOp{
+		ID: id, Client: clientName, Kind: kind, Key: key, Val: val, Old: old,
+		Inv: at, Resp: -1, Floor: floor,
+	})
+	return len(h.Ops) - 1
+}
+
+func (h *History) respond(idx int, m respMsg, acked, sent bool, at sim.Time) {
+	if !h.on || idx < 0 {
+		return
+	}
+	op := &h.Ops[idx]
+	op.Resp = at
+	op.Acked = acked
+	op.Sent = sent
+	op.Found = m.found
+	op.Ret = m.val
+	op.Swapped = m.swapped
+	op.Served = m.served
+}
+
+func (h *History) election(term uint64, leader string, at sim.Time) {
+	if !h.on {
+		return
+	}
+	h.Elections = append(h.Elections, Election{Term: term, Leader: leader, At: at})
+}
+
+func (h *History) watched(index uint64, at sim.Time) {
+	if !h.on {
+		return
+	}
+	h.WatchRecs = append(h.WatchRecs, WatchRec{Index: index, At: at})
+}
+
+// linVisitBudget caps the total linearizability search states per audit so
+// a pathological history fails loudly instead of hanging (never hit by the
+// harness's workloads; the memoized search is near-linear in practice).
+const linVisitBudget = 4_000_000
+
+// CheckControlPlane audits the recorded history against the committed
+// ground truth and returns every violation found (empty = clean). It is the
+// chaos harness's control-plane arm of VerifyInvariants.
+func (r *Replicated) CheckControlPlane() []string {
+	var v []string
+	v = append(v, r.divergence...)
+	h := r.hist
+
+	// (1) At most one leader per term.
+	leaders := map[uint64]string{}
+	for _, e := range h.Elections {
+		if prev, ok := leaders[e.Term]; ok && prev != e.Leader {
+			v = append(v, fmt.Sprintf("control-plane: two leaders in term %d: %s and %s", e.Term, prev, e.Leader))
+		}
+		leaders[e.Term] = e.Leader
+	}
+
+	// (2) Commit sequence sanity: indices gapless, per-key versions +1 in
+	// commit order.
+	commitsByOp := map[uint64]int{}
+	lastVer := map[string]uint64{}
+	for i, c := range r.commits {
+		if c.Index != uint64(i)+1 {
+			v = append(v, fmt.Sprintf("control-plane: commit %d recorded at position %d", c.Index, i+1))
+		}
+		if c.OpID != 0 {
+			commitsByOp[c.OpID]++
+		}
+		if c.Applied {
+			if c.Version != lastVer[c.Key]+1 {
+				v = append(v, fmt.Sprintf("control-plane: key %q version %d follows %d at commit %d",
+					c.Key, c.Version, lastVer[c.Key], c.Index))
+			}
+			lastVer[c.Key] = c.Version
+		}
+	}
+
+	// (3) No acknowledged write lost (and none duplicated: exactly-once).
+	for _, op := range h.Ops {
+		if !op.Acked {
+			continue
+		}
+		switch op.Kind {
+		case opSet, opCAS, opDelete:
+			switch n := commitsByOp[op.ID]; {
+			case n == 0:
+				v = append(v, fmt.Sprintf("control-plane: acknowledged %s of %q (op %d by %s) never committed",
+					kindName(op.Kind), op.Key, op.ID, op.Client))
+			case n > 1:
+				v = append(v, fmt.Sprintf("control-plane: op %d committed %d times", op.ID, n))
+			}
+		}
+	}
+
+	// (4) Watch replay strictly follows commit order.
+	var lastW uint64
+	for _, w := range h.WatchRecs {
+		if w.Index <= lastW {
+			v = append(v, fmt.Sprintf("control-plane: watch delivery for commit %d after commit %d", w.Index, lastW))
+		}
+		lastW = w.Index
+	}
+
+	// (5) Session reads: served at or past the session floor, returning the
+	// committed state as of the served index.
+	v = append(v, r.checkSessionReads()...)
+
+	// (6) Per-key linearizability of the acknowledged linearizable ops.
+	budget := linVisitBudget
+	perKey := map[string][]linOp{}
+	for _, op := range h.Ops {
+		lo, use := toLinOp(op)
+		if use {
+			perKey[op.Key] = append(perKey[op.Key], lo)
+		}
+	}
+	keys := make([]string, 0, len(perKey))
+	for k := range perKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if msg := checkLinearKey(k, perKey[k], &budget); msg != "" {
+			v = append(v, msg)
+		}
+	}
+	return v
+}
+
+func kindName(k opc) string {
+	switch k {
+	case opSet:
+		return "set"
+	case opCAS:
+		return "cas"
+	case opDelete:
+		return "delete"
+	case opGet:
+		return "get"
+	case opSessionGet:
+		return "session-get"
+	}
+	return "nop"
+}
+
+func (r *Replicated) checkSessionReads() []string {
+	var v []string
+	// Per-key committed timeline: (commit index, value, exists) changes.
+	type change struct {
+		idx    uint64
+		val    string
+		exists bool
+	}
+	timeline := map[string][]change{}
+	for _, c := range r.commits {
+		if c.Applied {
+			timeline[c.Key] = append(timeline[c.Key], change{idx: c.Index, val: c.Value, exists: !c.Deleted})
+		}
+	}
+	stateAt := func(key string, idx uint64) (string, bool) {
+		tl := timeline[key]
+		i := sort.Search(len(tl), func(i int) bool { return tl[i].idx > idx })
+		if i == 0 {
+			return "", false
+		}
+		return tl[i-1].val, tl[i-1].exists
+	}
+	for _, op := range r.hist.Ops {
+		if op.Kind != opSessionGet || !op.Acked {
+			continue
+		}
+		if op.Served < op.Floor {
+			v = append(v, fmt.Sprintf(
+				"control-plane: session read of %q by %s served at index %d below floor %d",
+				op.Key, op.Client, op.Served, op.Floor))
+			continue
+		}
+		val, exists := stateAt(op.Key, op.Served)
+		if op.Found != exists || (exists && op.Ret != val) {
+			v = append(v, fmt.Sprintf(
+				"control-plane: session read of %q by %s returned (%q,%v) but committed state at index %d is (%q,%v)",
+				op.Key, op.Client, op.Ret, op.Found, op.Served, val, exists))
+		}
+	}
+	return v
+}
+
+// linOp is one operation in the per-key linearizability search.
+type linOp struct {
+	kind     opc
+	val, old string
+	found    bool
+	ret      string
+	swapped  bool
+	inv      sim.Time
+	resp     sim.Time
+	optional bool // unacked write that reached the wire: may or may not apply
+}
+
+// toLinOp classifies a recorded op for the search. Acked linearizable ops
+// are required; failed mutations that reached the wire are indeterminate
+// (optional, open response window); everything else carries no constraint.
+func toLinOp(op RecOp) (linOp, bool) {
+	lo := linOp{kind: op.Kind, val: op.Val, old: op.Old,
+		found: op.Found, ret: op.Ret, swapped: op.Swapped,
+		inv: op.Inv, resp: op.Resp}
+	switch op.Kind {
+	case opGet:
+		return lo, op.Acked
+	case opSessionGet:
+		return lo, false // weaker consistency, audited separately
+	case opSet, opCAS, opDelete:
+		if op.Acked {
+			return lo, true
+		}
+		if op.Sent {
+			lo.optional = true
+			lo.resp = sim.Time(math.MaxInt64)
+			return lo, true
+		}
+		return lo, false // never left the client: definitely did not apply
+	}
+	return lo, false
+}
+
+// checkLinearKey runs a memoized Wing & Gong search for a legal sequential
+// witness of one key's history, treating the key as a register with Set /
+// Delete / CompareAndSwap / Get operations. Optional ops may be applied
+// anywhere after their invocation or never; required ops must fit their
+// [inv, resp] windows. Returns "" if a witness exists.
+func checkLinearKey(key string, ops []linOp, budget *int) string {
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].inv < ops[j].inv })
+	n := len(ops)
+	words := (n + 63) / 64
+	done := make([]uint64, words)
+	required := make([]bool, n)
+	for i, op := range ops {
+		required[i] = !op.optional
+	}
+	memo := map[string]bool{}
+	exhausted := false
+
+	isDone := func(i int) bool { return done[i/64]&(1<<(uint(i)%64)) != 0 }
+	set := func(i int) { done[i/64] |= 1 << (uint(i) % 64) }
+	clear := func(i int) { done[i/64] &^= 1 << (uint(i) % 64) }
+
+	memoKey := func(val string, exists bool) string {
+		var b strings.Builder
+		for _, w := range done {
+			fmt.Fprintf(&b, "%x.", w)
+		}
+		if exists {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+		b.WriteString(val)
+		return b.String()
+	}
+
+	var rec func(val string, exists bool) bool
+	rec = func(val string, exists bool) bool {
+		allRequired := true
+		for i := 0; i < n; i++ {
+			if required[i] && !isDone(i) {
+				allRequired = false
+				break
+			}
+		}
+		if allRequired {
+			return true // leftover optional ops simply never took effect
+		}
+		if *budget <= 0 {
+			exhausted = true
+			return false
+		}
+		*budget--
+		mk := memoKey(val, exists)
+		if seen, ok := memo[mk]; ok {
+			return seen
+		}
+		// An op can linearize next only if no other outstanding op's
+		// response window closed before this op was even invoked.
+		minResp := sim.Time(math.MaxInt64)
+		for i := 0; i < n; i++ {
+			if !isDone(i) && ops[i].resp < minResp {
+				minResp = ops[i].resp
+			}
+		}
+		for i := 0; i < n && !exhausted; i++ {
+			if isDone(i) || ops[i].inv > minResp {
+				continue
+			}
+			op := ops[i]
+			nv, ne, consistent := applyLin(op, val, exists)
+			if !consistent {
+				continue
+			}
+			set(i)
+			ok := rec(nv, ne)
+			clear(i)
+			if ok {
+				memo[mk] = true
+				return true
+			}
+		}
+		memo[mk] = false
+		return false
+	}
+
+	cur := ""
+	if rec(cur, false) {
+		return ""
+	}
+	if exhausted {
+		return fmt.Sprintf("control-plane: linearizability search budget exhausted on key %q (%d ops)", key, n)
+	}
+	return fmt.Sprintf("control-plane: no legal sequential witness for key %q (%d ops)", key, n)
+}
+
+// OpLatency summarizes acknowledged client-op latency from the history.
+func (r *Replicated) OpLatency() (count int, p50, p99 sim.Time) {
+	var lats []sim.Time
+	for _, op := range r.hist.Ops {
+		if op.Acked && op.Resp >= 0 {
+			lats = append(lats, op.Resp-op.Inv)
+		}
+	}
+	if len(lats) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pick := func(q float64) sim.Time {
+		i := int(q * float64(len(lats)-1))
+		return lats[i]
+	}
+	return len(lats), pick(0.50), pick(0.99)
+}
+
+// Unavailability clusters the failed-op windows of the history: windows
+// closer than gap merge. Returns the window count and their total span —
+// the measured cost of partitions and leader churn.
+func (r *Replicated) Unavailability(gap sim.Time) (windows int, total sim.Time) {
+	type span struct{ lo, hi sim.Time }
+	var spans []span
+	for _, op := range r.hist.Ops {
+		if !op.Acked && op.Resp >= 0 {
+			spans = append(spans, span{op.Inv, op.Resp})
+		}
+	}
+	if len(spans) == 0 {
+		return 0, 0
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	cur := spans[0]
+	flush := func() {
+		windows++
+		total += cur.hi - cur.lo
+	}
+	for _, s := range spans[1:] {
+		if s.lo <= cur.hi+gap {
+			if s.hi > cur.hi {
+				cur.hi = s.hi
+			}
+			continue
+		}
+		flush()
+		cur = s
+	}
+	flush()
+	return windows, total
+}
+
+// applyLin applies one op to the witness register, reporting whether its
+// observed response is consistent with the current state.
+func applyLin(op linOp, val string, exists bool) (newVal string, newExists, consistent bool) {
+	switch op.kind {
+	case opGet:
+		if exists {
+			return val, exists, op.found && op.ret == val
+		}
+		return val, exists, !op.found
+	case opSet:
+		return op.val, true, true
+	case opDelete:
+		return "", false, true
+	case opCAS:
+		cur := ""
+		if exists {
+			cur = val
+		}
+		would := cur == op.old
+		if !op.optional && would != op.swapped {
+			return val, exists, false
+		}
+		if would {
+			return op.val, true, true
+		}
+		return val, exists, true
+	}
+	return val, exists, true
+}

@@ -33,6 +33,10 @@ type Store struct {
 	slowUntil        sim.Time
 	slowFactor       float64
 
+	// lastDone is the completion time of the most recently submitted op;
+	// later submissions never complete before it (see run).
+	lastDone sim.Time
+
 	gets, sets, deletes, failed uint64
 }
 
@@ -90,14 +94,26 @@ func (s *Store) latency() time.Duration {
 // run executes op after the effective RTT (synchronously at rtt<=0).
 // Availability is sampled at submission: an op issued inside a partition
 // window fails even if the window closes before the RTT elapses.
+//
+// Completions are FIFO: an op submitted later never completes before an
+// earlier one. Per-op latency alone breaks this when a latency spike expires
+// between two submissions — the slowed op would land after the fast one, so
+// applies (and the watch notifications they fire) would replay in an order
+// that contradicts Version(). Serializing on lastDone pins notification
+// order to submission order.
 func (s *Store) run(op func(err error)) {
 	var err error
 	if !s.Available() {
 		s.failed++
 		err = ErrUnavailable
 	}
-	if l := s.latency(); l > 0 {
-		s.eng.After(l, func() { op(err) })
+	at := s.eng.Now() + s.latency()
+	if at < s.lastDone {
+		at = s.lastDone
+	}
+	s.lastDone = at
+	if at > s.eng.Now() {
+		s.eng.At(at, func() { op(err) })
 		return
 	}
 	op(err)
@@ -169,6 +185,14 @@ func (s *Store) GetE(key string, fn func(value string, ok bool, err error)) {
 		v, ok := s.data[key]
 		fn(v, ok, nil)
 	})
+}
+
+// GetSession is the session-consistent (read-your-writes) read. On the
+// single-replica store every read is already linearizable, so it aliases
+// GetE; the replicated store serves it from the session's home replica once
+// that replica has caught up to the session's floor.
+func (s *Store) GetSession(key string, fn func(value string, ok bool, err error)) {
+	s.GetE(key, fn)
 }
 
 // CompareAndSwap atomically replaces key's value with new iff the current

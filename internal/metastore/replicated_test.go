@@ -1,0 +1,455 @@
+package metastore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"aegaeon/internal/sim"
+)
+
+// newRep builds a recording 3-replica store and returns it with its engine.
+// Every test must schedule rep.Stop() (or call stopAt) before eng.Run, or the
+// election timers keep the event queue alive forever.
+func newRep(seed int64) (*sim.Engine, *Replicated) {
+	eng := sim.NewEngine(seed)
+	rep := NewReplicated(eng, RepConfig{Replicas: 3, Seed: seed, RecordHistory: true})
+	return eng, rep
+}
+
+func stopAt(eng *sim.Engine, rep *Replicated, at sim.Time) {
+	eng.At(at, rep.Stop)
+}
+
+func audit(t *testing.T, rep *Replicated) {
+	t.Helper()
+	for _, bad := range rep.CheckControlPlane() {
+		t.Errorf("audit: %s", bad)
+	}
+}
+
+func TestQuorumBasicOps(t *testing.T) {
+	eng, rep := newRep(1)
+	var acks []string
+	eng.At(time.Second, func() {
+		rep.SetE("a", "1", func(err error) {
+			if err != nil {
+				t.Errorf("SetE: %v", err)
+			}
+			acks = append(acks, "set")
+		})
+	})
+	eng.At(2*time.Second, func() {
+		rep.GetE("a", func(v string, ok bool, err error) {
+			if err != nil || !ok || v != "1" {
+				t.Errorf("GetE = (%q,%v,%v)", v, ok, err)
+			}
+			acks = append(acks, "get")
+		})
+		rep.CompareAndSwap("a", "1", "2", func(swapped bool, err error) {
+			if err != nil || !swapped {
+				t.Errorf("CAS = (%v,%v)", swapped, err)
+			}
+			acks = append(acks, "cas")
+		})
+		rep.CompareAndSwap("a", "stale", "3", func(swapped bool, err error) {
+			if err != nil || swapped {
+				t.Errorf("stale CAS = (%v,%v)", swapped, err)
+			}
+			acks = append(acks, "cas2")
+		})
+	})
+	eng.At(3*time.Second, func() {
+		rep.Delete("a", func() { acks = append(acks, "del") })
+	})
+	stopAt(eng, rep, 5*time.Second)
+	eng.Run()
+	if len(acks) != 5 {
+		t.Fatalf("acks = %v", acks)
+	}
+	if _, ok := rep.GetNow("a"); ok {
+		t.Fatal("key survived delete")
+	}
+	if rep.Version("a") != 3 {
+		t.Fatalf("version = %d, want 3 (set, cas, delete)", rep.Version("a"))
+	}
+	if rep.Leader() == "" {
+		t.Fatal("no leader elected")
+	}
+	audit(t, rep)
+}
+
+func TestStableLeaderWithoutFaults(t *testing.T) {
+	eng, rep := newRep(2)
+	stopAt(eng, rep, 30*time.Second)
+	eng.Run()
+	if rep.LeaderChanges() != 1 {
+		t.Fatalf("leader changed %d times on a quiet run", rep.LeaderChanges())
+	}
+	audit(t, rep)
+}
+
+func TestLeaderCrashFailover(t *testing.T) {
+	eng, rep := newRep(3)
+	acked := 0
+	// A steady write stream across the crash: every 200ms from t=1s to t=9s.
+	for i := 0; i < 40; i++ {
+		i := i
+		eng.At(sim.Time(i)*200*time.Millisecond+time.Second, func() {
+			rep.SetE(fmt.Sprintf("k%d", i%4), fmt.Sprintf("v%d", i), func(err error) {
+				if err == nil {
+					acked++
+				}
+			})
+		})
+	}
+	eng.At(4*time.Second, func() {
+		lead := rep.Leader()
+		if lead == "" {
+			t.Fatal("no leader to crash")
+		}
+		if err := rep.CrashReplica(lead, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	stopAt(eng, rep, 15*time.Second)
+	eng.Run()
+	if rep.LeaderChanges() < 2 {
+		t.Fatalf("leader changes = %d, want >= 2", rep.LeaderChanges())
+	}
+	// The two survivors are a majority: the stream must keep acking after the
+	// crash (a handful of ops can time out across the election).
+	if acked < 30 {
+		t.Fatalf("only %d/40 writes acked across a single crash", acked)
+	}
+	audit(t, rep)
+}
+
+func TestMinorityPartitionHeals(t *testing.T) {
+	eng, rep := newRep(4)
+	acked, failed := 0, 0
+	for i := 0; i < 40; i++ {
+		i := i
+		eng.At(sim.Time(i)*200*time.Millisecond+time.Second, func() {
+			rep.SetE("k", fmt.Sprintf("v%d", i), func(err error) {
+				if err == nil {
+					acked++
+				} else {
+					failed++
+				}
+			})
+		})
+	}
+	eng.At(3*time.Second, func() {
+		if err := rep.PartitionReplica(rep.Leader(), 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	})
+	stopAt(eng, rep, 15*time.Second)
+	eng.Run()
+	if acked < 25 {
+		t.Fatalf("only %d/40 writes acked across a healed partition", acked)
+	}
+	audit(t, rep)
+}
+
+func TestNetsplitMajoritySideServes(t *testing.T) {
+	eng, rep := newRep(5)
+	acked := 0
+	for i := 0; i < 40; i++ {
+		i := i
+		eng.At(sim.Time(i)*200*time.Millisecond+time.Second, func() {
+			rep.SetE("k", fmt.Sprintf("v%d", i), func(err error) {
+				if err == nil {
+					acked++
+				}
+			})
+		})
+	}
+	eng.At(3*time.Second, func() {
+		if err := rep.Netsplit([]string{"ms0"}, []string{"ms1", "ms2"}, 3*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	})
+	stopAt(eng, rep, 15*time.Second)
+	eng.Run()
+	if acked < 25 {
+		t.Fatalf("only %d/40 writes acked across a netsplit", acked)
+	}
+	audit(t, rep)
+}
+
+func TestCrashedReplicaCatchesUp(t *testing.T) {
+	eng, rep := newRep(6)
+	for i := 0; i < 40; i++ {
+		i := i
+		eng.At(sim.Time(i)*200*time.Millisecond+time.Second, func() {
+			rep.SetE(fmt.Sprintf("k%d", i%4), fmt.Sprintf("v%d", i), nil)
+		})
+	}
+	eng.At(2*time.Second, func() {
+		// Crash a follower; it restarts at t=6s and must replay the log it
+		// missed.
+		name := rep.ReplicaNames()[0]
+		if name == rep.Leader() {
+			name = rep.ReplicaNames()[1]
+		}
+		if err := rep.CrashReplica(name, 4*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	})
+	stopAt(eng, rep, 20*time.Second)
+	eng.Run()
+	view := rep.View()
+	for _, r := range view.Replicas {
+		if !r.Up {
+			t.Errorf("replica %s still down after restart window", r.Name)
+		}
+		if r.Applied != view.CommitIndex {
+			t.Errorf("replica %s applied %d, commit index %d — catch-up incomplete",
+				r.Name, r.Applied, view.CommitIndex)
+		}
+	}
+	audit(t, rep)
+}
+
+func TestSessionReadYourWrites(t *testing.T) {
+	eng, rep := newRep(7)
+	s := rep.Session("client-a")
+	reads := 0
+	for i := 0; i < 20; i++ {
+		i := i
+		eng.At(sim.Time(i)*300*time.Millisecond+time.Second, func() {
+			val := fmt.Sprintf("v%d", i)
+			s.SetE("ryw", val, func(err error) {
+				if err != nil {
+					return
+				}
+				// Immediately read back through the session: the home replica
+				// must not serve a state older than the acked write.
+				s.GetSession("ryw", func(v string, ok bool, err error) {
+					if err != nil {
+						return
+					}
+					reads++
+					if !ok {
+						t.Errorf("read-your-writes: wrote %q, read absent", val)
+						return
+					}
+					// A *newer* value is legal (another writer may run); older
+					// is not. Values are ordered by index suffix here.
+					var wrote, got int
+					fmt.Sscanf(val, "v%d", &wrote)
+					fmt.Sscanf(v, "v%d", &got)
+					if got < wrote {
+						t.Errorf("read-your-writes: wrote %q, read stale %q", val, v)
+					}
+				})
+			})
+		})
+	}
+	stopAt(eng, rep, 15*time.Second)
+	eng.Run()
+	if reads < 15 {
+		t.Fatalf("only %d/20 session reads served", reads)
+	}
+	audit(t, rep)
+}
+
+func TestWatchReplayInCommitOrder(t *testing.T) {
+	eng, rep := newRep(8)
+	var seen []string
+	rep.Watch("w/", func(k, v string) { seen = append(seen, k+"="+v) })
+	for i := 0; i < 30; i++ {
+		i := i
+		eng.At(sim.Time(i)*200*time.Millisecond+time.Second, func() {
+			rep.SetE(fmt.Sprintf("w/k%d", i%3), fmt.Sprintf("v%d", i), nil)
+		})
+	}
+	// A leader crash mid-stream: deliveries must still replay the commit
+	// sequence exactly once, in order.
+	eng.At(3*time.Second, func() {
+		if rep.Leader() != "" {
+			rep.CrashReplica(rep.Leader(), 5*time.Second)
+		}
+	})
+	stopAt(eng, rep, 15*time.Second)
+	eng.Run()
+
+	// Reconstruct the expected delivery list from the committed sequence.
+	var want []string
+	for _, c := range rep.Commits() {
+		if c.Applied && strings.HasPrefix(c.Key, "w/") {
+			switch c.Kind {
+			case opSet, opCAS:
+				want = append(want, c.Key+"="+c.Value)
+			case opDelete:
+				want = append(want, c.Key+"=")
+			}
+		}
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("watch delivered %d events, commits hold %d", len(seen), len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("delivery %d = %q, commit order wants %q", i, seen[i], want[i])
+		}
+	}
+	audit(t, rep)
+}
+
+// Lease-edge race: two sessions CAS-race one key while the leader is cut off,
+// with the heal landing mid-race. Exactly one claim may win, and the audit
+// must hold even though the losing client saw retries and redirects.
+func TestCASRaceAcrossPartitionHeal(t *testing.T) {
+	eng, rep := newRep(9)
+	a, b := rep.Session("racer-a"), rep.Session("racer-b")
+	var wins, losses int
+	eng.At(2*time.Second, func() {
+		// Cut the leader off just before both claims go out; the heal at
+		// t=3.5s lands while the clients are still retrying.
+		if err := rep.PartitionReplica(rep.Leader(), 1500*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	})
+	claim := func(s *Session, val string) {
+		s.CompareAndSwap("claim", "", val, func(swapped bool, err error) {
+			if err != nil {
+				return
+			}
+			if swapped {
+				wins++
+			} else {
+				losses++
+			}
+		})
+	}
+	eng.At(2*time.Second+time.Millisecond, func() { claim(a, "a") })
+	eng.At(2*time.Second+time.Millisecond, func() { claim(b, "b") })
+	stopAt(eng, rep, 10*time.Second)
+	eng.Run()
+	if wins > 1 {
+		t.Fatalf("%d CAS claims won on one empty key", wins)
+	}
+	if wins == 1 {
+		v, ok := rep.GetNow("claim")
+		if !ok || (v != "a" && v != "b") {
+			t.Fatalf("claimed key = (%q,%v)", v, ok)
+		}
+	}
+	audit(t, rep)
+}
+
+// Lease-edge race: a CAS issued in the same tick the leader crashes — the
+// lease is still live when the op arrives, dead before it commits. The op
+// must either fail or commit exactly once; the audit catches a double apply.
+func TestCASAtLeaderCrashEdge(t *testing.T) {
+	eng, rep := newRep(10)
+	swapped := false
+	eng.At(2*time.Second, func() {
+		rep.CompareAndSwap("edge", "", "claimed", func(ok bool, err error) {
+			if err == nil && ok {
+				swapped = true
+			}
+		})
+		if err := rep.CrashReplica(rep.Leader(), 3*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	})
+	stopAt(eng, rep, 12*time.Second)
+	eng.Run()
+	if swapped && rep.Version("edge") != 1 {
+		t.Fatalf("acked CAS applied %d times", rep.Version("edge"))
+	}
+	audit(t, rep)
+}
+
+// A watch canceled from inside its own callback mid-replay must not see the
+// rest of the batch: commits land in batches after an election, and the
+// cancel takes effect immediately.
+func TestWatchCancelMidReplay(t *testing.T) {
+	eng, rep := newRep(11)
+	var got []string
+	var cancel func()
+	cancel = rep.Watch("c/", func(k, v string) {
+		got = append(got, k)
+		cancel()
+	})
+	eng.At(time.Second, func() {
+		// Several writes in one tick commit as one batch and replay together.
+		for i := 0; i < 5; i++ {
+			rep.SetE(fmt.Sprintf("c/k%d", i), "v", nil)
+		}
+	})
+	stopAt(eng, rep, 5*time.Second)
+	eng.Run()
+	if len(got) != 1 {
+		t.Fatalf("canceled watch saw %d deliveries: %v", len(got), got)
+	}
+	if rep.Watches() != 0 {
+		t.Fatalf("%d watches still registered", rep.Watches())
+	}
+	audit(t, rep)
+}
+
+func TestReplicatedUnavailableWithoutQuorum(t *testing.T) {
+	eng, rep := newRep(12)
+	var sawErr, sawOK int
+	eng.At(2*time.Second, func() {
+		// Cut two of three replicas: no quorum, every op must fail (after
+		// OpTimeout) rather than ack a write that could be lost.
+		names := rep.ReplicaNames()
+		if err := rep.CrashReplica(names[0], 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.CrashReplica(names[1], 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	eng.At(4*time.Second, func() {
+		rep.SetE("q", "1", func(err error) {
+			if err != nil {
+				sawErr++
+			} else {
+				sawOK++
+			}
+		})
+	})
+	stopAt(eng, rep, 10*time.Second)
+	eng.Run()
+	if sawOK != 0 || sawErr != 1 {
+		t.Fatalf("quorumless write: ok=%d err=%d", sawOK, sawErr)
+	}
+	if _, ok := rep.GetNow("q"); ok {
+		t.Fatal("quorumless write became visible")
+	}
+	audit(t, rep)
+}
+
+// Satellite regression: the single store's watch notifications must fire in
+// submission order — which is Version() order — even when a latency spike
+// expires between two submissions. Before the FIFO fix the slowed op landed
+// after the fast one and the watch replayed history backwards.
+func TestStoreWatchOrderMatchesVersion(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng, time.Millisecond)
+	var order []string
+	s.Watch("k", func(k, v string) { order = append(order, v) })
+	s.SlowBy(10, 500*time.Microsecond) // first op completes at 10ms
+	s.Set("k", "first")                // submitted under the spike
+	eng.At(2*time.Millisecond, func() {
+		s.Set("k", "second") // spike expired: raw latency would land at 3ms
+	})
+	eng.Run()
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("notification order = %v, want [first second]", order)
+	}
+	if s.Version("k") != 2 {
+		t.Fatalf("version = %d", s.Version("k"))
+	}
+	if v, _ := s.GetNow("k"); v != "second" {
+		t.Fatalf("final value = %q, want the later submission", v)
+	}
+}
